@@ -1,0 +1,65 @@
+// Ablation: the final all-to-all exchange (§4.1.1). WRHT may finish the
+// reduce stage either with an all-to-all among the surviving
+// representatives (theta = 2L-1) or by collapsing to a single root
+// (theta = 2L). This bench quantifies the step and time saving of the
+// all-to-all ending across node counts and wavelength budgets.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "wrht/core/analysis.hpp"
+#include "wrht/core/grouping.hpp"
+#include "wrht/optical/ring_network.hpp"
+
+int main() {
+  using namespace wrht;
+  constexpr std::uint32_t kWavelengths = 64;
+  const std::size_t kElements = dnn::resnet50().parameter_count();
+
+  std::printf(
+      "=== Ablation: final all-to-all exchange on vs off ===\n"
+      "(ResNet50 payload; \"off\" collapses the hierarchy to a single root\n"
+      " and pays a full extra broadcast level)\n\n");
+
+  Table table({"N", "m", "steps (a2a on)", "steps (a2a off)", "time on (ms)",
+               "time off (ms)", "saving"});
+  CsvWriter csv(bench::csv_path("ablation_alltoall"),
+                {"nodes", "group_size", "steps_on", "steps_off", "time_on_s",
+                 "time_off_s"});
+
+  for (const std::uint32_t n : {256u, 1024u, 4096u}) {
+    for (const std::uint32_t m : {17u, 65u, 129u}) {
+      optics::OpticalConfig cfg;
+      cfg.wavelengths = kWavelengths;
+      const optics::RingNetwork net(n, cfg);
+
+      const auto on = core::wrht_allreduce(
+          n, kElements, core::WrhtOptions{m, kWavelengths, true});
+      const auto off = core::wrht_allreduce(
+          n, kElements, core::WrhtOptions{m, kWavelengths, false});
+      const auto res_on = net.execute(on);
+      const auto res_off = net.execute(off);
+
+      const double saving =
+          (1.0 - res_on.total_time.count() / res_off.total_time.count()) *
+          100.0;
+      table.add_row({std::to_string(n), std::to_string(m),
+                     std::to_string(on.num_steps()),
+                     std::to_string(off.num_steps()),
+                     Table::num(res_on.total_time.millis(), 2),
+                     Table::num(res_off.total_time.millis(), 2),
+                     Table::num(saving, 1) + " %"});
+      csv.add_row({std::to_string(n), std::to_string(m),
+                   std::to_string(on.num_steps()),
+                   std::to_string(off.num_steps()),
+                   Table::num(res_on.total_time.count(), 6),
+                   Table::num(res_off.total_time.count(), 6)});
+    }
+  }
+  std::cout << table << "\n";
+  std::printf(
+      "The all-to-all ending buys one fewer broadcast level whenever\n"
+      "ceil(m*^2/8) wavelengths are available (Table 1's 3 vs 4 steps).\n");
+  std::printf("CSV written to %s\n",
+              bench::csv_path("ablation_alltoall").c_str());
+  return 0;
+}

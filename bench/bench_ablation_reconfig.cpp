@@ -1,0 +1,95 @@
+// Ablation: MRR reconfiguration accounting. The paper's Eq. (6) charges
+// the 25 us reconfiguration delay on every step; a control plane that
+// keeps static circuits up would only pay when micro-rings actually
+// retune. Ring All-reduce re-uses the identical neighbour circuits every
+// step, so retune-aware accounting collapses its overhead — while WRHT
+// retunes on almost every step by construction. This bench quantifies how
+// the algorithm ranking responds (an explicit robustness check on the
+// paper's core assumption that steps dominate cost).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "wrht/collectives/btree_allreduce.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+
+namespace {
+
+using namespace wrht;
+
+struct Priced {
+  double every_round;
+  double on_retune;
+  std::uint64_t reconfigs_on_retune;
+};
+
+Priced price(const coll::Schedule& sched, std::uint32_t n,
+             std::uint32_t wavelengths) {
+  optics::OpticalConfig cfg;
+  cfg.wavelengths = wavelengths;
+  const optics::RingNetwork every(n, cfg);
+  cfg.reconfig_accounting =
+      optics::OpticalConfig::ReconfigAccounting::kOnRetune;
+  const optics::RingNetwork retune(n, cfg);
+  const auto a = every.execute(sched);
+  const auto b = retune.execute(sched);
+  return Priced{a.total_time.count(), b.total_time.count(),
+                b.reconfigurations};
+}
+
+}  // namespace
+
+int main() {
+  using namespace wrht;
+  constexpr std::uint32_t kNodes = 1024;
+  constexpr std::uint32_t kWavelengths = 64;
+
+  std::printf(
+      "=== Ablation: reconfiguration accounting (every-step vs on-retune) "
+      "===\n(N = %u, w = %u, ResNet50 and AlexNet payloads)\n\n",
+      kNodes, kWavelengths);
+
+  Table table({"Workload", "Algorithm", "Eq.6 time (ms)", "retune-aware (ms)",
+               "paid reconfigs", "speedup"});
+  CsvWriter csv(bench::csv_path("ablation_reconfig"),
+                {"workload", "algorithm", "every_round_s", "on_retune_s",
+                 "reconfigs"});
+
+  const std::uint32_t m = core::plan_wrht(kNodes, kWavelengths).group_size;
+  const auto models = dnn::paper_workloads();
+  for (const auto& model : {models[3], models[2]}) {  // ResNet50, AlexNet
+    const std::size_t elements = model.parameter_count();
+    struct Entry {
+      const char* name;
+      coll::Schedule sched;
+    };
+    const Entry entries[] = {
+        {"Ring", coll::ring_allreduce(kNodes, elements)},
+        {"BT", coll::btree_allreduce(kNodes, elements)},
+        {"WRHT", core::wrht_allreduce(kNodes, elements,
+                                      core::WrhtOptions{m, kWavelengths})}};
+    for (const auto& e : entries) {
+      const Priced p = price(e.sched, kNodes, kWavelengths);
+      table.add_row({model.name(), e.name, Table::num(p.every_round * 1e3, 2),
+                     Table::num(p.on_retune * 1e3, 2),
+                     std::to_string(p.reconfigs_on_retune),
+                     Table::num(p.every_round / p.on_retune, 2) + "x"});
+      csv.add_row({model.name(), e.name, Table::num(p.every_round, 6),
+                   Table::num(p.on_retune, 6),
+                   std::to_string(p.reconfigs_on_retune)});
+    }
+  }
+  std::cout << table << "\n";
+
+  std::printf(
+      "Ring pays the reconfiguration once (identical circuits every step),\n"
+      "so retune-aware control removes ~2(N-1) reconfigurations and closes\n"
+      "much of WRHT's latency advantage for small payloads — evidence that\n"
+      "WRHT's win rests on the per-step reconfiguration cost the paper\n"
+      "models, and a pointer to static-circuit control planes as future\n"
+      "work.\n");
+  std::printf("CSV written to %s\n",
+              bench::csv_path("ablation_reconfig").c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure of the WRHT paper
+// (ICPP 2023): it sweeps the paper's parameters, runs the real simulators,
+// prints the series as an ASCII table (normalized exactly as the paper's
+// figures are), writes a CSV next to the binary, and reports the headline
+// "average reduction" aggregates the paper quotes in its text.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wrht/collectives/registry.hpp"
+#include "wrht/common/csv.hpp"
+#include "wrht/common/stats.hpp"
+#include "wrht/common/table.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/dnn/zoo.hpp"
+#include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/optical/ring_network.hpp"
+
+namespace wrht::bench {
+
+/// Optical communication time of `algorithm` for a payload of `elements`
+/// float32 gradients on an N-node ring with w wavelengths.
+inline double optical_time(const std::string& algorithm, std::uint32_t n,
+                           std::size_t elements, std::uint32_t wavelengths,
+                           std::uint32_t group_size = 0) {
+  core::register_wrht_algorithm();
+  optics::OpticalConfig cfg;
+  cfg.wavelengths = wavelengths;
+  // The paper's sweeps "assume there is no constraint of optical
+  // communication" (§5.4): WRHT with m = 2*256+1 legitimately exceeds the
+  // per-node MRR budget, which the TeraRack hardware model would reject.
+  cfg.validate_node_capacity = false;
+  const optics::RingNetwork net(n, cfg);
+  coll::AllreduceParams p;
+  p.num_nodes = n;
+  p.elements = elements;
+  p.group_size = group_size;
+  p.wavelengths = wavelengths;
+  const coll::Schedule sched =
+      coll::Registry::instance().build(algorithm, p);
+  return net.execute(sched).total_time.count();
+}
+
+/// Electrical (fat-tree) communication time under the same conventions.
+inline double electrical_time(const std::string& algorithm, std::uint32_t n,
+                              std::size_t elements) {
+  elec::ElectricalConfig cfg;
+  const elec::FatTreeNetwork net(n, cfg);
+  coll::AllreduceParams p;
+  p.num_nodes = n;
+  p.elements = elements;
+  const coll::Schedule sched =
+      coll::Registry::instance().build(algorithm, p);
+  return net.execute(sched).total_time.count();
+}
+
+/// Prints the paper-text aggregate: "X reduces communication time by P% on
+/// average compared with Y".
+inline void print_reduction(const std::string& ours_name,
+                            const std::vector<double>& ours,
+                            const std::string& baseline_name,
+                            const std::vector<double>& baseline) {
+  std::printf("  %s vs %-22s : %6.2f%% average communication-time reduction\n",
+              ours_name.c_str(), baseline_name.c_str(),
+              mean_reduction_percent(ours, baseline));
+}
+
+inline std::string csv_path(const std::string& bench_name) {
+  return bench_name + ".csv";
+}
+
+}  // namespace wrht::bench

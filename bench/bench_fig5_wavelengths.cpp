@@ -1,0 +1,70 @@
+// Reproduces Figure 5: communication time of Ring, H-Ring (m=5), BT and
+// WRHT on a 1024-node optical ring under w in {4, 16, 64, 256} wavelengths,
+// for the four DNN workloads. Values are normalized by WRHT on ResNet50
+// with 256 wavelengths, as in the paper.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "wrht/core/planner.hpp"
+
+int main() {
+  using namespace wrht;
+  constexpr std::uint32_t kNodes = 1024;
+  const std::uint32_t kWavelengths[] = {4, 16, 64, 256};
+  const char* kAlgos[] = {"ring", "hring", "btree", "wrht"};
+
+  std::printf(
+      "=== Figure 5: impact of the number of wavelengths (N = %u) ===\n"
+      "(normalized by WRHT @ ResNet50, w = 256; paper: WRHT improves with\n"
+      " w then flattens; Ring/BT flat; WRHT loses to Ring/H-Ring at w=4 on\n"
+      " BEiT and VGG16)\n\n",
+      kNodes);
+
+  const auto models = dnn::paper_workloads();
+
+  // Normalization base: WRHT on ResNet50 at w = 256.
+  const double base = bench::optical_time(
+      "wrht", kNodes, models.back().parameter_count(), 256,
+      core::plan_wrht(kNodes, 256).group_size);
+
+  CsvWriter csv(bench::csv_path("fig5_wavelengths"),
+                {"workload", "wavelengths", "algorithm", "time_s",
+                 "normalized"});
+
+  // Per-algorithm series across the whole sweep for the paper aggregates.
+  std::map<std::string, std::vector<double>> series;
+
+  for (const auto& model : models) {
+    std::printf("--- %s (%.1fM parameters) ---\n", model.name().c_str(),
+                model.parameter_count() / 1e6);
+    Table table({"w", "Ring", "H-Ring (m=5)", "BT", "WRHT (m=2w+1)"});
+    const std::size_t elements = model.parameter_count();
+    for (const std::uint32_t w : kWavelengths) {
+      std::vector<std::string> row{std::to_string(w)};
+      for (const std::string algo : kAlgos) {
+        const std::uint32_t group =
+            algo == "hring" ? 5u
+            : algo == "wrht" ? core::plan_wrht(kNodes, w).group_size
+                             : 0u;
+        const double t = bench::optical_time(algo, kNodes, elements, w, group);
+        row.push_back(Table::num(t / base, 3));
+        csv.add_row({model.name(), std::to_string(w), algo,
+                     Table::num(t, 6), Table::num(t / base, 4)});
+        series[algo].push_back(t);
+      }
+      table.add_row(row);
+    }
+    std::cout << table << "\n";
+  }
+
+  std::printf(
+      "Headline aggregates over all workloads and wavelength counts\n"
+      "(paper reports WRHT reductions of 13.74%% vs Ring, 9.29%% vs H-Ring,"
+      "\n 75%% vs BT):\n");
+  bench::print_reduction("wrht", series["wrht"], "ring", series["ring"]);
+  bench::print_reduction("wrht", series["wrht"], "hring", series["hring"]);
+  bench::print_reduction("wrht", series["wrht"], "btree", series["btree"]);
+  std::printf("CSV written to %s\n",
+              bench::csv_path("fig5_wavelengths").c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 7: Ring and Recursive Doubling on the electrical
+// fat-tree (E-Ring, E-RD) versus Ring and WRHT on the optical ring (O-Ring,
+// WRHT) for 128 / 256 / 512 / 1024 nodes across the four DNN workloads.
+// Values are normalized by WRHT on ResNet50 (N = 128), as in the paper.
+// Also prints the paper's headline aggregates: O-Ring reduces E-Ring by
+// 48.74%; WRHT reduces E-Ring / E-RD by 61.23% / 55.51% on average.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "wrht/core/planner.hpp"
+
+int main() {
+  using namespace wrht;
+  constexpr std::uint32_t kWavelengths = 64;
+  const std::uint32_t kNodes[] = {128, 256, 512, 1024};
+
+  std::printf(
+      "=== Figure 7: electrical fat-tree vs optical ring (w = %u) ===\n"
+      "(normalized by WRHT @ ResNet50, N = 128; paper: E-Ring highest,\n"
+      " E-RD slightly lower, O-Ring well below both, WRHT lowest)\n\n",
+      kWavelengths);
+
+  const auto models = dnn::paper_workloads();
+  const double base = bench::optical_time(
+      "wrht", 128, models.back().parameter_count(), kWavelengths,
+      core::plan_wrht(128, kWavelengths).group_size);
+
+  CsvWriter csv(bench::csv_path("fig7_electrical_vs_optical"),
+                {"workload", "nodes", "system", "time_s", "normalized"});
+  std::map<std::string, std::vector<double>> series;
+
+  for (const auto& model : models) {
+    std::printf("--- %s (%.1fM parameters) ---\n", model.name().c_str(),
+                model.parameter_count() / 1e6);
+    Table table({"N", "E-Ring", "E-RD", "O-Ring", "WRHT"});
+    const std::size_t elements = model.parameter_count();
+    for (const std::uint32_t n : kNodes) {
+      const double e_ring = bench::electrical_time("ring", n, elements);
+      const double e_rd =
+          bench::electrical_time("recursive_doubling", n, elements);
+      const double o_ring =
+          bench::optical_time("ring", n, elements, kWavelengths);
+      const double wrht = bench::optical_time(
+          "wrht", n, elements, kWavelengths,
+          core::plan_wrht(n, kWavelengths).group_size);
+
+      table.add_row({std::to_string(n), Table::num(e_ring / base, 3),
+                     Table::num(e_rd / base, 3), Table::num(o_ring / base, 3),
+                     Table::num(wrht / base, 3)});
+      const std::pair<const char*, double> rows[] = {
+          {"e_ring", e_ring}, {"e_rd", e_rd}, {"o_ring", o_ring},
+          {"wrht", wrht}};
+      for (const auto& [name, t] : rows) {
+        csv.add_row({model.name(), std::to_string(n), name, Table::num(t, 6),
+                     Table::num(t / base, 4)});
+        series[name].push_back(t);
+      }
+    }
+    std::cout << table << "\n";
+  }
+
+  std::printf(
+      "Headline aggregates over all workloads and scales (paper: O-Ring vs\n"
+      "E-Ring 48.74%%; WRHT vs E-Ring 61.23%%; WRHT vs E-RD 55.51%%):\n");
+  bench::print_reduction("o_ring", series["o_ring"], "e_ring",
+                         series["e_ring"]);
+  bench::print_reduction("wrht", series["wrht"], "e_ring", series["e_ring"]);
+  bench::print_reduction("wrht", series["wrht"], "e_rd", series["e_rd"]);
+  std::printf("CSV written to %s\n",
+              bench::csv_path("fig7_electrical_vs_optical").c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) of the library's hot paths: schedule
+// construction, RWA, the data-level executor, the max-min flow solver and
+// the event kernel. These guard the simulator's own performance (the
+// Fig. 6 sweeps execute thousands of steps).
+#include <benchmark/benchmark.h>
+
+#include "wrht/collectives/executor.hpp"
+#include "wrht/collectives/hring_allreduce.hpp"
+#include "wrht/collectives/recursive_doubling.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/optical/ring_network.hpp"
+#include "wrht/optical/rwa.hpp"
+#include "wrht/sim/simulator.hpp"
+
+namespace {
+
+using namespace wrht;
+
+void BM_BuildRingSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll::ring_allreduce(n, 4 * n));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildRingSchedule)->Range(64, 1024)->Complexity();
+
+void BM_BuildWrhtSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const core::WrhtPlan plan = core::plan_wrht(n, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::wrht_allreduce(n, 64, core::WrhtOptions{plan.group_size, 64}));
+  }
+}
+BENCHMARK(BM_BuildWrhtSchedule)->Range(64, 4096);
+
+void BM_PlanWrht(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plan_wrht(n, 64));
+  }
+}
+BENCHMARK(BM_PlanWrht)->Range(64, 4096);
+
+void BM_RwaGroupStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const topo::Ring ring(n);
+  const auto sched = core::wrht_allreduce(
+      n, 4, core::WrhtOptions{core::plan_wrht(n, 64).group_size, 64});
+  const auto& transfers = sched.steps()[0].transfers;
+  optics::RwaOptions opt;
+  opt.wavelengths = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optics::assign_wavelengths(ring, transfers, opt));
+  }
+}
+BENCHMARK(BM_RwaGroupStep)->Range(256, 4096);
+
+void BM_OpticalExecuteRing(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  optics::OpticalConfig cfg;
+  const optics::RingNetwork net(n, cfg);
+  const auto sched = coll::ring_allreduce(n, 4 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.execute(sched));
+  }
+}
+BENCHMARK(BM_OpticalExecuteRing)->Range(64, 1024);
+
+void BM_ExecutorVerify(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto sched = coll::recursive_doubling_allreduce(n, 256);
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(coll::Executor::verify_allreduce(sched, rng));
+  }
+}
+BENCHMARK(BM_ExecutorVerify)->Range(8, 64);
+
+void BM_MaxMinFairShare(benchmark::State& state) {
+  const auto flows_count = static_cast<std::size_t>(state.range(0));
+  elec::FlowLevelSimulator sim(std::vector<double>(64, 40e9));
+  std::vector<elec::FlowSpec> flows;
+  for (std::size_t i = 0; i < flows_count; ++i) {
+    flows.push_back(elec::FlowSpec{
+        1e6, {static_cast<elec::LinkId>(i % 64),
+              static_cast<elec::LinkId>((i * 7) % 64)}, 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.max_min_rates(flows));
+  }
+}
+BENCHMARK(BM_MaxMinFairShare)->Range(64, 1024);
+
+void BM_ElectricalExecuteRing(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const elec::FatTreeNetwork net(n, elec::ElectricalConfig{});
+  const auto sched = coll::ring_allreduce(n, 4 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.execute(sched));
+  }
+}
+BENCHMARK(BM_ElectricalExecuteRing)->Range(64, 512);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < events; ++i) {
+      simulator.schedule_in(Seconds(static_cast<double>((i * 31) % 1000)),
+                            [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Range(1024, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Reproduces Table 1: communication-step comparison of Ring, H-Ring, BT and
+// WRHT on a 1024-node optical ring with 64 wavelengths — both from the
+// closed-form expressions and from the actually generated schedules.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "wrht/collectives/btree_allreduce.hpp"
+#include "wrht/collectives/hring_allreduce.hpp"
+#include "wrht/collectives/recursive_doubling.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/analysis.hpp"
+
+int main() {
+  using namespace wrht;
+  constexpr std::uint32_t kNodes = 1024;
+  constexpr std::uint32_t kWavelengths = 64;
+  constexpr std::uint32_t kHringGroup = 5;
+  constexpr std::uint32_t kWrhtGroup = 129;
+  constexpr std::size_t kElements = 4096;  // payload-independent step counts
+
+  std::printf(
+      "=== Table 1: communication steps, N = %u, w = %u (paper values: "
+      "Ring 2046, H-Ring 417, BT 20, WRHT 3) ===\n\n",
+      kNodes, kWavelengths);
+
+  Table table({"Algorithm", "Closed form", "Generated schedule", "Paper"});
+
+  const auto ring = coll::ring_allreduce(kNodes, kElements);
+  table.add_row({"Ring", std::to_string(coll::ring_allreduce_steps(kNodes)),
+                 std::to_string(ring.num_steps()), "2046"});
+
+  const auto hring = coll::hring_allreduce(kNodes, kElements, kHringGroup);
+  table.add_row(
+      {"H-Ring (m=5)",
+       std::to_string(coll::hring_steps(kNodes, kHringGroup, kWavelengths)),
+       std::to_string(hring.num_steps()), "417"});
+
+  const auto bt = coll::btree_allreduce(kNodes, kElements);
+  table.add_row({"BT", std::to_string(coll::btree_allreduce_steps(kNodes)),
+                 std::to_string(bt.num_steps()), "20"});
+
+  const auto plan = core::wrht_plan(kNodes, kWrhtGroup, kWavelengths);
+  const auto wrht = core::wrht_allreduce(
+      kNodes, kElements, core::WrhtOptions{kWrhtGroup, kWavelengths});
+  table.add_row({"WRHT (m=129)", std::to_string(plan.total_steps),
+                 std::to_string(wrht.num_steps()), "3"});
+
+  // Context rows the paper discusses alongside Table 1.
+  table.add_row({"RD (electrical baseline)",
+                 std::to_string(coll::recursive_doubling_steps(kNodes)),
+                 std::to_string(
+                     coll::recursive_doubling_allreduce(kNodes, kElements)
+                         .num_steps()),
+                 "-"});
+  std::cout << table << "\n";
+
+  std::printf("Lemma 1 lower bound 2*ceil(log_(2w+1) N) = %llu steps\n",
+              static_cast<unsigned long long>(
+                  core::wrht_min_steps(kNodes, kWavelengths)));
+  std::printf("WRHT wavelengths required: %llu (floor(m/2) = %u)\n\n",
+              static_cast<unsigned long long>(plan.wavelengths_required),
+              kWrhtGroup / 2);
+
+  CsvWriter csv(bench::csv_path("table1_steps"),
+                {"algorithm", "closed_form", "generated", "paper"});
+  csv.add_row({"ring", std::to_string(coll::ring_allreduce_steps(kNodes)),
+               std::to_string(ring.num_steps()), "2046"});
+  csv.add_row({"hring",
+               std::to_string(coll::hring_steps(kNodes, kHringGroup,
+                                                kWavelengths)),
+               std::to_string(hring.num_steps()), "417"});
+  csv.add_row({"btree", std::to_string(coll::btree_allreduce_steps(kNodes)),
+               std::to_string(bt.num_steps()), "20"});
+  csv.add_row({"wrht", std::to_string(plan.total_steps),
+               std::to_string(wrht.num_steps()), "3"});
+  std::printf("CSV written to %s\n", bench::csv_path("table1_steps").c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Gradient bucketing with compute/communication overlap (DDP-style
+// extension): splits each model's gradients into buckets, prices every
+// bucket's WRHT All-reduce on the optical ring, and pipelines them against
+// the backward pass — showing how much of WRHT's already-small
+// communication time disappears behind compute.
+//
+//   $ ./bucketed_overlap [nodes] [bucket_MB]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "wrht/common/table.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/dnn/bucketing.hpp"
+#include "wrht/dnn/zoo.hpp"
+#include "wrht/optical/ring_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  const std::uint32_t nodes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  const std::uint64_t bucket_mb =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoi(argv[2])) : 25;
+  const std::uint64_t bucket_params = bucket_mb * 1'000'000 / 4;
+  constexpr std::uint32_t kWavelengths = 64;
+
+  std::printf(
+      "Bucketed WRHT All-reduce with backward overlap: %u workers, "
+      "%llu MB buckets\n\n", nodes,
+      static_cast<unsigned long long>(bucket_mb));
+
+  dnn::TrainingConfig cfg;
+  cfg.num_workers = nodes;
+
+  optics::OpticalConfig ocfg;
+  ocfg.wavelengths = kWavelengths;
+  const optics::RingNetwork net(nodes, ocfg);
+  const std::uint32_t m = core::plan_wrht(nodes, kWavelengths).group_size;
+
+  Table table({"Model", "buckets", "flat comm", "overlapped (exposed)",
+               "hidden", "iter (flat)", "iter (overlap)"});
+
+  for (const auto& model : dnn::paper_workloads()) {
+    const dnn::BucketPlan plan = dnn::bucketize(model, bucket_params);
+
+    std::vector<Seconds> bucket_times;
+    Seconds flat_total(0.0);
+    for (const std::uint64_t params : plan.bucket_params) {
+      const auto sched = core::wrht_allreduce(
+          nodes, params, core::WrhtOptions{m, kWavelengths});
+      const Seconds t = net.execute(sched).total_time;
+      bucket_times.push_back(t);
+      flat_total += t;
+    }
+
+    const auto overlap =
+        dnn::overlapped_iteration(model, cfg, plan, bucket_times);
+    const auto flat_iter = dnn::iteration_breakdown(
+        model, cfg,
+        net.execute(core::wrht_allreduce(nodes, model.parameter_count(),
+                                         core::WrhtOptions{m, kWavelengths}))
+            .total_time);
+
+    char hidden[16];
+    std::snprintf(hidden, sizeof hidden, "%.0f%%",
+                  overlap.overlap_efficiency() * 100.0);
+    table.add_row({model.name(), std::to_string(plan.buckets()),
+                   to_string(overlap.total_comm),
+                   to_string(overlap.exposed_comm), hidden,
+                   to_string(flat_iter.total()),
+                   to_string(overlap.iteration)});
+  }
+  std::cout << table;
+
+  std::printf(
+      "\nBucketing pays extra per-step reconfigurations (more All-reduces\n"
+      "of smaller payloads) but hides most of the remaining communication\n"
+      "behind the backward pass — WRHT's low step count keeps the bucket\n"
+      "pipeline efficient even at small bucket sizes.\n");
+  return 0;
+}

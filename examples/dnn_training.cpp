@@ -1,0 +1,76 @@
+// Distributed data-parallel DNN training scenario (the paper's motivating
+// workload): trains the four paper models on simulated clusters and breaks
+// one epoch into compute vs All-reduce communication, comparing WRHT on the
+// optical ring against Ring All-reduce on both interconnects.
+//
+//   $ ./dnn_training [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/common/table.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/dnn/training.hpp"
+#include "wrht/dnn/zoo.hpp"
+#include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/optical/ring_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  const std::uint32_t nodes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 256;
+  constexpr std::uint32_t kWavelengths = 64;
+
+  std::printf(
+      "Data-parallel training on %u workers (batch 32/worker, ImageNet "
+      "epoch)\n\n", nodes);
+
+  dnn::TrainingConfig cfg;
+  cfg.num_workers = nodes;
+  cfg.batch_per_worker = 32;
+
+  const optics::RingNetwork optical(nodes, [] {
+    optics::OpticalConfig c;
+    c.wavelengths = kWavelengths;
+    return c;
+  }());
+  const elec::FatTreeNetwork electrical(nodes, elec::ElectricalConfig{});
+  const core::WrhtPlan plan = core::plan_wrht(nodes, kWavelengths);
+
+  Table table({"Model", "Params", "Compute/iter", "WRHT comm", "comm frac",
+               "O-Ring comm", "E-Ring comm", "WRHT epoch"});
+
+  for (const auto& model : dnn::paper_workloads()) {
+    const std::size_t elements = model.parameter_count();
+
+    const Seconds t_wrht =
+        optical
+            .execute(core::wrht_allreduce(
+                nodes, elements,
+                core::WrhtOptions{plan.group_size, kWavelengths}))
+            .total_time;
+    const auto ring_sched = coll::ring_allreduce(nodes, elements);
+    const Seconds t_oring = optical.execute(ring_sched).total_time;
+    const Seconds t_ering = electrical.execute(ring_sched).total_time;
+
+    const auto iter = dnn::iteration_breakdown(model, cfg, t_wrht);
+    const Seconds epoch = dnn::epoch_time(model, cfg, t_wrht);
+
+    char params[32], frac[16];
+    std::snprintf(params, sizeof params, "%.1fM",
+                  model.parameter_count() / 1e6);
+    std::snprintf(frac, sizeof frac, "%.0f%%", iter.comm_fraction() * 100.0);
+    table.add_row({model.name(), params, to_string(iter.compute),
+                   to_string(t_wrht), frac, to_string(t_oring),
+                   to_string(t_ering), to_string(epoch)});
+  }
+  std::cout << table;
+
+  std::printf(
+      "\nThe communication fraction under plain Ring on the electrical\n"
+      "fat-tree is what motivates the paper (50-90%% of iteration time at\n"
+      "scale); WRHT on the optical ring brings it down to a few percent.\n");
+  return 0;
+}

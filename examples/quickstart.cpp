@@ -1,0 +1,89 @@
+// Quickstart: plan, build, verify and simulate one WRHT All-reduce.
+//
+//   $ ./quickstart [nodes] [wavelengths]
+//
+// Walks through the full public API: the planner picks the group size m,
+// the builder emits the schedule, the data-level executor proves it is an
+// All-reduce, and the optical ring simulator prices it against the Ring
+// and Binary-Tree baselines.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "wrht/collectives/btree_allreduce.hpp"
+#include "wrht/collectives/executor.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/common/table.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/optical/ring_network.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  const std::uint32_t nodes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+  const std::uint32_t wavelengths =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+  const std::size_t elements = 1'000'000;  // 4 MB of float32 gradients
+
+  std::printf("WRHT quickstart: %u nodes, %u wavelengths, %zu gradients\n\n",
+              nodes, wavelengths, elements);
+
+  // 1. Plan: choose the group size m that minimises communication steps.
+  const core::WrhtPlan plan = core::plan_wrht(nodes, wavelengths);
+  std::printf("planner: m = %u -> %u steps (%u reduce + %u broadcast%s)\n",
+              plan.group_size, plan.steps.total_steps, plan.steps.reduce_steps,
+              plan.steps.broadcast_steps,
+              plan.steps.final_all_to_all ? ", all-to-all ending" : "");
+  std::printf("         wavelengths required: %llu, Lemma-1 step bound: %llu\n",
+              static_cast<unsigned long long>(plan.steps.wavelengths_required),
+              static_cast<unsigned long long>(
+                  core::wrht_min_steps(nodes, wavelengths)));
+
+  // 2. Build the schedule and narrate it.
+  const coll::Schedule sched = core::wrht_allreduce(
+      nodes, elements, core::WrhtOptions{plan.group_size, wavelengths});
+  std::printf("\nschedule '%s': %zu steps\n", sched.algorithm().c_str(),
+              sched.num_steps());
+  for (std::size_t i = 0; i < sched.num_steps(); ++i) {
+    std::printf("  step %zu: %-22s %4zu transfers\n", i,
+                sched.steps()[i].label.c_str(),
+                sched.steps()[i].transfers.size());
+  }
+
+  // 3. Verify All-reduce semantics on real data.
+  Rng rng;
+  const coll::Schedule small = core::wrht_allreduce(
+      nodes, 256, core::WrhtOptions{plan.group_size, wavelengths});
+  const double err = coll::Executor::verify_allreduce(small, rng);
+  std::printf("\nexecutor: every node holds the exact global sum "
+              "(max error %.2e)\n", err);
+
+  // 4. Price it on the optical ring against the baselines.
+  optics::OpticalConfig cfg;
+  cfg.wavelengths = wavelengths;
+  const optics::RingNetwork net(nodes, cfg);
+
+  const auto wrht = net.execute(sched);
+  const auto ring = net.execute(coll::ring_allreduce(nodes, elements));
+  const auto bt = net.execute(coll::btree_allreduce(nodes, elements));
+
+  Table table({"Algorithm", "Steps", "Lambdas used", "Time"});
+  table.add_row({"WRHT", std::to_string(wrht.steps),
+                 std::to_string(wrht.max_wavelengths_used),
+                 to_string(wrht.total_time)});
+  table.add_row({"Ring", std::to_string(ring.steps),
+                 std::to_string(ring.max_wavelengths_used),
+                 to_string(ring.total_time)});
+  table.add_row({"Binary tree", std::to_string(bt.steps),
+                 std::to_string(bt.max_wavelengths_used),
+                 to_string(bt.total_time)});
+  std::printf("\n");
+  std::cout << table;
+
+  std::printf("\nWRHT is %.1fx faster than Ring and %.1fx faster than BT "
+              "here.\n",
+              ring.total_time / wrht.total_time,
+              bt.total_time / wrht.total_time);
+  return 0;
+}

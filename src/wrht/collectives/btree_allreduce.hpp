@@ -1,0 +1,26 @@
+// Binary-tree All-reduce (the "BT" baseline of the paper, Fig. 2a):
+// ceil(log2 N) reduce steps folding the full vector towards node 0, then
+// ceil(log2 N) broadcast steps replaying the pattern in reverse. Every step
+// moves the full d-element payload and uses one wavelength on the optical
+// ring (the sender-receiver arcs of different subtrees are disjoint).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+/// Builds the binary-tree All-reduce schedule. Works for any N >= 2
+/// (incomplete subtrees simply skip the missing partner).
+[[nodiscard]] Schedule btree_allreduce(std::uint32_t num_nodes,
+                                       std::size_t elements);
+
+/// Closed-form step count: 2 * ceil(log2 N).
+[[nodiscard]] std::uint64_t btree_allreduce_steps(std::uint32_t num_nodes);
+
+/// ceil(log2 n) for n >= 1.
+[[nodiscard]] std::uint32_t ceil_log2(std::uint64_t n);
+
+}  // namespace wrht::coll

@@ -1,0 +1,171 @@
+#include "wrht/collectives/executor.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::coll {
+
+void Executor::run(const Schedule& schedule,
+                   std::vector<std::vector<double>>& buffers) {
+  schedule.validate();
+  require(buffers.size() == schedule.num_nodes(),
+          "Executor: buffer count != node count");
+  for (const auto& b : buffers) {
+    require(b.size() == schedule.elements(),
+            "Executor: buffer length != schedule elements");
+  }
+
+  for (const auto& step : schedule.steps()) {
+    // Snapshot each sender's buffer once per step so concurrent transfers
+    // all observe beginning-of-step state.
+    std::unordered_map<NodeId, std::vector<double>> snapshots;
+    for (const auto& t : step.transfers) {
+      snapshots.try_emplace(t.src, buffers[t.src]);
+    }
+    for (const auto& t : step.transfers) {
+      const auto& src = snapshots.at(t.src);
+      auto& dst = buffers[t.dst];
+      if (t.kind == TransferKind::kReduce) {
+        for (std::size_t e = t.offset; e < t.offset + t.count; ++e) {
+          dst[e] += src[e];
+        }
+      } else {
+        for (std::size_t e = t.offset; e < t.offset + t.count; ++e) {
+          dst[e] = src[e];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Fills deterministic inputs and the element-wise global sum.
+std::vector<std::vector<double>> make_inputs(const Schedule& schedule,
+                                             Rng& rng,
+                                             std::vector<double>& sum) {
+  const std::uint32_t n = schedule.num_nodes();
+  const std::size_t elements = schedule.elements();
+  std::vector<std::vector<double>> buffers(n);
+  sum.assign(elements, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    buffers[i] = rng.uniform_vector(elements, -1.0, 1.0);
+    for (std::size_t e = 0; e < elements; ++e) sum[e] += buffers[i][e];
+  }
+  return buffers;
+}
+
+void check(double max_err, double tolerance, const Schedule& schedule,
+           const char* what) {
+  if (max_err > tolerance) {
+    throw Error(std::string("Executor: schedule '") + schedule.algorithm() +
+                "' is not a " + what + " (max error " +
+                std::to_string(max_err) + ")");
+  }
+}
+
+}  // namespace
+
+double Executor::verify_reduce(const Schedule& schedule, NodeId root,
+                               Rng& rng, double tolerance) {
+  require(root < schedule.num_nodes(), "verify_reduce: root out of range");
+  std::vector<double> expected;
+  auto buffers = make_inputs(schedule, rng, expected);
+  run(schedule, buffers);
+  double max_err = 0.0;
+  for (std::size_t e = 0; e < expected.size(); ++e) {
+    max_err = std::max(max_err, std::abs(buffers[root][e] - expected[e]));
+  }
+  check(max_err, tolerance, schedule, "Reduce");
+  return max_err;
+}
+
+double Executor::verify_broadcast(const Schedule& schedule, NodeId root,
+                                  Rng& rng, double tolerance) {
+  require(root < schedule.num_nodes(), "verify_broadcast: root out of range");
+  std::vector<double> unused;
+  auto buffers = make_inputs(schedule, rng, unused);
+  const std::vector<double> expected = buffers[root];
+  run(schedule, buffers);
+  double max_err = 0.0;
+  for (const auto& buf : buffers) {
+    for (std::size_t e = 0; e < expected.size(); ++e) {
+      max_err = std::max(max_err, std::abs(buf[e] - expected[e]));
+    }
+  }
+  check(max_err, tolerance, schedule, "Broadcast");
+  return max_err;
+}
+
+double Executor::verify_reduce_scatter(const Schedule& schedule,
+                                       std::size_t chunks, Rng& rng,
+                                       double tolerance) {
+  std::vector<double> expected;
+  auto buffers = make_inputs(schedule, rng, expected);
+  run(schedule, buffers);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < chunks && i < schedule.num_nodes(); ++i) {
+    const ChunkRange r = chunk_range(schedule.elements(), chunks, i);
+    for (std::size_t e = r.offset; e < r.offset + r.count; ++e) {
+      max_err = std::max(max_err, std::abs(buffers[i][e] - expected[e]));
+    }
+  }
+  check(max_err, tolerance, schedule, "Reduce-scatter");
+  return max_err;
+}
+
+double Executor::verify_allgather(const Schedule& schedule,
+                                  std::size_t chunks, Rng& rng,
+                                  double tolerance) {
+  std::vector<double> unused;
+  auto buffers = make_inputs(schedule, rng, unused);
+  // The reference vector is stitched from each owner's chunk.
+  std::vector<double> expected(schedule.elements(), 0.0);
+  for (std::size_t i = 0; i < chunks && i < schedule.num_nodes(); ++i) {
+    const ChunkRange r = chunk_range(schedule.elements(), chunks, i);
+    for (std::size_t e = r.offset; e < r.offset + r.count; ++e) {
+      expected[e] = buffers[i][e];
+    }
+  }
+  run(schedule, buffers);
+  double max_err = 0.0;
+  for (const auto& buf : buffers) {
+    for (std::size_t e = 0; e < expected.size(); ++e) {
+      max_err = std::max(max_err, std::abs(buf[e] - expected[e]));
+    }
+  }
+  check(max_err, tolerance, schedule, "All-gather");
+  return max_err;
+}
+
+double Executor::verify_allreduce(const Schedule& schedule, Rng& rng,
+                                  double tolerance) {
+  const std::uint32_t n = schedule.num_nodes();
+  const std::size_t elements = schedule.elements();
+
+  std::vector<std::vector<double>> buffers(n);
+  std::vector<double> expected(elements, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    buffers[i] = rng.uniform_vector(elements, -1.0, 1.0);
+    for (std::size_t e = 0; e < elements; ++e) expected[e] += buffers[i][e];
+  }
+
+  run(schedule, buffers);
+
+  double max_err = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::size_t e = 0; e < elements; ++e) {
+      max_err = std::max(max_err, std::abs(buffers[i][e] - expected[e]));
+    }
+  }
+  if (max_err > tolerance) {
+    throw Error("Executor: schedule '" + schedule.algorithm() +
+                "' is not an All-reduce (max error " +
+                std::to_string(max_err) + ")");
+  }
+  return max_err;
+}
+
+}  // namespace wrht::coll

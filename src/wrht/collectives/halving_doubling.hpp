@@ -1,0 +1,25 @@
+// Recursive halving-doubling All-reduce (Rabenseifner's algorithm): a
+// recursive-halving reduce-scatter followed by a recursive-doubling
+// all-gather. Bandwidth-optimal total traffic (~2d per node) in 2*log2(N)
+// steps — the payload-efficient alternative to full-vector recursive
+// doubling; included as an extension beyond the paper's baseline set.
+//
+// Non-power-of-two N uses the standard pre-fold: the first 2r nodes
+// (r = N - 2^floor(log2 N)) combine pairwise before the power-of-two core
+// runs, and receive the result afterwards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+[[nodiscard]] Schedule halving_doubling_allreduce(std::uint32_t num_nodes,
+                                                  std::size_t elements);
+
+/// 2*log2(N) for powers of two, else 2*floor(log2 N) + 2.
+[[nodiscard]] std::uint64_t halving_doubling_steps(std::uint32_t num_nodes);
+
+}  // namespace wrht::coll

@@ -1,0 +1,37 @@
+// Hierarchical Ring All-reduce ("H-Ring", Ueno & Yokota style), the third
+// optical baseline of the paper. Nodes are split into contiguous groups of
+// (up to) m along the ring:
+//   stage A: ring all-reduce inside every group in parallel,
+//   stage B: ring all-reduce across the group leaders,
+//   stage C: one optical broadcast step, leaders -> group members.
+// Step count realised by this builder: 2(m-1) + 2(ceil(N/m)-1) + 1, which
+// equals the paper's Table 1 formula 2(m^2+N)/m - 3 (the m <= w variant);
+// e.g. N=1024, m=5 gives 417 steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+/// Builds the H-Ring schedule. `group_size` is the paper's m (>= 2).
+/// Groups are contiguous runs along the ring; the last group may be smaller.
+[[nodiscard]] Schedule hring_allreduce(std::uint32_t num_nodes,
+                                       std::size_t elements,
+                                       std::uint32_t group_size);
+
+/// Paper's closed-form step count (Table 1), both wavelength branches:
+///   m <= w: ceil(2(m^2+N)/m) - 3
+///   m >  w: ceil(2(2m^2+N)/m) - 6
+[[nodiscard]] std::uint64_t hring_steps(std::uint32_t num_nodes,
+                                        std::uint32_t group_size,
+                                        std::uint32_t wavelengths);
+
+/// Step count of the schedule this builder actually emits:
+/// 2(min(m,N)-1) + 2(ceil(N/m)-1) + (ceil(N/m) > 1 ? 1 : 0).
+[[nodiscard]] std::uint64_t hring_builder_steps(std::uint32_t num_nodes,
+                                                std::uint32_t group_size);
+
+}  // namespace wrht::coll

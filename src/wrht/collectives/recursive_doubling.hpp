@@ -1,0 +1,24 @@
+// Recursive-doubling All-reduce (the "RD" electrical baseline): in step s,
+// node i exchanges its full partial vector with node i XOR 2^s and both
+// reduce; after ceil(log2 N) steps every node holds the global sum.
+//
+// Non-power-of-two N is handled with the standard fold: the first 2r nodes
+// (r = N - 2^floor(log2 N)) pre-combine pairwise so a power-of-two core
+// runs the doubling, then the folded-away nodes receive the result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+[[nodiscard]] Schedule recursive_doubling_allreduce(std::uint32_t num_nodes,
+                                                    std::size_t elements);
+
+/// Closed-form step count: log2(N) for powers of two, else
+/// floor(log2 N) + 2 (pre-fold + doubling + post-copy).
+[[nodiscard]] std::uint64_t recursive_doubling_steps(std::uint32_t num_nodes);
+
+}  // namespace wrht::coll

@@ -1,0 +1,59 @@
+#include "wrht/collectives/registry.hpp"
+
+#include "wrht/collectives/btree_allreduce.hpp"
+#include "wrht/collectives/halving_doubling.hpp"
+#include "wrht/collectives/hring_allreduce.hpp"
+#include "wrht/collectives/recursive_doubling.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/common/error.hpp"
+
+namespace wrht::coll {
+
+Registry::Registry() {
+  builders_["ring"] = [](const AllreduceParams& p) {
+    return ring_allreduce(p.num_nodes, p.elements);
+  };
+  builders_["hring"] = [](const AllreduceParams& p) {
+    require(p.group_size >= 2, "hring builder: group_size required");
+    return hring_allreduce(p.num_nodes, p.elements, p.group_size);
+  };
+  builders_["btree"] = [](const AllreduceParams& p) {
+    return btree_allreduce(p.num_nodes, p.elements);
+  };
+  builders_["recursive_doubling"] = [](const AllreduceParams& p) {
+    return recursive_doubling_allreduce(p.num_nodes, p.elements);
+  };
+  builders_["halving_doubling"] = [](const AllreduceParams& p) {
+    return halving_doubling_allreduce(p.num_nodes, p.elements);
+  };
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::register_algorithm(const std::string& name, BuilderFn builder) {
+  require(static_cast<bool>(builder), "Registry: null builder");
+  builders_[name] = std::move(builder);
+}
+
+bool Registry::contains(const std::string& name) const {
+  return builders_.count(name) != 0;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [name, fn] : builders_) out.push_back(name);
+  return out;
+}
+
+Schedule Registry::build(const std::string& name,
+                         const AllreduceParams& params) const {
+  const auto it = builders_.find(name);
+  require(it != builders_.end(), "Registry: unknown algorithm '" + name + "'");
+  return it->second(params);
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,54 @@
+// Runtime registry of All-reduce schedule builders.
+//
+// The four baselines register themselves on first use; the WRHT core module
+// adds itself via wrht::core::register_wrht_algorithm() (it lives in a
+// higher-level library and cannot be a build-time dependency here). Benches
+// and examples look algorithms up by name so sweeps are table-driven.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+/// Parameter bundle understood by every builder; builders ignore the fields
+/// they do not need.
+struct AllreduceParams {
+  std::uint32_t num_nodes = 0;
+  std::size_t elements = 0;
+  /// Group size m (H-Ring, WRHT).
+  std::uint32_t group_size = 0;
+  /// Available wavelengths w (WRHT planning).
+  std::uint32_t wavelengths = 64;
+};
+
+using BuilderFn = std::function<Schedule(const AllreduceParams&)>;
+
+class Registry {
+ public:
+  /// Global registry with the built-in baselines pre-registered:
+  /// "ring", "hring", "btree", "recursive_doubling", "halving_doubling".
+  static Registry& instance();
+
+  /// Registers or replaces a builder under `name`.
+  void register_algorithm(const std::string& name, BuilderFn builder);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the schedule; throws InvalidArgument for unknown names.
+  [[nodiscard]] Schedule build(const std::string& name,
+                               const AllreduceParams& params) const;
+
+ private:
+  Registry();
+  std::map<std::string, BuilderFn> builders_;
+};
+
+}  // namespace wrht::coll

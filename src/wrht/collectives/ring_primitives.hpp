@@ -1,0 +1,24 @@
+// Standalone ring collective primitives: reduce-scatter and all-gather,
+// the two halves of Ring All-reduce exposed as independent schedules (the
+// NCCL-style primitive set). Useful for composing custom collectives and
+// for the gradient-bucketing training pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+/// N-1 steps; afterwards node i fully owns the global sum of chunk i
+/// (chunks = num_nodes, balanced via chunk_range).
+[[nodiscard]] Schedule ring_reduce_scatter(std::uint32_t num_nodes,
+                                           std::size_t elements);
+
+/// N-1 steps; assumes node i initially owns (only) chunk i and finishes
+/// with every node holding all chunks.
+[[nodiscard]] Schedule ring_allgather(std::uint32_t num_nodes,
+                                      std::size_t elements);
+
+}  // namespace wrht::coll

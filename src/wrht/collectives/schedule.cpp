@@ -1,0 +1,65 @@
+#include "wrht/collectives/schedule.hpp"
+
+#include <algorithm>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::coll {
+
+Schedule::Schedule(std::string algorithm, std::uint32_t num_nodes,
+                   std::size_t elements)
+    : algorithm_(std::move(algorithm)),
+      num_nodes_(num_nodes),
+      elements_(elements) {
+  require(num_nodes >= 1, "Schedule: need at least one node");
+  require(elements >= 1, "Schedule: need at least one element");
+}
+
+Step& Schedule::add_step(std::string label) {
+  steps_.push_back(Step{{}, std::move(label)});
+  return steps_.back();
+}
+
+std::uint64_t Schedule::total_traffic_elements() const {
+  std::uint64_t total = 0;
+  for (const auto& step : steps_) {
+    for (const auto& t : step.transfers) total += t.count;
+  }
+  return total;
+}
+
+std::size_t Schedule::max_transfer_elements(std::size_t step) const {
+  require(step < steps_.size(), "Schedule: step index out of range");
+  std::size_t max_count = 0;
+  for (const auto& t : steps_[step].transfers) {
+    max_count = std::max(max_count, t.count);
+  }
+  return max_count;
+}
+
+void Schedule::validate() const {
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    for (const auto& t : steps_[s].transfers) {
+      require(t.src < num_nodes_ && t.dst < num_nodes_,
+              "Schedule: node id out of range in step " + std::to_string(s));
+      require(t.src != t.dst,
+              "Schedule: self-transfer in step " + std::to_string(s));
+      require(t.count >= 1 && t.offset + t.count <= elements_,
+              "Schedule: element range out of bounds in step " +
+                  std::to_string(s));
+    }
+  }
+}
+
+ChunkRange chunk_range(std::size_t elements, std::size_t chunks,
+                       std::size_t index) {
+  require(chunks >= 1 && index < chunks, "chunk_range: bad chunk index");
+  const std::size_t base = elements / chunks;
+  const std::size_t extra = elements % chunks;
+  const std::size_t count = base + (index < extra ? 1 : 0);
+  const std::size_t offset =
+      index * base + std::min<std::size_t>(index, extra);
+  return ChunkRange{offset, count};
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,95 @@
+// Communication-schedule intermediate representation.
+//
+// Every All-reduce algorithm in this library (Ring, H-Ring, Binary Tree,
+// Recursive Doubling, WRHT) is expressed as a Schedule: an ordered list of
+// Steps, each containing the Transfers that happen concurrently in that
+// step. The same IR is executed by three engines:
+//   * coll::Executor      - moves real data, verifies All-reduce semantics,
+//   * optics::RingNetwork - assigns wavelengths and computes optical time,
+//   * elec::FatTreeNetwork- routes flows and computes electrical time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+#include "wrht/topo/ring.hpp"
+
+namespace wrht::coll {
+
+using NodeId = topo::NodeId;
+
+/// What the receiver does with the payload.
+enum class TransferKind {
+  kReduce,  ///< receiver accumulates (element-wise sum) into its buffer
+  kCopy,    ///< receiver overwrites its buffer range
+};
+
+/// One point-to-point message within a step. `offset`/`count` select the
+/// element range [offset, offset+count) of the logical All-reduce vector.
+struct Transfer {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::size_t offset = 0;
+  std::size_t count = 0;
+  TransferKind kind = TransferKind::kReduce;
+  /// Optical routing hint. WRHT pins each transfer to the ring direction
+  /// that stays inside its group's arc so neighbouring groups can reuse
+  /// wavelengths; when absent the RWA engine picks the shortest direction.
+  std::optional<topo::Direction> direction;
+};
+
+/// Transfers that are in flight concurrently. Senders are read with
+/// beginning-of-step (snapshot) semantics.
+struct Step {
+  std::vector<Transfer> transfers;
+  std::string label;
+};
+
+class Schedule {
+ public:
+  Schedule(std::string algorithm, std::uint32_t num_nodes,
+           std::size_t elements);
+
+  [[nodiscard]] const std::string& algorithm() const { return algorithm_; }
+  [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t elements() const { return elements_; }
+
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+  [[nodiscard]] std::size_t num_steps() const { return steps_.size(); }
+
+  Step& add_step(std::string label = {});
+
+  /// Sum of element counts over all transfers (total traffic in elements).
+  [[nodiscard]] std::uint64_t total_traffic_elements() const;
+
+  /// Largest single-transfer element count of a step (the optical per-step
+  /// serialization is governed by the largest concurrent transfer).
+  [[nodiscard]] std::size_t max_transfer_elements(std::size_t step) const;
+
+  /// Structural validation: node ids in range, element ranges within the
+  /// vector, no node both sending and receiving conflicting ranges is NOT
+  /// checked here (snapshot semantics make it legal); throws on violation.
+  void validate() const;
+
+ private:
+  std::string algorithm_;
+  std::uint32_t num_nodes_;
+  std::size_t elements_;
+  std::vector<Step> steps_;
+};
+
+/// Element range [offset, count) of chunk `index` out of `chunks` for a
+/// vector of `elements`; remainders spread over the leading chunks, so every
+/// chunk differs from any other by at most one element.
+struct ChunkRange {
+  std::size_t offset;
+  std::size_t count;
+};
+[[nodiscard]] ChunkRange chunk_range(std::size_t elements, std::size_t chunks,
+                                     std::size_t index);
+
+}  // namespace wrht::coll

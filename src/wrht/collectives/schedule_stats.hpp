@@ -1,0 +1,36 @@
+// Schedule analytics: traffic totals, per-node load balance and step
+// concurrency, for comparing algorithms beyond wall-clock time (the
+// schedule_inspector example prints these side by side).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wrht/collectives/schedule.hpp"
+
+namespace wrht::coll {
+
+struct ScheduleStats {
+  std::size_t steps = 0;
+  std::size_t transfers = 0;
+  std::uint64_t total_traffic_elements = 0;
+
+  std::vector<std::uint64_t> per_node_tx;  ///< elements sent per node
+  std::vector<std::uint64_t> per_node_rx;  ///< elements received per node
+  std::uint64_t max_node_tx = 0;
+  std::uint64_t max_node_rx = 0;
+
+  /// Largest number of concurrent transfers in one step.
+  std::size_t max_step_transfers = 0;
+  /// Largest element payload moved by a single transfer.
+  std::size_t max_transfer_elements = 0;
+
+  /// max_node_tx / mean_node_tx: 1.0 means perfectly balanced senders.
+  [[nodiscard]] double tx_imbalance() const;
+  /// max_node_rx / mean_node_rx.
+  [[nodiscard]] double rx_imbalance() const;
+};
+
+[[nodiscard]] ScheduleStats analyze(const Schedule& schedule);
+
+}  // namespace wrht::coll

@@ -1,0 +1,25 @@
+// CSV writer for benchmark series so figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wrht {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header line.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Escapes quotes/commas per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace wrht

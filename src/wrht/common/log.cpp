@@ -1,0 +1,31 @@
+#include "wrht/common/log.hpp"
+
+#include <iostream>
+
+namespace wrht {
+
+namespace log_detail {
+
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, const std::string& message) {
+  static const char* const kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const auto idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::clog << "[wrht:" << kNames[idx] << "] " << message << '\n';
+}
+
+}  // namespace log_detail
+
+LogLevel set_log_level(LogLevel level) {
+  const LogLevel prev = log_detail::threshold();
+  log_detail::threshold() = level;
+  return prev;
+}
+
+LogLevel log_level() { return log_detail::threshold(); }
+
+}  // namespace wrht

@@ -1,0 +1,49 @@
+// Tiny leveled logger. Simulations are silent by default; examples turn on
+// Info to narrate schedules, and tests can capture Debug traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wrht {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+LogLevel& threshold();
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_detail
+
+/// Sets the global log threshold; returns the previous value.
+LogLevel set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Stream-style log statement: LogLine(LogLevel::kInfo) << "step " << i;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_detail::threshold()) {
+      log_detail::emit(level_, stream_.str());
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_detail::threshold()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define WRHT_LOG_DEBUG ::wrht::LogLine(::wrht::LogLevel::kDebug)
+#define WRHT_LOG_INFO ::wrht::LogLine(::wrht::LogLevel::kInfo)
+#define WRHT_LOG_WARN ::wrht::LogLine(::wrht::LogLevel::kWarn)
+#define WRHT_LOG_ERROR ::wrht::LogLine(::wrht::LogLevel::kError)
+
+}  // namespace wrht

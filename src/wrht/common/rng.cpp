@@ -1,0 +1,38 @@
+#include "wrht/common/rng.hpp"
+
+#include <numeric>
+
+namespace wrht {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = uniform_int(0, i - 1);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = uniform_real(lo, hi);
+  return v;
+}
+
+}  // namespace wrht

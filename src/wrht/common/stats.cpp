@@ -1,0 +1,74 @@
+#include "wrht/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  require(n_ > 0, "RunningStats: empty");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  require(n_ > 1, "RunningStats: variance needs n >= 2");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  require(n_ > 0, "RunningStats: empty");
+  return min_;
+}
+
+double RunningStats::max() const {
+  require(n_ > 0, "RunningStats: empty");
+  return max_;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  require(!values.empty(), "geometric_mean: empty input");
+  double log_sum = 0.0;
+  for (const double v : values) {
+    require(v > 0.0, "geometric_mean: values must be positive");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double arithmetic_mean(const std::vector<double>& values) {
+  require(!values.empty(), "arithmetic_mean: empty input");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double mean_reduction_percent(const std::vector<double>& ours,
+                              const std::vector<double>& baseline) {
+  require(ours.size() == baseline.size() && !ours.empty(),
+          "mean_reduction_percent: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    require(baseline[i] > 0.0, "mean_reduction_percent: baseline must be > 0");
+    sum += (1.0 - ours[i] / baseline[i]) * 100.0;
+  }
+  return sum / static_cast<double>(ours.size());
+}
+
+}  // namespace wrht

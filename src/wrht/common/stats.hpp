@@ -1,0 +1,42 @@
+// Streaming descriptive statistics (Welford) for benchmark aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wrht {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values (used for the paper's
+/// "average reduction" aggregates, which compare ratio series).
+[[nodiscard]] double geometric_mean(const std::vector<double>& values);
+
+/// Arithmetic mean of a (non-empty) vector.
+[[nodiscard]] double arithmetic_mean(const std::vector<double>& values);
+
+/// Average percentage reduction of `ours` vs `baseline`, element-wise:
+/// mean over i of (1 - ours[i]/baseline[i]) * 100. Matches the paper's
+/// "reduces communication time by X% on average" aggregation.
+[[nodiscard]] double mean_reduction_percent(const std::vector<double>& ours,
+                                            const std::vector<double>& baseline);
+
+}  // namespace wrht

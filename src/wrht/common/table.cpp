@@ -1,0 +1,59 @@
+#include "wrht/common/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table: row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return buf.data();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << "|";
+  for (const auto w : widths) os << std::string(w + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace wrht

@@ -1,0 +1,46 @@
+#include "wrht/common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace wrht {
+
+PowerDbm power_sum(PowerDbm a, PowerDbm b) {
+  return PowerDbm::from_milliwatts(a.milliwatts() + b.milliwatts());
+}
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3g %s", value, unit);
+  return buf.data();
+}
+
+}  // namespace
+
+std::string to_string(Bytes b) {
+  const double v = static_cast<double>(b.count());
+  if (v >= 1e9) return format_scaled(v / (1 << 30), "GiB");
+  if (v >= 1e6) return format_scaled(v / (1 << 20), "MiB");
+  if (v >= 1e3) return format_scaled(v / (1 << 10), "KiB");
+  return format_scaled(v, "B");
+}
+
+std::string to_string(Seconds s) {
+  const double v = s.count();
+  if (v >= 1.0) return format_scaled(v, "s");
+  if (v >= 1e-3) return format_scaled(v * 1e3, "ms");
+  if (v >= 1e-6) return format_scaled(v * 1e6, "us");
+  if (v >= 1e-9) return format_scaled(v * 1e9, "ns");
+  return format_scaled(v * 1e15, "fs");
+}
+
+std::string to_string(BitsPerSecond r) {
+  const double v = r.count();
+  if (v >= 1e9) return format_scaled(v / 1e9, "Gbit/s");
+  if (v >= 1e6) return format_scaled(v / 1e6, "Mbit/s");
+  return format_scaled(v, "bit/s");
+}
+
+}  // namespace wrht

@@ -1,0 +1,225 @@
+// Strong unit types used across the WRHT library.
+//
+// The simulation mixes bytes, bits, seconds, bandwidths and optical powers in
+// dB / dBm / mW. Mixing those up silently is the classic source of wrong
+// simulator output, so each quantity gets its own vocabulary type with only
+// the physically meaningful operations defined.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace wrht {
+
+/// Data size in bytes (exact integer arithmetic).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return value_; }
+  [[nodiscard]] constexpr double bits() const {
+    return static_cast<double>(value_) * 8.0;
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.value_ + b.value_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.value_ - b.value_);
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes(a.value_ * k);
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return a * k; }
+  /// Integer division rounding up; used to split payloads into chunks.
+  [[nodiscard]] constexpr Bytes ceil_div(std::uint64_t k) const {
+    return Bytes((value_ + k - 1) / k);
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes(v); }
+constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes(v << 10); }
+constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes(v << 20); }
+constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes(v << 30); }
+
+/// Simulated time in seconds (double; simulations span fs..minutes).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double count() const { return value_; }
+  [[nodiscard]] constexpr double micros() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double millis() const { return value_ * 1e3; }
+
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+  constexpr Seconds& operator+=(Seconds rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds(a.value_ + b.value_);
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds(a.value_ - b.value_);
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds(a.value_ * k);
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) { return a * k; }
+  friend constexpr double operator/(Seconds a, Seconds b) {
+    return a.value_ / b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Seconds operator""_s(long double v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_ms(long double v) {
+  return Seconds(static_cast<double>(v) * 1e-3);
+}
+constexpr Seconds operator""_us(long double v) {
+  return Seconds(static_cast<double>(v) * 1e-6);
+}
+constexpr Seconds operator""_ns(long double v) {
+  return Seconds(static_cast<double>(v) * 1e-9);
+}
+constexpr Seconds operator""_fs(long double v) {
+  return Seconds(static_cast<double>(v) * 1e-15);
+}
+
+/// Link / wavelength bandwidth in bits per second.
+class BitsPerSecond {
+ public:
+  constexpr BitsPerSecond() = default;
+  constexpr explicit BitsPerSecond(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double count() const { return value_; }
+  [[nodiscard]] constexpr double gbps() const { return value_ / 1e9; }
+
+  constexpr auto operator<=>(const BitsPerSecond&) const = default;
+
+  friend constexpr BitsPerSecond operator*(BitsPerSecond a, double k) {
+    return BitsPerSecond(a.value_ * k);
+  }
+  friend constexpr BitsPerSecond operator*(double k, BitsPerSecond a) {
+    return a * k;
+  }
+  friend constexpr BitsPerSecond operator+(BitsPerSecond a, BitsPerSecond b) {
+    return BitsPerSecond(a.value_ + b.value_);
+  }
+
+ private:
+  double value_ = 0.0;  // bits / second
+};
+
+constexpr BitsPerSecond operator""_Gbps(long double v) {
+  return BitsPerSecond(static_cast<double>(v) * 1e9);
+}
+constexpr BitsPerSecond operator""_Mbps(long double v) {
+  return BitsPerSecond(static_cast<double>(v) * 1e6);
+}
+
+/// Serialization delay of a payload on a link: bits / rate.
+[[nodiscard]] constexpr Seconds transfer_time(Bytes payload,
+                                              BitsPerSecond rate) {
+  return Seconds(payload.bits() / rate.count());
+}
+
+/// Relative optical power gain/loss in decibels.
+class Decibels {
+ public:
+  constexpr Decibels() = default;
+  constexpr explicit Decibels(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double count() const { return value_; }
+  /// Linear power ratio 10^(dB/10).
+  [[nodiscard]] double linear() const { return std::pow(10.0, value_ / 10.0); }
+
+  constexpr auto operator<=>(const Decibels&) const = default;
+
+  constexpr Decibels operator-() const { return Decibels(-value_); }
+
+  friend constexpr Decibels operator+(Decibels a, Decibels b) {
+    return Decibels(a.value_ + b.value_);
+  }
+  friend constexpr Decibels operator-(Decibels a, Decibels b) {
+    return Decibels(a.value_ - b.value_);
+  }
+  friend constexpr Decibels operator*(Decibels a, double k) {
+    return Decibels(a.value_ * k);
+  }
+  friend constexpr Decibels operator*(double k, Decibels a) { return a * k; }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Decibels operator""_dB(long double v) {
+  return Decibels(static_cast<double>(v));
+}
+
+/// Absolute optical power in dBm (dB relative to 1 mW).
+class PowerDbm {
+ public:
+  constexpr PowerDbm() = default;
+  constexpr explicit PowerDbm(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double count() const { return value_; }
+  [[nodiscard]] double milliwatts() const {
+    return std::pow(10.0, value_ / 10.0);
+  }
+  static PowerDbm from_milliwatts(double mw) {
+    return PowerDbm(10.0 * std::log10(mw));
+  }
+
+  constexpr auto operator<=>(const PowerDbm&) const = default;
+
+  /// Negates the dBm value (e.g. -30.0_dBm for a -30 dBm noise floor).
+  constexpr PowerDbm operator-() const { return PowerDbm(-value_); }
+
+  /// Attenuating an absolute power by a loss yields an absolute power.
+  friend constexpr PowerDbm operator-(PowerDbm p, Decibels loss) {
+    return PowerDbm(p.count() - loss.count());
+  }
+  friend constexpr PowerDbm operator+(PowerDbm p, Decibels gain) {
+    return PowerDbm(p.count() + gain.count());
+  }
+  /// Difference of two absolute powers is a ratio in dB.
+  friend constexpr Decibels operator-(PowerDbm a, PowerDbm b) {
+    return Decibels(a.count() - b.count());
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr PowerDbm operator""_dBm(long double v) {
+  return PowerDbm(static_cast<double>(v));
+}
+
+/// Sum absolute powers in the linear (mW) domain.
+[[nodiscard]] PowerDbm power_sum(PowerDbm a, PowerDbm b);
+
+/// Human-readable formatting helpers (used by benches / examples).
+[[nodiscard]] std::string to_string(Bytes b);
+[[nodiscard]] std::string to_string(Seconds s);
+[[nodiscard]] std::string to_string(BitsPerSecond r);
+
+}  // namespace wrht

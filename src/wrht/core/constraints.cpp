@@ -1,0 +1,41 @@
+#include "wrht/core/constraints.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::core {
+
+ConstraintReport evaluate_constraints(std::uint32_t num_nodes,
+                                      std::uint32_t group_size,
+                                      const OpticalConstraints& constraints) {
+  ConstraintReport report;
+  report.longest_path_hops =
+      optics::wrht_max_comm_length(num_nodes, group_size);
+  report.insertion_loss =
+      optics::insertion_loss(report.longest_path_hops, constraints.power);
+  report.power_ok =
+      optics::power_feasible(report.longest_path_hops, constraints.power);
+  report.snr_db =
+      optics::snr_db(report.longest_path_hops, constraints.crosstalk);
+  report.ber = optics::ber(report.longest_path_hops, constraints.crosstalk);
+  report.ber_ok = report.ber < constraints.target_ber;
+  return report;
+}
+
+bool group_size_feasible(std::uint32_t num_nodes, std::uint32_t group_size,
+                         const OpticalConstraints& constraints) {
+  const ConstraintReport r =
+      evaluate_constraints(num_nodes, group_size, constraints);
+  return r.power_ok && r.ber_ok;
+}
+
+std::uint32_t max_feasible_group_size(std::uint32_t num_nodes,
+                                      const OpticalConstraints& constraints) {
+  require(num_nodes >= 2, "max_feasible_group_size: need >= 2 nodes");
+  // Eq. 7 is non-monotone in m (the level count jumps), so scan downwards.
+  for (std::uint32_t m = num_nodes; m >= 2; --m) {
+    if (group_size_feasible(num_nodes, m, constraints)) return m;
+  }
+  return 0;
+}
+
+}  // namespace wrht::core

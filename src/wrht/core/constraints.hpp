@@ -1,0 +1,44 @@
+// Combined optical-communication constraints (paper §4.4): the usable WRHT
+// group size m is capped by both the insertion-loss power budget (Eqs. 7-9)
+// and the crosstalk BER requirement (Eqs. 11-13).
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/optical/crosstalk.hpp"
+#include "wrht/optical/power.hpp"
+
+namespace wrht::core {
+
+struct OpticalConstraints {
+  optics::PowerParams power{};
+  optics::CrosstalkParams crosstalk{};
+  double target_ber = 1e-9;
+};
+
+/// True when a WRHT run on `num_nodes` nodes with first-level group size
+/// `group_size` keeps its longest lightpath (Eq. 7) within both the power
+/// budget and the BER target.
+[[nodiscard]] bool group_size_feasible(std::uint32_t num_nodes,
+                                       std::uint32_t group_size,
+                                       const OpticalConstraints& constraints);
+
+/// Largest feasible group size m' (paper's Eq. 10 cap), or 0 when even
+/// m = 2 violates the constraints.
+[[nodiscard]] std::uint32_t max_feasible_group_size(
+    std::uint32_t num_nodes, const OpticalConstraints& constraints);
+
+/// Diagnostic bundle for one candidate group size.
+struct ConstraintReport {
+  std::uint64_t longest_path_hops = 0;
+  Decibels insertion_loss{0.0};
+  bool power_ok = false;
+  double snr_db = 0.0;
+  double ber = 1.0;
+  bool ber_ok = false;
+};
+[[nodiscard]] ConstraintReport evaluate_constraints(
+    std::uint32_t num_nodes, std::uint32_t group_size,
+    const OpticalConstraints& constraints);
+
+}  // namespace wrht::core

@@ -1,0 +1,60 @@
+#include "wrht/core/grouping.hpp"
+
+#include <numeric>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::core {
+
+std::uint64_t all_to_all_wavelengths(std::uint64_t k) {
+  return (k * k + 7) / 8;
+}
+
+std::uint64_t group_wavelengths(std::uint64_t m) { return m / 2; }
+
+Hierarchy build_hierarchy(const std::vector<NodeId>& nodes,
+                          std::uint32_t group_size, std::uint32_t wavelengths,
+                          bool allow_all_to_all) {
+  require(nodes.size() >= 2, "build_hierarchy: need at least 2 nodes");
+  require(group_size >= 2, "build_hierarchy: group size must be >= 2");
+  require(wavelengths >= 1, "build_hierarchy: need at least 1 wavelength");
+
+  Hierarchy hierarchy;
+  std::vector<NodeId> current = nodes;
+
+  while (current.size() > 1) {
+    // Stop grouping as soon as one all-to-all step can finish the reduce
+    // stage within the wavelength budget (paper §4.1.1).
+    if (allow_all_to_all &&
+        all_to_all_wavelengths(current.size()) <= wavelengths) {
+      hierarchy.final_all_to_all = true;
+      break;
+    }
+    Level level;
+    std::vector<NodeId> reps;
+    for (std::size_t start = 0; start < current.size();
+         start += group_size) {
+      Group group;
+      const std::size_t end =
+          std::min(current.size(), start + group_size);
+      group.members.assign(current.begin() + start, current.begin() + end);
+      group.rep_index = static_cast<std::uint32_t>(group.members.size() / 2);
+      reps.push_back(group.rep());
+      level.groups.push_back(std::move(group));
+    }
+    hierarchy.levels.push_back(std::move(level));
+    current = std::move(reps);
+  }
+
+  hierarchy.final_reps = std::move(current);
+  return hierarchy;
+}
+
+Hierarchy build_hierarchy(std::uint32_t num_nodes, std::uint32_t group_size,
+                          std::uint32_t wavelengths, bool allow_all_to_all) {
+  std::vector<NodeId> nodes(num_nodes);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  return build_hierarchy(nodes, group_size, wavelengths, allow_all_to_all);
+}
+
+}  // namespace wrht::core

@@ -1,0 +1,42 @@
+#include "wrht/core/planner.hpp"
+
+#include <algorithm>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::core {
+
+WrhtPlan plan_wrht(std::uint32_t num_nodes, std::uint32_t wavelengths,
+                   const std::optional<OpticalConstraints>& constraints) {
+  require(num_nodes >= 2, "plan_wrht: need at least 2 nodes");
+  require(wavelengths >= 1, "plan_wrht: need at least 1 wavelength");
+
+  std::uint32_t cap = std::min(num_nodes, 2 * wavelengths + 1);
+  if (constraints) {
+    const std::uint32_t m_prime =
+        max_feasible_group_size(num_nodes, *constraints);
+    if (m_prime < 2) {
+      throw ConstraintViolation(
+          "plan_wrht: no group size satisfies the optical constraints");
+    }
+    cap = std::min(cap, m_prime);
+  }
+  require(cap >= 2, "plan_wrht: wavelength budget admits no group size");
+
+  WrhtPlan best;
+  for (std::uint32_t m = 2; m <= cap; ++m) {
+    if (constraints && !group_size_feasible(num_nodes, m, *constraints)) {
+      continue;
+    }
+    const WrhtStepPlan plan = wrht_plan(num_nodes, m, wavelengths);
+    if (best.group_size == 0 || plan.total_steps <= best.steps.total_steps) {
+      best = WrhtPlan{m, plan};
+    }
+  }
+  if (best.group_size == 0) {
+    throw ConstraintViolation("plan_wrht: no feasible group size in range");
+  }
+  return best;
+}
+
+}  // namespace wrht::core

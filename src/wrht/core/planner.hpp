@@ -1,0 +1,26 @@
+// Group-size planner: picks the first-level group size m that minimises the
+// WRHT step count subject to the wavelength budget (m <= 2w+1, Lemma 1) and,
+// optionally, the optical-communication constraints of §4.4 (m <= m').
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "wrht/core/analysis.hpp"
+#include "wrht/core/constraints.hpp"
+
+namespace wrht::core {
+
+struct WrhtPlan {
+  std::uint32_t group_size = 0;
+  WrhtStepPlan steps;
+};
+
+/// Chooses m in [2, min(2w+1, N, m')] minimising total steps; ties go to the
+/// largest m (fewest, flatter groups — matching the paper's m = 2w+1 choice).
+/// Throws ConstraintViolation when no feasible group size exists.
+[[nodiscard]] WrhtPlan plan_wrht(
+    std::uint32_t num_nodes, std::uint32_t wavelengths,
+    const std::optional<OpticalConstraints>& constraints = std::nullopt);
+
+}  // namespace wrht::core

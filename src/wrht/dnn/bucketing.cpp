@@ -1,0 +1,78 @@
+#include "wrht/dnn/bucketing.hpp"
+
+#include <algorithm>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::dnn {
+
+std::uint64_t BucketPlan::total_params() const {
+  std::uint64_t total = 0;
+  for (const auto p : bucket_params) total += p;
+  return total;
+}
+
+BucketPlan bucketize(const Model& model,
+                     std::uint64_t max_params_per_bucket) {
+  require(max_params_per_bucket >= 1, "bucketize: bucket cap must be >= 1");
+  require(!model.layers().empty(), "bucketize: model has no layers");
+
+  BucketPlan plan;
+  std::uint64_t current = 0;
+  // Reverse layer order: backprop computes the last layer's gradient first.
+  for (auto it = model.layers().rbegin(); it != model.layers().rend(); ++it) {
+    if (it->parameters == 0) continue;
+    if (current > 0 && current + it->parameters > max_params_per_bucket) {
+      plan.bucket_params.push_back(current);
+      current = 0;
+    }
+    current += it->parameters;
+    if (current >= max_params_per_bucket) {
+      plan.bucket_params.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) plan.bucket_params.push_back(current);
+  return plan;
+}
+
+OverlapResult overlapped_iteration(
+    const Model& model, const TrainingConfig& config, const BucketPlan& plan,
+    const std::vector<Seconds>& bucket_comm_times) {
+  require(bucket_comm_times.size() == plan.buckets(),
+          "overlapped_iteration: one comm time per bucket required");
+  require(plan.total_params() == model.parameter_count(),
+          "overlapped_iteration: bucket plan does not cover the model");
+
+  // Split compute into forward (1 share) and backward (backward_multiplier
+  // shares) of the profiled total.
+  const double total_compute = compute_time(model, config).count();
+  const double bwd_fraction = config.gpu.backward_multiplier /
+                              (1.0 + config.gpu.backward_multiplier);
+  const double t_forward = total_compute * (1.0 - bwd_fraction);
+  const double t_backward = total_compute * bwd_fraction;
+
+  // Bucket i is ready when its cumulative parameter share of backward is
+  // produced; All-reduces serialize on the interconnect.
+  OverlapResult result;
+  const double total_params = static_cast<double>(plan.total_params());
+  double produced = 0.0;
+  double network_free = 0.0;
+  double last_finish = 0.0;
+  for (std::size_t i = 0; i < plan.buckets(); ++i) {
+    produced += static_cast<double>(plan.bucket_params[i]);
+    const double ready = t_backward * (produced / total_params);
+    const double start = std::max(ready, network_free);
+    const double comm = bucket_comm_times[i].count();
+    require(comm >= 0.0, "overlapped_iteration: negative comm time");
+    network_free = start + comm;
+    last_finish = network_free;
+    result.total_comm += bucket_comm_times[i];
+  }
+
+  result.exposed_comm = Seconds(std::max(0.0, last_finish - t_backward));
+  result.iteration = Seconds(t_forward + t_backward) + result.exposed_comm;
+  return result;
+}
+
+}  // namespace wrht::dnn

@@ -1,0 +1,59 @@
+// Gradient bucketing and compute/communication overlap (DDP-style).
+//
+// Frameworks do not wait for the full backward pass before reducing: they
+// pack gradients into buckets in reverse layer order and launch each
+// bucket's All-reduce as soon as it is ready, overlapping communication
+// with the remaining backward compute. This module models that pipeline on
+// top of the schedule simulators: bucketize() splits a model's gradients,
+// and overlapped_iteration() composes per-bucket All-reduce times with the
+// backward-pass timeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+#include "wrht/dnn/model.hpp"
+#include "wrht/dnn/training.hpp"
+
+namespace wrht::dnn {
+
+struct BucketPlan {
+  /// Gradient element (parameter) count per bucket, in reduction order
+  /// (reverse layer order — the order backprop produces gradients).
+  std::vector<std::uint64_t> bucket_params;
+
+  [[nodiscard]] std::size_t buckets() const { return bucket_params.size(); }
+  [[nodiscard]] std::uint64_t total_params() const;
+};
+
+/// Greedily packs layers (reverse order) into buckets of at most
+/// `max_params_per_bucket` parameters; a single layer larger than the cap
+/// gets its own bucket. Every layer's parameters land in exactly one
+/// bucket.
+[[nodiscard]] BucketPlan bucketize(const Model& model,
+                                   std::uint64_t max_params_per_bucket);
+
+struct OverlapResult {
+  Seconds iteration{0.0};       ///< forward + backward + exposed comm
+  Seconds exposed_comm{0.0};    ///< communication not hidden by backward
+  Seconds total_comm{0.0};      ///< sum of bucket All-reduce times
+  /// 1 - exposed/total: fraction of communication hidden behind compute.
+  [[nodiscard]] double overlap_efficiency() const {
+    return total_comm.count() > 0.0
+               ? 1.0 - exposed_comm.count() / total_comm.count()
+               : 1.0;
+  }
+};
+
+/// Pipelines the buckets against the backward pass: bucket i becomes ready
+/// when its share of backward compute finishes (proportional to cumulative
+/// parameters); the network serializes bucket All-reduces
+/// (`bucket_comm_times`, one entry per bucket in plan order). The
+/// iteration ends when both backward compute and the last bucket's
+/// All-reduce are done, after the forward pass.
+[[nodiscard]] OverlapResult overlapped_iteration(
+    const Model& model, const TrainingConfig& config, const BucketPlan& plan,
+    const std::vector<Seconds>& bucket_comm_times);
+
+}  // namespace wrht::dnn

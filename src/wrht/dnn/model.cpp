@@ -1,0 +1,53 @@
+#include "wrht/dnn/model.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::dnn {
+
+Model::Model(std::string name, double gflops_per_sample)
+    : name_(std::move(name)), gflops_(gflops_per_sample) {
+  require(gflops_ > 0.0, "Model: gflops_per_sample must be positive");
+}
+
+void Model::add_layer(Layer layer) {
+  require(!layer.name.empty(), "Model: layer needs a name");
+  layers_.push_back(std::move(layer));
+}
+
+std::uint64_t Model::add_conv(const std::string& name, std::uint32_t kernel,
+                              std::uint32_t in_ch, std::uint32_t out_ch,
+                              bool bias) {
+  const std::uint64_t params =
+      static_cast<std::uint64_t>(kernel) * kernel * in_ch * out_ch +
+      (bias ? out_ch : 0);
+  add_layer(Layer{name, LayerKind::kConv, params});
+  return params;
+}
+
+std::uint64_t Model::add_fc(const std::string& name, std::uint64_t in_features,
+                            std::uint64_t out_features, bool bias) {
+  const std::uint64_t params =
+      in_features * out_features + (bias ? out_features : 0);
+  add_layer(Layer{name, LayerKind::kFullyConnected, params});
+  return params;
+}
+
+std::uint64_t Model::add_norm(const std::string& name,
+                              std::uint32_t channels) {
+  const std::uint64_t params = 2ull * channels;  // scale + shift
+  add_layer(Layer{name, LayerKind::kNorm, params});
+  return params;
+}
+
+std::uint64_t Model::parameter_count() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers_) total += l.parameters;
+  return total;
+}
+
+Bytes Model::gradient_bytes(std::uint32_t bytes_per_param) const {
+  require(bytes_per_param >= 1, "Model: bytes_per_param must be >= 1");
+  return Bytes(parameter_count() * bytes_per_param);
+}
+
+}  // namespace wrht::dnn

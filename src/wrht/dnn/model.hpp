@@ -1,0 +1,64 @@
+// DNN model descriptions for the paper's workloads.
+//
+// Distributed data-parallel All-reduce traffic is governed by the gradient
+// payload: 4 bytes per trainable parameter per iteration. Models are built
+// layer by layer so parameter totals come from real architecture shapes,
+// not hard-coded constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+
+namespace wrht::dnn {
+
+enum class LayerKind {
+  kConv,
+  kFullyConnected,
+  kNorm,       ///< batch/layer norm
+  kEmbedding,  ///< patch/positional embeddings
+  kAttention,  ///< fused attention block bookkeeping
+  kOther,
+};
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kOther;
+  std::uint64_t parameters = 0;
+};
+
+class Model {
+ public:
+  Model(std::string name, double gflops_per_sample);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Forward-pass compute per sample (used by the training-time model);
+  /// the backward pass is costed at 2x forward.
+  [[nodiscard]] double gflops_per_sample() const { return gflops_; }
+
+  void add_layer(Layer layer);
+
+  /// Helpers that append common layer shapes and return the added params.
+  std::uint64_t add_conv(const std::string& name, std::uint32_t kernel,
+                         std::uint32_t in_ch, std::uint32_t out_ch,
+                         bool bias = true);
+  std::uint64_t add_fc(const std::string& name, std::uint64_t in_features,
+                       std::uint64_t out_features, bool bias = true);
+  std::uint64_t add_norm(const std::string& name, std::uint32_t channels);
+
+  [[nodiscard]] std::uint64_t parameter_count() const;
+
+  /// All-reduce payload for one gradient synchronization (float32).
+  [[nodiscard]] Bytes gradient_bytes(std::uint32_t bytes_per_param = 4) const;
+
+ private:
+  std::string name_;
+  double gflops_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace wrht::dnn

@@ -1,0 +1,42 @@
+#include "wrht/dnn/training.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::dnn {
+
+Seconds compute_time(const Model& model, const TrainingConfig& config) {
+  require(config.batch_per_worker >= 1, "compute_time: empty batch");
+  require(config.gpu.sustained_gflops > 0.0,
+          "compute_time: GPU throughput must be positive");
+  const double gflops_fwd =
+      model.gflops_per_sample() * config.batch_per_worker;
+  const double gflops_total =
+      gflops_fwd * (1.0 + config.gpu.backward_multiplier);
+  return Seconds(gflops_total / config.gpu.sustained_gflops);
+}
+
+IterationBreakdown iteration_breakdown(const Model& model,
+                                       const TrainingConfig& config,
+                                       Seconds allreduce_time) {
+  require(allreduce_time.count() >= 0.0,
+          "iteration_breakdown: negative communication time");
+  return IterationBreakdown{compute_time(model, config), allreduce_time};
+}
+
+std::uint64_t iterations_per_epoch(const TrainingConfig& config) {
+  require(config.num_workers >= 1 && config.batch_per_worker >= 1,
+          "iterations_per_epoch: bad config");
+  const std::uint64_t global_batch =
+      static_cast<std::uint64_t>(config.num_workers) *
+      config.batch_per_worker;
+  return (config.dataset_samples + global_batch - 1) / global_batch;
+}
+
+Seconds epoch_time(const Model& model, const TrainingConfig& config,
+                   Seconds allreduce_time) {
+  const IterationBreakdown iter =
+      iteration_breakdown(model, config, allreduce_time);
+  return iter.total() * static_cast<double>(iterations_per_epoch(config));
+}
+
+}  // namespace wrht::dnn

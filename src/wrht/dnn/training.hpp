@@ -1,0 +1,61 @@
+// Data-parallel training-iteration time model.
+//
+// Mirrors the paper's methodology: computation time comes from a profiled
+// throughput model (the paper used TensorFlow profiles on TITAN XP GPUs; we
+// use a FLOP/throughput estimate of the same class of GPU), while the
+// All-reduce communication time comes from the interconnect simulators.
+// The paper's key observation holds by construction: the All-reduce payload
+// depends only on the model's parameter count, not on the dataset.
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/common/units.hpp"
+#include "wrht/dnn/model.hpp"
+
+namespace wrht::dnn {
+
+struct GpuProfile {
+  /// Sustained throughput of one worker GPU in GFLOP/s. The default is a
+  /// TITAN XP-class card (~12.1 TFLOP/s peak) at 45% sustained efficiency.
+  double sustained_gflops = 12100.0 * 0.45;
+  /// Backward pass costs this multiple of the forward pass.
+  double backward_multiplier = 2.0;
+};
+
+struct TrainingConfig {
+  std::uint32_t batch_per_worker = 32;
+  std::uint64_t dataset_samples = 1'281'167;  ///< ImageNet-1k train split
+  std::uint32_t num_workers = 1;
+  GpuProfile gpu{};
+};
+
+struct IterationBreakdown {
+  Seconds compute{0.0};
+  Seconds communication{0.0};
+  [[nodiscard]] Seconds total() const { return compute + communication; }
+  /// Fraction of the iteration spent in All-reduce (the paper's 50-90%
+  /// motivation figure for electrical interconnects at scale).
+  [[nodiscard]] double comm_fraction() const {
+    const double t = total().count();
+    return t > 0.0 ? communication.count() / t : 0.0;
+  }
+};
+
+/// Compute time of one forward+backward pass over a worker's batch.
+[[nodiscard]] Seconds compute_time(const Model& model,
+                                   const TrainingConfig& config);
+
+/// Combines compute with an All-reduce time obtained from a simulator.
+[[nodiscard]] IterationBreakdown iteration_breakdown(
+    const Model& model, const TrainingConfig& config, Seconds allreduce_time);
+
+/// Iterations per epoch under data parallelism.
+[[nodiscard]] std::uint64_t iterations_per_epoch(const TrainingConfig& config);
+
+/// One-epoch training time (the granularity of the paper's evaluation).
+[[nodiscard]] Seconds epoch_time(const Model& model,
+                                 const TrainingConfig& config,
+                                 Seconds allreduce_time);
+
+}  // namespace wrht::dnn

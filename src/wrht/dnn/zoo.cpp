@@ -1,0 +1,156 @@
+#include "wrht/dnn/zoo.hpp"
+
+#include <string>
+
+namespace wrht::dnn {
+
+Model alexnet() {
+  // Krizhevsky et al. 2012, single-tower ImageNet variant; 62.38M params.
+  Model m("AlexNet", 0.7);  // ~0.7 GFLOPs forward per 224x224 image
+  m.add_conv("conv1", 11, 3, 96);
+  m.add_conv("conv2", 5, 96, 256);
+  m.add_conv("conv3", 3, 256, 384);
+  m.add_conv("conv4", 3, 384, 384);
+  m.add_conv("conv5", 3, 384, 256);
+  m.add_fc("fc6", 9216, 4096);
+  m.add_fc("fc7", 4096, 4096);
+  m.add_fc("fc8", 4096, 1000);
+  return m;
+}
+
+Model vgg16() {
+  // Simonyan & Zisserman 2014; 138.36M parameters.
+  Model m("VGG16", 15.5);  // ~15.5 GFLOPs forward per image
+  const std::uint32_t cfg[][2] = {
+      {3, 64},    {64, 64},   {64, 128},  {128, 128}, {128, 256},
+      {256, 256}, {256, 256}, {256, 512}, {512, 512}, {512, 512},
+      {512, 512}, {512, 512}, {512, 512}};
+  int idx = 1;
+  for (const auto& c : cfg) {
+    m.add_conv("conv" + std::to_string(idx++), 3, c[0], c[1]);
+  }
+  m.add_fc("fc1", 25088, 4096);
+  m.add_fc("fc2", 4096, 4096);
+  m.add_fc("fc3", 4096, 1000);
+  return m;
+}
+
+namespace {
+
+/// ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand, each followed by BN;
+/// optional 1x1 downsample projection on the skip path.
+void add_bottleneck(Model& m, const std::string& name, std::uint32_t in_ch,
+                    std::uint32_t mid_ch, std::uint32_t out_ch,
+                    bool downsample) {
+  m.add_conv(name + ".conv1", 1, in_ch, mid_ch, /*bias=*/false);
+  m.add_norm(name + ".bn1", mid_ch);
+  m.add_conv(name + ".conv2", 3, mid_ch, mid_ch, /*bias=*/false);
+  m.add_norm(name + ".bn2", mid_ch);
+  m.add_conv(name + ".conv3", 1, mid_ch, out_ch, /*bias=*/false);
+  m.add_norm(name + ".bn3", out_ch);
+  if (downsample) {
+    m.add_conv(name + ".downsample", 1, in_ch, out_ch, /*bias=*/false);
+    m.add_norm(name + ".downsample.bn", out_ch);
+  }
+}
+
+void add_stage(Model& m, const std::string& name, std::uint32_t blocks,
+               std::uint32_t in_ch, std::uint32_t mid_ch,
+               std::uint32_t out_ch) {
+  add_bottleneck(m, name + ".0", in_ch, mid_ch, out_ch, /*downsample=*/true);
+  for (std::uint32_t b = 1; b < blocks; ++b) {
+    add_bottleneck(m, name + "." + std::to_string(b), out_ch, mid_ch, out_ch,
+                   /*downsample=*/false);
+  }
+}
+
+}  // namespace
+
+Model resnet50() {
+  // He et al. 2015; 25.56M parameters (conv bias-free, 2-param BN).
+  Model m("ResNet50", 4.1);  // ~4.1 GFLOPs forward per image
+  m.add_conv("conv1", 7, 3, 64, /*bias=*/false);
+  m.add_norm("bn1", 64);
+  add_stage(m, "layer1", 3, 64, 64, 256);
+  add_stage(m, "layer2", 4, 256, 128, 512);
+  add_stage(m, "layer3", 6, 512, 256, 1024);
+  add_stage(m, "layer4", 3, 1024, 512, 2048);
+  m.add_fc("fc", 2048, 1000);
+  return m;
+}
+
+namespace {
+
+/// One transformer encoder block (pre-norm ViT/BEiT style) with hidden
+/// size h and MLP expansion 4h, including BEiT's per-block layer-scale
+/// parameters and relative-position bias table.
+void add_transformer_block(Model& m, const std::string& name, std::uint32_t h,
+                           std::uint32_t heads, std::uint32_t rel_pos_table) {
+  m.add_norm(name + ".ln1", h / 2);  // LayerNorm has 2h params total
+  m.add_fc(name + ".attn.qkv", h, 3ull * h);
+  m.add_fc(name + ".attn.proj", h, h);
+  m.add_layer(Layer{name + ".attn.rel_pos", LayerKind::kAttention,
+                    static_cast<std::uint64_t>(rel_pos_table) * heads});
+  m.add_norm(name + ".ln2", h / 2);
+  m.add_fc(name + ".mlp.fc1", h, 4ull * h);
+  m.add_fc(name + ".mlp.fc2", 4ull * h, h);
+  m.add_layer(Layer{name + ".layerscale", LayerKind::kOther, 2ull * h});
+}
+
+}  // namespace
+
+Model beit_large() {
+  // Bao et al. 2022, BEiT-Large: 24 blocks, hidden 1024, 16 heads,
+  // 16x16 patches on 224x224 inputs; ~307M parameters.
+  Model m("BEiT-L", 61.3);  // ~61 GFLOPs forward per image (ViT-L/16 class)
+  const std::uint32_t h = 1024;
+  const std::uint32_t heads = 16;
+  const std::uint32_t patches = 14 * 14;
+  // (2*14-1)^2 relative distances + 3 special positions.
+  const std::uint32_t rel_pos_table = 27 * 27 + 3;
+
+  m.add_layer(Layer{"patch_embed", LayerKind::kEmbedding,
+                    16ull * 16 * 3 * h + h});
+  m.add_layer(Layer{"cls_mask_tokens", LayerKind::kEmbedding, 2ull * h});
+  m.add_layer(Layer{"pos_embed", LayerKind::kEmbedding,
+                    static_cast<std::uint64_t>(patches + 1) * h});
+  for (std::uint32_t b = 0; b < 24; ++b) {
+    add_transformer_block(m, "block" + std::to_string(b), h, heads,
+                          rel_pos_table);
+  }
+  m.add_norm("ln_final", h / 2);
+  m.add_fc("head", h, 8192);  // BEiT pre-training visual-token head
+  return m;
+}
+
+Model bert_large() {
+  // Devlin et al. 2018, BERT-Large (whole-word uncased): ~335M params.
+  Model m("BERT-L", 80.0);  // ~80 GFLOPs forward per 512-token sequence
+  const std::uint32_t h = 1024;
+  m.add_layer(Layer{"embeddings.word", LayerKind::kEmbedding, 30522ull * h});
+  m.add_layer(Layer{"embeddings.position", LayerKind::kEmbedding, 512ull * h});
+  m.add_layer(Layer{"embeddings.token_type", LayerKind::kEmbedding, 2ull * h});
+  m.add_norm("embeddings.ln", h / 2);
+  for (std::uint32_t b = 0; b < 24; ++b) {
+    const std::string name = "encoder" + std::to_string(b);
+    m.add_fc(name + ".attn.qkv", h, 3ull * h);
+    m.add_fc(name + ".attn.proj", h, h);
+    m.add_norm(name + ".ln1", h / 2);
+    m.add_fc(name + ".mlp.fc1", h, 4ull * h);
+    m.add_fc(name + ".mlp.fc2", 4ull * h, h);
+    m.add_norm(name + ".ln2", h / 2);
+  }
+  m.add_fc("pooler", h, h);
+  return m;
+}
+
+std::vector<Model> paper_workloads() {
+  std::vector<Model> models;
+  models.push_back(beit_large());
+  models.push_back(vgg16());
+  models.push_back(alexnet());
+  models.push_back(resnet50());
+  return models;
+}
+
+}  // namespace wrht::dnn

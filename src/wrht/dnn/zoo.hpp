@@ -1,0 +1,26 @@
+// Model zoo: the four DNN workloads of the paper's evaluation —
+// BEiT-L (~307M params), VGG16 (~138M), AlexNet (~62.3M), ResNet50 (~25.6M).
+// Architectures are assembled layer by layer from their published shapes.
+#pragma once
+
+#include <vector>
+
+#include "wrht/dnn/model.hpp"
+
+namespace wrht::dnn {
+
+[[nodiscard]] Model alexnet();
+[[nodiscard]] Model vgg16();
+[[nodiscard]] Model resnet50();
+[[nodiscard]] Model beit_large();
+
+/// BERT-Large (the paper's introduction motivates distributed training
+/// with "large-scale DNNs, such as Bert"): 24 encoder blocks, hidden 1024,
+/// WordPiece vocabulary 30522; ~335M parameters.
+[[nodiscard]] Model bert_large();
+
+/// The paper's evaluation set, in the order used by the figures
+/// (BEiT, VGG16, AlexNet, ResNet50).
+[[nodiscard]] std::vector<Model> paper_workloads();
+
+}  // namespace wrht::dnn

@@ -1,0 +1,105 @@
+#include "wrht/electrical/fat_tree_network.hpp"
+
+#include <algorithm>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::elec {
+
+namespace {
+
+std::vector<double> link_capacities(const topo::FatTree& tree,
+                                    const ElectricalConfig& config) {
+  return std::vector<double>(tree.num_links(), config.bytes_per_second());
+}
+
+}  // namespace
+
+FatTreeNetwork::FatTreeNetwork(std::uint32_t num_hosts,
+                               ElectricalConfig config)
+    : tree_(num_hosts, config.router_ports),
+      config_(config),
+      flow_sim_(link_capacities(tree_, config_)) {
+  require(config.bytes_per_element >= 1,
+          "FatTreeNetwork: bytes_per_element must be >= 1");
+}
+
+std::uint64_t FatTreeNetwork::step_signature(const coll::Step& step) const {
+  // Same convention as the optical pattern cache: the (src, dst) pattern
+  // determines routing and contention; only the largest payload matters for
+  // the step duration, so per-transfer counts are excluded.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(step.transfers.size() + 1);
+  std::size_t max_count = 0;
+  for (const auto& t : step.transfers) {
+    keys.push_back((static_cast<std::uint64_t>(t.src) << 32) ^
+                   static_cast<std::uint64_t>(t.dst));
+    max_count = std::max(max_count, t.count);
+  }
+  keys.push_back(0x8000'0000'0000'0000ull | max_count);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t k : keys) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (k >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+FatTreeNetwork::StepTiming FatTreeNetwork::evaluate_step(
+    const coll::Step& step) const {
+  std::vector<FlowSpec> flows;
+  flows.reserve(step.transfers.size());
+  std::vector<std::uint32_t> load(tree_.num_links(), 0);
+  for (const auto& t : step.transfers) {
+    const auto route = tree_.route(t.src, t.dst);
+    FlowSpec flow;
+    flow.bytes = static_cast<double>(t.count) * config_.bytes_per_element;
+    flow.links = route.links;
+    flow.extra_latency = config_.router_delay.count() * route.routers;
+    for (const LinkId l : flow.links) ++load[l];
+    flows.push_back(std::move(flow));
+  }
+  std::uint32_t max_load = 0;
+  for (const auto l : load) max_load = std::max(max_load, l);
+
+  const FlowResult res = flow_sim_.run(flows);
+  return StepTiming{res.makespan, max_load};
+}
+
+ElectricalRunResult FatTreeNetwork::execute(
+    const coll::Schedule& schedule) const {
+  require(schedule.num_nodes() <= tree_.num_hosts(),
+          "FatTreeNetwork: schedule spans more nodes than hosts");
+  schedule.validate();
+
+  ElectricalRunResult result;
+  result.steps = schedule.num_steps();
+  result.step_times.reserve(schedule.num_steps());
+
+  double now = 0.0;
+  for (const auto& step : schedule.steps()) {
+    if (step.transfers.empty()) {
+      result.step_times.emplace_back(0.0);
+      continue;
+    }
+    const std::uint64_t sig = step_signature(step);
+    StepTiming timing{};
+    if (const auto it = pattern_cache_.find(sig); it != pattern_cache_.end()) {
+      timing = it->second;
+    } else {
+      timing = evaluate_step(step);
+      pattern_cache_.emplace(sig, timing);
+    }
+    result.total_flows += step.transfers.size();
+    result.max_link_load = std::max(result.max_link_load, timing.max_link_load);
+    result.step_times.emplace_back(timing.seconds);
+    now += timing.seconds;
+  }
+  result.total_time = Seconds(now);
+  return result;
+}
+
+}  // namespace wrht::elec

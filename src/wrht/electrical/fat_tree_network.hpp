@@ -1,0 +1,72 @@
+// Electrical fat-tree interconnect simulator (the paper's SimGrid baseline).
+//
+// Executes a coll::Schedule with barrier semantics: all transfers of a step
+// become simultaneous flows routed host-edge(-core-edge)-host; the step
+// lasts until the slowest flow drains under max-min fair sharing, plus the
+// per-router store-and-forward delay (Table 2: 40 Gb/s links, 25 us router
+// delay, 32-port routers, shortest-path routing). Structurally identical
+// steps hit a pattern cache, mirroring the optical simulator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/common/units.hpp"
+#include "wrht/electrical/flow_sim.hpp"
+#include "wrht/topo/fat_tree.hpp"
+
+namespace wrht::elec {
+
+struct ElectricalConfig {
+  BitsPerSecond link_rate{40e9};   ///< per directed link
+  Seconds router_delay{25e-6};     ///< per traversed router
+  Bytes packet_size{72};
+  std::uint32_t bytes_per_element = 4;
+  std::uint32_t router_ports = 32;
+
+  /// Matches optics::OpticalConfig::RateConvention — the paper's numerics
+  /// drain d bytes against B = 40e9; keep both simulators on the same
+  /// convention for a fair optical/electrical comparison.
+  bool paper_rate_convention = true;
+
+  [[nodiscard]] double bytes_per_second() const {
+    return paper_rate_convention ? link_rate.count() : link_rate.count() / 8.0;
+  }
+};
+
+struct ElectricalRunResult {
+  Seconds total_time{0.0};
+  std::size_t steps = 0;
+  std::uint64_t total_flows = 0;
+  /// Largest number of concurrent flows sharing one link in any step.
+  std::uint32_t max_link_load = 0;
+  std::vector<Seconds> step_times;
+};
+
+class FatTreeNetwork {
+ public:
+  FatTreeNetwork(std::uint32_t num_hosts, ElectricalConfig config);
+
+  [[nodiscard]] const topo::FatTree& topology() const { return tree_; }
+  [[nodiscard]] const ElectricalConfig& config() const { return config_; }
+
+  [[nodiscard]] ElectricalRunResult execute(
+      const coll::Schedule& schedule) const;
+
+ private:
+  struct StepTiming {
+    double seconds;
+    std::uint32_t max_link_load;
+  };
+  [[nodiscard]] StepTiming evaluate_step(const coll::Step& step) const;
+  [[nodiscard]] std::uint64_t step_signature(const coll::Step& step) const;
+
+  topo::FatTree tree_;
+  ElectricalConfig config_;
+  FlowLevelSimulator flow_sim_;
+  mutable std::unordered_map<std::uint64_t, StepTiming> pattern_cache_;
+};
+
+}  // namespace wrht::elec

@@ -1,0 +1,128 @@
+#include "wrht/electrical/flow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::elec {
+
+FlowLevelSimulator::FlowLevelSimulator(std::vector<double> link_capacity)
+    : capacity_(std::move(link_capacity)) {
+  for (const double c : capacity_) {
+    require(c > 0.0, "FlowLevelSimulator: link capacity must be positive");
+  }
+}
+
+namespace {
+
+/// Progressive filling over the subset of flows marked active.
+/// rates[i] is written for every active flow i.
+std::vector<double> fill_rates(const std::vector<double>& capacity,
+                               const std::vector<FlowSpec>& flows,
+                               const std::vector<std::uint8_t>& active) {
+  std::vector<double> rates(flows.size(), 0.0);
+  std::vector<double> cap_left = capacity;
+  std::vector<std::uint32_t> load(capacity.size(), 0);
+  std::vector<std::uint8_t> fixed(flows.size(), 0);
+
+  std::size_t unfixed = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!active[i]) continue;
+    ++unfixed;
+    for (const LinkId l : flows[i].links) ++load[l];
+  }
+
+  while (unfixed > 0) {
+    // Bottleneck link: smallest fair share among loaded links.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (LinkId l = 0; l < capacity.size(); ++l) {
+      if (load[l] == 0) continue;
+      best_share = std::min(best_share, cap_left[l] / load[l]);
+    }
+    require(best_share < std::numeric_limits<double>::infinity(),
+            "fill_rates: active flow without links");
+
+    // Freeze every unfixed flow crossing a bottleneck at best_share.
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!active[i] || fixed[i]) continue;
+      bool bottlenecked = false;
+      for (const LinkId l : flows[i].links) {
+        if (cap_left[l] / load[l] <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rates[i] = best_share;
+      fixed[i] = 1;
+      --unfixed;
+      for (const LinkId l : flows[i].links) {
+        cap_left[l] -= best_share;
+        if (cap_left[l] < 0.0) cap_left[l] = 0.0;
+        --load[l];
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace
+
+std::vector<double> FlowLevelSimulator::max_min_rates(
+    const std::vector<FlowSpec>& flows) const {
+  for (const auto& f : flows) {
+    for (const LinkId l : f.links) {
+      require(l < capacity_.size(), "max_min_rates: link id out of range");
+    }
+  }
+  std::vector<std::uint8_t> active(flows.size(), 1);
+  return fill_rates(capacity_, flows, active);
+}
+
+FlowResult FlowLevelSimulator::run(const std::vector<FlowSpec>& flows) const {
+  for (const auto& f : flows) {
+    require(f.bytes > 0.0, "FlowLevelSimulator: flow without payload");
+    require(!f.links.empty(), "FlowLevelSimulator: flow without route");
+    for (const LinkId l : f.links) {
+      require(l < capacity_.size(), "FlowLevelSimulator: link out of range");
+    }
+  }
+
+  FlowResult result;
+  result.completion.assign(flows.size(), 0.0);
+
+  std::vector<double> remaining(flows.size());
+  std::vector<std::uint8_t> active(flows.size(), 1);
+  std::size_t live = flows.size();
+  for (std::size_t i = 0; i < flows.size(); ++i) remaining[i] = flows[i].bytes;
+
+  double now = 0.0;
+  while (live > 0) {
+    const std::vector<double> rates = fill_rates(capacity_, flows, active);
+    ++result.rate_recomputations;
+
+    // Time until the next flow drains completely.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!active[i]) continue;
+      require(rates[i] > 0.0, "FlowLevelSimulator: starved flow");
+      dt = std::min(dt, remaining[i] / rates[i]);
+    }
+
+    now += dt;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!active[i]) continue;
+      remaining[i] -= rates[i] * dt;
+      if (remaining[i] <= flows[i].bytes * 1e-12 + 1e-9) {
+        active[i] = 0;
+        --live;
+        result.completion[i] = now + flows[i].extra_latency;
+        result.makespan = std::max(result.makespan, result.completion[i]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wrht::elec

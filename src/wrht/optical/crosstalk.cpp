@@ -1,0 +1,66 @@
+#include "wrht/optical/crosstalk.hpp"
+
+#include <cmath>
+
+#include "wrht/common/error.hpp"
+#include "wrht/optical/power.hpp"
+
+namespace wrht::optics {
+
+PowerDbm worst_case_crosstalk(std::uint64_t hops,
+                              const CrosstalkParams& params) {
+  const double rx_mw =
+      params.per_hop_crosstalk.milliwatts() * static_cast<double>(hops);
+  const double tx_mw = params.tx_crosstalk.milliwatts();
+  return PowerDbm::from_milliwatts(rx_mw + tx_mw);
+}
+
+double snr_linear(std::uint64_t hops, const CrosstalkParams& params) {
+  const double noise_mw = worst_case_crosstalk(hops, params).milliwatts() +
+                          params.other_noise.milliwatts();
+  require(noise_mw > 0.0, "snr_linear: zero noise power");
+  return params.signal_power.milliwatts() / noise_mw;
+}
+
+double snr_db(std::uint64_t hops, const CrosstalkParams& params) {
+  return 10.0 * std::log10(snr_linear(hops, params));
+}
+
+double ber_from_snr(double snr_linear_ratio) {
+  require(snr_linear_ratio >= 0.0, "ber_from_snr: negative SNR");
+  return 0.5 * std::exp(-snr_linear_ratio / 4.0);
+}
+
+double ber(std::uint64_t hops, const CrosstalkParams& params) {
+  return ber_from_snr(snr_linear(hops, params));
+}
+
+std::uint64_t max_hops_for_ber(const CrosstalkParams& params,
+                               double target_ber) {
+  require(target_ber > 0.0 && target_ber < 0.5,
+          "max_hops_for_ber: target must be in (0, 0.5)");
+  // BER is monotone increasing in hops (noise accumulates), so solve the
+  // SNR threshold analytically: SNR_min = -4 ln(2 * target).
+  const double snr_min = -4.0 * std::log(2.0 * target_ber);
+  const double signal_mw = params.signal_power.milliwatts();
+  const double budget_mw = signal_mw / snr_min;  // max tolerable noise
+  const double fixed_mw =
+      params.tx_crosstalk.milliwatts() + params.other_noise.milliwatts();
+  if (budget_mw <= fixed_mw) return 0;
+  const double per_hop_mw = params.per_hop_crosstalk.milliwatts();
+  if (per_hop_mw <= 0.0) return UINT64_MAX;
+  return static_cast<std::uint64_t>(
+      std::floor((budget_mw - fixed_mw) / per_hop_mw));
+}
+
+std::uint32_t max_group_size_by_crosstalk(std::uint32_t num_nodes,
+                                          const CrosstalkParams& params,
+                                          double target_ber) {
+  const std::uint64_t reach = max_hops_for_ber(params, target_ber);
+  for (std::uint32_t m = num_nodes; m >= 2; --m) {
+    if (wrht_max_comm_length(num_nodes, m) <= reach) return m;
+  }
+  return 0;
+}
+
+}  // namespace wrht::optics

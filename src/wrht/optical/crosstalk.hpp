@@ -1,0 +1,54 @@
+// Crosstalk / SNR / BER model (paper Section 4.4.2, Eqs. 11-13).
+//
+// Worst-case crosstalk noise accumulates one receiver-side contribution per
+// traversed interface plus one transmitter-side contribution:
+//   P_Nw = L_max * P_Rx + P_Tx          (Eq. 12, summed in linear mW)
+// Signal quality:
+//   SNR  = P_S / (P_N + P_O)            (Eq. 11, linear ratio)
+//   BER  = 1/2 * exp(-SNR/4)            (Eq. 13)
+// Reliable optical communication requires BER < 1e-9, i.e. SNR >= ~80.
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/common/units.hpp"
+
+namespace wrht::optics {
+
+/// Defaults use MRR crosstalk figures around -40 dB of a 0 dBm signal per
+/// pass and a -45 dBm receiver noise floor.
+struct CrosstalkParams {
+  PowerDbm signal_power{0.0};        ///< P_S arriving at the photodetector
+  PowerDbm per_hop_crosstalk{-40.0}; ///< P_Rx picked up per passed interface
+  PowerDbm tx_crosstalk{-42.0};      ///< P_Tx modulator-side leakage
+  PowerDbm other_noise{-45.0};       ///< P_O thermal/shot floor
+};
+
+/// Eq. 12: worst-case crosstalk noise after `hops` interfaces, in dBm.
+[[nodiscard]] PowerDbm worst_case_crosstalk(std::uint64_t hops,
+                                            const CrosstalkParams& params);
+
+/// Eq. 11 as a linear power ratio P_S / (P_N + P_O).
+[[nodiscard]] double snr_linear(std::uint64_t hops,
+                                const CrosstalkParams& params);
+
+/// Eq. 11 in dB: 10 log10(snr_linear).
+[[nodiscard]] double snr_db(std::uint64_t hops, const CrosstalkParams& params);
+
+/// Eq. 13.
+[[nodiscard]] double ber_from_snr(double snr_linear_ratio);
+
+/// BER of the worst-case lightpath crossing `hops` interfaces.
+[[nodiscard]] double ber(std::uint64_t hops, const CrosstalkParams& params);
+
+/// Largest hop count with ber(hops) < target (default 1e-9); 0 if none.
+[[nodiscard]] std::uint64_t max_hops_for_ber(const CrosstalkParams& params,
+                                             double target_ber = 1e-9);
+
+/// Largest first-level group size m' whose WRHT longest path (Eq. 7)
+/// satisfies the BER constraint on a ring of `num_nodes`; 0 when none does.
+[[nodiscard]] std::uint32_t max_group_size_by_crosstalk(
+    std::uint32_t num_nodes, const CrosstalkParams& params,
+    double target_ber = 1e-9);
+
+}  // namespace wrht::optics

@@ -1,0 +1,73 @@
+#include "wrht/optical/power.hpp"
+
+#include <cmath>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::optics {
+
+namespace {
+
+/// ceil(log_m n) computed with integer arithmetic: smallest L with m^L >= n.
+std::uint32_t ceil_log(std::uint32_t base, std::uint32_t n) {
+  require(base >= 2, "ceil_log: base must be >= 2");
+  std::uint32_t levels = 0;
+  std::uint64_t reach = 1;
+  while (reach < n) {
+    reach *= base;
+    ++levels;
+  }
+  return levels == 0 ? 1 : levels;  // log_m(1) counts as one level
+}
+
+}  // namespace
+
+Decibels insertion_loss(std::uint64_t hops, const PowerParams& params) {
+  return params.modulator_loss +
+         params.pass_loss * static_cast<double>(hops);
+}
+
+bool power_feasible(std::uint64_t hops, const PowerParams& params) {
+  const Decibels budget =
+      params.laser_power - PowerDbm(0.0);  // dBm relative to 0 dBm floor
+  const Decibels needed =
+      insertion_loss(hops, params) + params.extinction_penalty;
+  return budget.count() >= needed.count();
+}
+
+std::uint64_t max_reach_hops(const PowerParams& params) {
+  // Eq. 9 is linear in hops; solve directly.
+  const double headroom = params.laser_power.count() -
+                          params.modulator_loss.count() -
+                          params.extinction_penalty.count();
+  if (headroom < 0.0) return 0;
+  if (params.pass_loss.count() <= 0.0) return UINT64_MAX;
+  // The 1e-9 guard keeps exact-ratio budgets (e.g. 3.9 dB / 0.02 dB) from
+  // rounding down through floating-point representation error.
+  return static_cast<std::uint64_t>(std::floor(
+      headroom / params.pass_loss.count() + 1e-9));
+}
+
+std::uint64_t wrht_max_comm_length(std::uint32_t num_nodes,
+                                   std::uint32_t group_size) {
+  require(num_nodes >= 2, "wrht_max_comm_length: need >= 2 nodes");
+  require(group_size >= 2, "wrht_max_comm_length: group size must be >= 2");
+  const std::uint32_t levels = ceil_log(group_size, num_nodes);
+  if (levels == 1) return group_size / 2;
+  std::uint64_t length = 1;
+  for (std::uint32_t i = 0; i + 1 < levels; ++i) length *= group_size;
+  return length;  // m^(L-1)
+}
+
+std::uint32_t max_group_size_by_power(std::uint32_t num_nodes,
+                                      const PowerParams& params) {
+  const std::uint64_t reach = max_reach_hops(params);
+  // Eq. 7 is not monotone in m (the level count jumps), so scan from the
+  // largest candidate downwards.
+  for (std::uint32_t m = num_nodes; m >= 2; --m) {
+    if (wrht_max_comm_length(num_nodes, m) <= reach) return m;
+  }
+  return 0;
+}
+
+}  // namespace wrht::optics

@@ -1,0 +1,50 @@
+// Insertion-loss power budget (paper Section 4.4.1, Eqs. 7-9).
+//
+// An optical signal traversing L_max node interfaces loses
+//   L_l = P_m + L_max * P_pass                               (Eq. 8)
+// and the laser must cover the loss plus the extinction-ratio penalty:
+//   P_laser >= L_l + P_p                                     (Eq. 9)
+// The longest lightpath of a WRHT run with first-level group size m' is
+//   L_max = floor(m'/2)            when ceil(log_m' N) == 1
+//   L_max = m'^(ceil(log_m' N)-1)  otherwise                 (Eq. 7)
+// which bounds the usable group size m <= m'.
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/common/units.hpp"
+
+namespace wrht::optics {
+
+/// Device parameters; defaults follow published silicon-photonics numbers
+/// (TeraPHY-class links: ~1.3 dB modulator loss, ~0.01 dB/MRR pass-through,
+/// ~4.8 dB extinction-ratio penalty, comb laser line of 10 dBm).
+struct PowerParams {
+  PowerDbm laser_power{10.0};       ///< P_laser per wavelength line
+  Decibels modulator_loss{1.3};     ///< P_m
+  Decibels pass_loss{0.01};         ///< P_pass per traversed interface
+  Decibels extinction_penalty{4.8}; ///< P_p
+};
+
+/// Eq. 8: total insertion loss for a lightpath passing `hops` interfaces.
+[[nodiscard]] Decibels insertion_loss(std::uint64_t hops,
+                                      const PowerParams& params);
+
+/// Eq. 9: can the laser budget sustain a lightpath of `hops` interfaces?
+[[nodiscard]] bool power_feasible(std::uint64_t hops,
+                                  const PowerParams& params);
+
+/// Largest hop count satisfying Eq. 9 (0 when even hop-free paths fail).
+[[nodiscard]] std::uint64_t max_reach_hops(const PowerParams& params);
+
+/// Eq. 7: longest lightpath length (in hops) of a WRHT run on N nodes with
+/// first-level group size m.
+[[nodiscard]] std::uint64_t wrht_max_comm_length(std::uint32_t num_nodes,
+                                                 std::uint32_t group_size);
+
+/// Largest first-level group size m' (2..min(N, cap)) whose Eq.-7 longest
+/// path fits the power budget; returns 0 when none does.
+[[nodiscard]] std::uint32_t max_group_size_by_power(std::uint32_t num_nodes,
+                                                    const PowerParams& params);
+
+}  // namespace wrht::optics

@@ -1,0 +1,200 @@
+#include "wrht/optical/ring_network.hpp"
+
+#include <algorithm>
+
+#include "wrht/common/error.hpp"
+#include "wrht/sim/simulator.hpp"
+
+namespace wrht::optics {
+
+RingNetwork::RingNetwork(std::uint32_t num_nodes, OpticalConfig config)
+    : ring_(num_nodes), config_(config) {
+  require(config.wavelengths >= 1, "RingNetwork: need >= 1 wavelength");
+  require(config.bytes_per_element >= 1,
+          "RingNetwork: bytes_per_element must be >= 1");
+  require(config.wavelength_rate.count() > 0.0,
+          "RingNetwork: wavelength rate must be positive");
+}
+
+Seconds RingNetwork::serialization_time(std::size_t elements) const {
+  const double bytes =
+      static_cast<double>(elements) * config_.bytes_per_element;
+  return Seconds(bytes / config_.bytes_per_second());
+}
+
+Seconds RingNetwork::round_time(std::size_t elements) const {
+  return config_.mrr_reconfig_delay + config_.oeo_delay +
+         serialization_time(elements);
+}
+
+Seconds RingNetwork::single_round_estimate(
+    const coll::Schedule& schedule) const {
+  Seconds total(0.0);
+  for (std::size_t s = 0; s < schedule.num_steps(); ++s) {
+    if (schedule.steps()[s].transfers.empty()) continue;
+    total += round_time(schedule.max_transfer_elements(s));
+  }
+  return total;
+}
+
+std::uint64_t RingNetwork::step_signature(const coll::Step& step) const {
+  // Order-insensitive FNV-1a over the sorted (src, dst, direction) tuples
+  // plus the step's largest transfer: structurally identical steps (all
+  // 2(N-1) Ring All-reduce steps, the repeated H-Ring stages, ...) share
+  // one RWA evaluation. Per-transfer counts are deliberately excluded —
+  // chunk sizes rotate by +/-1 element between ring steps without changing
+  // routing or the dominating payload.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(step.transfers.size() + 1);
+  std::size_t max_count = 0;
+  for (const auto& t : step.transfers) {
+    const std::uint64_t dir_bits =
+        t.direction ? (*t.direction == topo::Direction::kClockwise ? 1 : 2)
+                    : 0;
+    keys.push_back((static_cast<std::uint64_t>(t.src) << 34) ^
+                   (static_cast<std::uint64_t>(t.dst) << 4) ^ dir_bits);
+    max_count = std::max(max_count, t.count);
+  }
+  keys.push_back(0x8000'0000'0000'0000ull | max_count);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t k : keys) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (k >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
+                                                    Rng* rng) const {
+  PatternCost out{};
+  if (step.transfers.empty()) return out;
+
+  const RwaOptions options{config_.wavelengths, config_.fibers_per_direction,
+                           config_.rwa_policy};
+
+  std::vector<std::vector<Lightpath>> round_paths;
+  std::vector<std::vector<std::size_t>> round_members;
+  if (config_.allow_multi_round_steps) {
+    RoundsResult rounds = assign_rounds(ring_, step.transfers, options, rng);
+    out.cost.wavelengths_used = rounds.wavelengths_used;
+    round_paths = std::move(rounds.paths);
+    round_members = std::move(rounds.rounds);
+  } else {
+    RwaResult rwa = assign_wavelengths(ring_, step.transfers, options, rng);
+    if (!rwa.ok) {
+      throw InfeasibleSchedule(
+          "RingNetwork: step '" + step.label + "' needs more than " +
+          std::to_string(config_.wavelengths) +
+          " wavelengths and multi-round splitting is disabled");
+    }
+    out.cost.wavelengths_used = rwa.wavelengths_used;
+    round_paths.push_back(std::move(rwa.paths));
+    round_members.emplace_back();
+    for (std::size_t i = 0; i < step.transfers.size(); ++i) {
+      round_members.back().push_back(i);
+    }
+  }
+
+  out.cost.rounds = static_cast<std::uint32_t>(round_paths.size());
+  for (std::size_t r = 0; r < round_paths.size(); ++r) {
+    std::size_t max_elements = 0;
+    for (const std::size_t idx : round_members[r]) {
+      max_elements = std::max(max_elements, step.transfers[idx].count);
+    }
+    for (const auto& path : round_paths[r]) {
+      out.longest_hops = std::max(out.longest_hops, path.hops);
+    }
+    out.cost.max_transfer_elements =
+        std::max(out.cost.max_transfer_elements, max_elements);
+    out.cost.duration += round_time(max_elements);
+    out.round_serialization.push_back(serialization_time(max_elements));
+    if (config_.validate_node_capacity ||
+        config_.reconfig_accounting ==
+            OpticalConfig::ReconfigAccounting::kOnRetune) {
+      out.round_tunings.push_back(TuningState::from_lightpaths(
+          round_paths[r], config_.node_hardware));
+    }
+  }
+  return out;
+}
+
+OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
+                                      Rng* rng) const {
+  require(schedule.num_nodes() <= ring_.size(),
+          "RingNetwork: schedule spans more nodes than the ring");
+  schedule.validate();
+
+  OpticalRunResult result;
+  result.steps = schedule.num_steps();
+  result.step_costs.reserve(schedule.num_steps());
+
+  // Drive the steps through the event kernel: each step-completion event
+  // evaluates (or cache-hits) the next step and schedules its completion.
+  sim::Simulator simulator;
+  std::size_t next_step = 0;
+  const bool retune_mode = config_.reconfig_accounting ==
+                           OpticalConfig::ReconfigAccounting::kOnRetune;
+  TuningState previous_tuning;
+
+  std::function<void()> launch = [&]() {
+    if (next_step >= schedule.num_steps()) return;
+    const coll::Step& step = schedule.steps()[next_step];
+    ++next_step;
+
+    PatternCost pattern;
+    if (!step.transfers.empty()) {
+      const std::uint64_t sig = step_signature(step);
+      // Random-fit assignments differ run to run; never cache them.
+      const bool cacheable = config_.rwa_policy == RwaPolicy::kFirstFit;
+      const auto it =
+          cacheable ? pattern_cache_.find(sig) : pattern_cache_.end();
+      if (it != pattern_cache_.end()) {
+        pattern = it->second;
+      } else {
+        pattern = evaluate_step(step, rng);
+        if (cacheable) pattern_cache_.emplace(sig, pattern);
+      }
+    }
+
+    if (retune_mode) {
+      // Re-price the step: a round pays the reconfiguration delay only if
+      // some micro-ring has to change state relative to the previous round.
+      Seconds duration(0.0);
+      for (std::size_t r = 0; r < pattern.round_serialization.size(); ++r) {
+        const std::size_t retuned =
+            previous_tuning.retune_count(pattern.round_tunings[r]);
+        if (retuned > 0) {
+          duration += config_.mrr_reconfig_delay;
+          ++result.reconfigurations;
+          result.retuned_mrrs += retuned;
+        }
+        duration += config_.oeo_delay + pattern.round_serialization[r];
+        previous_tuning = pattern.round_tunings[r];
+      }
+      pattern.cost.duration = duration;
+    } else {
+      result.reconfigurations += pattern.cost.rounds;
+    }
+
+    pattern.cost.start = simulator.now();
+    result.step_costs.push_back(pattern.cost);
+    result.total_rounds += pattern.cost.rounds;
+    result.max_wavelengths_used =
+        std::max(result.max_wavelengths_used, pattern.cost.wavelengths_used);
+    result.longest_lightpath_hops =
+        std::max(result.longest_lightpath_hops, pattern.longest_hops);
+    simulator.schedule_in(pattern.cost.duration, launch);
+  };
+
+  simulator.schedule_in(Seconds(0.0), launch);
+  simulator.run();
+
+  result.total_time = simulator.now();
+  result.events_fired = simulator.events_fired();
+  return result;
+}
+
+}  // namespace wrht::optics

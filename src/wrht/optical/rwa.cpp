@@ -1,0 +1,165 @@
+#include "wrht/optical/rwa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::optics {
+
+namespace {
+
+/// Occupancy bookkeeping: one lazily-allocated per-segment bitmap per
+/// (direction, fiber, wavelength), so a conflict check costs O(hops) no
+/// matter how many lightpaths are already placed.
+class OccupancyMap {
+ public:
+  OccupancyMap(std::uint32_t n, const RwaOptions& opt)
+      : n_(n),
+        wavelengths_(opt.wavelengths),
+        fibers_(opt.fibers_per_direction),
+        bitmaps_(2 * opt.fibers_per_direction * opt.wavelengths) {}
+
+  [[nodiscard]] bool fits(topo::Direction dir, std::uint32_t fiber,
+                          std::uint32_t lambda, const SegmentSpan& span) const {
+    const auto& bitmap = bitmaps_[index(dir, fiber, lambda)];
+    if (bitmap.empty()) return true;
+    for (std::uint32_t h = 0; h < span.hops; ++h) {
+      if (bitmap[(span.first + h) % n_]) return false;
+    }
+    return true;
+  }
+
+  void place(topo::Direction dir, std::uint32_t fiber, std::uint32_t lambda,
+             const SegmentSpan& span) {
+    auto& bitmap = bitmaps_[index(dir, fiber, lambda)];
+    if (bitmap.empty()) bitmap.assign(n_, 0);
+    for (std::uint32_t h = 0; h < span.hops; ++h) {
+      bitmap[(span.first + h) % n_] = 1;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(topo::Direction dir, std::uint32_t fiber,
+                                  std::uint32_t lambda) const {
+    const std::size_t d = dir == topo::Direction::kClockwise ? 0 : 1;
+    return (d * fibers_ + fiber) * wavelengths_ + lambda;
+  }
+
+  std::uint32_t n_;
+  std::uint32_t wavelengths_;
+  std::uint32_t fibers_;
+  std::vector<std::vector<std::uint8_t>> bitmaps_;
+};
+
+/// Longest lightpaths first: first-fit packs nested WRHT group paths and
+/// all-to-all exchanges tightly when the most constrained path goes first.
+std::vector<std::size_t> order_by_hops(
+    const topo::Ring& ring, const std::vector<coll::Transfer>& transfers) {
+  std::vector<std::size_t> order(transfers.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return ring.distance(transfers[a].src, transfers[a].dst) >
+           ring.distance(transfers[b].src, transfers[b].dst);
+  });
+  return order;
+}
+
+topo::Direction pick_direction(const topo::Ring& ring,
+                               const coll::Transfer& t) {
+  return t.direction ? *t.direction : ring.shortest_direction(t.src, t.dst);
+}
+
+/// Tries to place one transfer; returns true and fills `out` on success.
+bool try_assign(const topo::Ring& ring, const coll::Transfer& t,
+                const RwaOptions& opt, OccupancyMap& occupancy, Rng* rng,
+                Lightpath& out) {
+  const topo::Direction dir = pick_direction(ring, t);
+  const SegmentSpan span = segment_span(ring, t.src, t.dst, dir);
+
+  std::vector<std::uint32_t> lambda_order(opt.wavelengths);
+  std::iota(lambda_order.begin(), lambda_order.end(), 0u);
+  if (opt.policy == RwaPolicy::kRandomFit) {
+    require(rng != nullptr, "RWA: random-fit needs an Rng");
+    for (std::uint32_t i = opt.wavelengths; i > 1; --i) {
+      const auto j = static_cast<std::uint32_t>(rng->uniform_int(0, i - 1));
+      std::swap(lambda_order[i - 1], lambda_order[j]);
+    }
+  }
+
+  for (std::uint32_t fiber = 0; fiber < opt.fibers_per_direction; ++fiber) {
+    for (const std::uint32_t lambda : lambda_order) {
+      if (occupancy.fits(dir, fiber, lambda, span)) {
+        occupancy.place(dir, fiber, lambda, span);
+        out = Lightpath{t.src,  t.dst,      dir,       fiber,
+                        lambda, span.first, span.hops};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RwaResult assign_wavelengths(const topo::Ring& ring,
+                             const std::vector<coll::Transfer>& transfers,
+                             const RwaOptions& options, Rng* rng) {
+  require(options.wavelengths >= 1 && options.fibers_per_direction >= 1,
+          "RWA: need at least one wavelength and fiber");
+  RwaResult result;
+  result.paths.resize(transfers.size());
+  OccupancyMap occupancy(ring.size(), options);
+
+  for (const std::size_t idx : order_by_hops(ring, transfers)) {
+    Lightpath path;
+    if (!try_assign(ring, transfers[idx], options, occupancy, rng, path)) {
+      return RwaResult{};  // ok = false
+    }
+    result.paths[idx] = path;
+    result.wavelengths_used =
+        std::max(result.wavelengths_used, path.wavelength + 1);
+  }
+  result.ok = true;
+  return result;
+}
+
+RoundsResult assign_rounds(const topo::Ring& ring,
+                           const std::vector<coll::Transfer>& transfers,
+                           const RwaOptions& options, Rng* rng) {
+  RoundsResult result;
+  std::vector<std::size_t> remaining = order_by_hops(ring, transfers);
+
+  while (!remaining.empty()) {
+    OccupancyMap occupancy(ring.size(), options);
+    std::vector<std::size_t> round;
+    std::vector<Lightpath> paths;
+    std::vector<std::size_t> deferred;
+
+    for (const std::size_t idx : remaining) {
+      Lightpath path;
+      if (try_assign(ring, transfers[idx], options, occupancy, rng, path)) {
+        round.push_back(idx);
+        paths.push_back(path);
+        result.wavelengths_used =
+            std::max(result.wavelengths_used, path.wavelength + 1);
+      } else {
+        deferred.push_back(idx);
+      }
+    }
+
+    if (round.empty()) {
+      throw InfeasibleSchedule(
+          "RWA: a transfer cannot be routed even in an empty round "
+          "(wavelength budget " +
+          std::to_string(options.wavelengths) + ")");
+    }
+    result.rounds.push_back(std::move(round));
+    result.paths.push_back(std::move(paths));
+    remaining = std::move(deferred);
+  }
+  return result;
+}
+
+}  // namespace wrht::optics

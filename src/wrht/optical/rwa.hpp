@@ -1,0 +1,61 @@
+// Routing and Wavelength Assignment (RWA) for one communication step.
+//
+// Given the concurrent transfers of a step, assign each a direction (honour
+// the schedule's hint, else shortest path) and a (fiber, wavelength) pair
+// such that no two lightpaths share a wavelength on an overlapping segment
+// of the same fiber. Supports the paper's First-Fit and Random-Fit policies
+// and, when a step needs more wavelengths than the fiber carries, a greedy
+// split of the step into sequential conflict-free rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/common/rng.hpp"
+#include "wrht/optical/lightpath.hpp"
+#include "wrht/topo/ring.hpp"
+
+namespace wrht::optics {
+
+enum class RwaPolicy {
+  kFirstFit,  ///< lowest-index free wavelength (Ozdaglar & Bertsekas)
+  kRandomFit  ///< random free wavelength (Wason & Kaler)
+};
+
+struct RwaOptions {
+  std::uint32_t wavelengths = 64;
+  std::uint32_t fibers_per_direction = 1;
+  RwaPolicy policy = RwaPolicy::kFirstFit;
+};
+
+struct RwaResult {
+  bool ok = false;
+  /// Parallel to the input transfers; valid only when ok.
+  std::vector<Lightpath> paths;
+  /// Highest wavelength index used + 1 (0 when no transfers).
+  std::uint32_t wavelengths_used = 0;
+};
+
+/// Assigns all transfers in one round. When the wavelength budget does not
+/// suffice, returns ok=false (paths empty).
+[[nodiscard]] RwaResult assign_wavelengths(
+    const topo::Ring& ring, const std::vector<coll::Transfer>& transfers,
+    const RwaOptions& options, Rng* rng = nullptr);
+
+struct RoundsResult {
+  /// rounds[r] lists indices into the input transfer vector.
+  std::vector<std::vector<std::size_t>> rounds;
+  /// Per-round assignments, parallel to `rounds`.
+  std::vector<std::vector<Lightpath>> paths;
+  std::uint32_t wavelengths_used = 0;
+};
+
+/// Greedily packs the transfers into as few sequential rounds as possible,
+/// each conflict-free within the wavelength budget. Throws
+/// InfeasibleSchedule if some transfer cannot be routed even alone.
+[[nodiscard]] RoundsResult assign_rounds(
+    const topo::Ring& ring, const std::vector<coll::Transfer>& transfers,
+    const RwaOptions& options, Rng* rng = nullptr);
+
+}  // namespace wrht::optics

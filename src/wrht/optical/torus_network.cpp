@@ -1,0 +1,106 @@
+#include "wrht/optical/torus_network.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "wrht/common/error.hpp"
+#include "wrht/optical/rwa.hpp"
+
+namespace wrht::optics {
+
+TorusNetwork::TorusNetwork(const topo::Torus& torus, OpticalConfig config)
+    : torus_(torus),
+      config_(config),
+      row_ring_(torus.cols()),
+      col_ring_(torus.rows()) {
+  require(config.wavelengths >= 1, "TorusNetwork: need >= 1 wavelength");
+}
+
+OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
+                                       Rng* rng) const {
+  require(schedule.num_nodes() <= torus_.size(),
+          "TorusNetwork: schedule spans more nodes than the torus");
+  schedule.validate();
+
+  const RwaOptions options{config_.wavelengths, config_.fibers_per_direction,
+                           config_.rwa_policy};
+
+  OpticalRunResult result;
+  result.steps = schedule.num_steps();
+  result.step_costs.reserve(schedule.num_steps());
+
+  double now = 0.0;
+  for (const auto& step : schedule.steps()) {
+    // Partition the step's transfers onto their row/column rings,
+    // remapping node ids to ring-local positions.
+    // Key: (true, row index) for rows, (false, column index) for columns.
+    std::map<std::pair<bool, std::uint32_t>, RingShare> shares;
+    for (const coll::Transfer& t : step.transfers) {
+      coll::Transfer local = t;
+      local.direction = std::nullopt;  // hints are flat-ring specific
+      if (torus_.row_of(t.src) == torus_.row_of(t.dst)) {
+        local.src = torus_.col_of(t.src);
+        local.dst = torus_.col_of(t.dst);
+        shares[{true, torus_.row_of(t.src)}].transfers.push_back(local);
+      } else if (torus_.col_of(t.src) == torus_.col_of(t.dst)) {
+        local.src = torus_.row_of(t.src);
+        local.dst = torus_.row_of(t.dst);
+        shares[{false, torus_.col_of(t.src)}].transfers.push_back(local);
+      } else {
+        throw InfeasibleSchedule(
+            "TorusNetwork: transfer " + std::to_string(t.src) + "->" +
+            std::to_string(t.dst) + " crosses both torus dimensions");
+      }
+    }
+
+    StepCost cost;
+    cost.start = Seconds(now);
+    std::uint32_t max_rounds = 0;
+    double slowest = 0.0;
+    for (const auto& [key, share] : shares) {
+      const topo::Ring& ring = key.first ? row_ring_ : col_ring_;
+      const RoundsResult rounds =
+          assign_rounds(ring, share.transfers, options, rng);
+      double ring_time = 0.0;
+      for (std::size_t r = 0; r < rounds.rounds.size(); ++r) {
+        std::size_t max_elements = 0;
+        for (const std::size_t idx : rounds.rounds[r]) {
+          max_elements =
+              std::max(max_elements, share.transfers[idx].count);
+        }
+        ring_time += config_.mrr_reconfig_delay.count() +
+                     config_.oeo_delay.count() +
+                     static_cast<double>(max_elements) *
+                         config_.bytes_per_element /
+                         config_.bytes_per_second();
+        cost.max_transfer_elements =
+            std::max(cost.max_transfer_elements, max_elements);
+      }
+      for (const auto& round : rounds.paths) {
+        for (const Lightpath& p : round) {
+          result.longest_lightpath_hops =
+              std::max(result.longest_lightpath_hops, p.hops);
+        }
+      }
+      cost.wavelengths_used =
+          std::max(cost.wavelengths_used, rounds.wavelengths_used);
+      max_rounds = std::max(
+          max_rounds, static_cast<std::uint32_t>(rounds.rounds.size()));
+      slowest = std::max(slowest, ring_time);
+    }
+
+    cost.rounds = max_rounds;
+    cost.duration = Seconds(slowest);
+    result.total_rounds += max_rounds;
+    result.reconfigurations += max_rounds;
+    result.max_wavelengths_used =
+        std::max(result.max_wavelengths_used, cost.wavelengths_used);
+    result.step_costs.push_back(cost);
+    now += slowest;
+  }
+  result.total_time = Seconds(now);
+  return result;
+}
+
+}  // namespace wrht::optics

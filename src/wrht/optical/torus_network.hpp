@@ -1,0 +1,47 @@
+// Optical torus interconnect simulator (§6.1 extension substrate).
+//
+// Every row and every column of the torus is a WDM optical ring with its
+// own fibers and wavelength budget (the natural generalisation of the
+// TeraRack ring). A communication step may use many rows/columns at once;
+// each ring prices its share exactly like RingNetwork (RWA + rounds) and
+// the step lasts as long as the slowest ring. Transfers that are neither
+// row-local nor column-local are rejected — torus schedules route
+// dimension by dimension, as the paper's §6.1 sketch does.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/common/rng.hpp"
+#include "wrht/optical/ring_network.hpp"
+#include "wrht/topo/torus.hpp"
+
+namespace wrht::optics {
+
+class TorusNetwork {
+ public:
+  TorusNetwork(const topo::Torus& torus, OpticalConfig config);
+
+  [[nodiscard]] const topo::Torus& torus() const { return torus_; }
+  [[nodiscard]] const OpticalConfig& config() const { return config_; }
+
+  /// Simulates the schedule. Throws InfeasibleSchedule for transfers that
+  /// do not stay within one row or one column.
+  [[nodiscard]] OpticalRunResult execute(const coll::Schedule& schedule,
+                                         Rng* rng = nullptr) const;
+
+ private:
+  struct RingShare {
+    /// Transfers remapped to ring-local node positions.
+    std::vector<coll::Transfer> transfers;
+  };
+
+  topo::Torus torus_;
+  OpticalConfig config_;
+  topo::Ring row_ring_;
+  topo::Ring col_ring_;
+};
+
+}  // namespace wrht::optics

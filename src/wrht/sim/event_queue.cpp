@@ -1,0 +1,47 @@
+#include "wrht/sim/event_queue.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::sim {
+
+EventId EventQueue::schedule(Seconds when, EventFn fn) {
+  require(static_cast<bool>(fn), "EventQueue: null callback");
+  const EventId id = callbacks_.size();
+  callbacks_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push(Entry{when.count(), id});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  require(id < cancelled_.size(), "EventQueue: unknown event id");
+  if (!cancelled_[id]) {
+    cancelled_[id] = true;
+    --live_count_;
+  }
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Seconds EventQueue::next_time() const {
+  require(!empty(), "EventQueue: next_time on empty queue");
+  return Seconds(heap_.top().time);
+}
+
+EventQueue::Fired EventQueue::pop() {
+  require(!empty(), "EventQueue: pop on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  --live_count_;
+  return Fired{Seconds(top.time), std::move(callbacks_[top.id])};
+}
+
+}  // namespace wrht::sim

@@ -1,0 +1,58 @@
+// Priority event queue for the discrete-event kernel.
+//
+// Events are (time, sequence, callback); the sequence number breaks ties so
+// same-time events fire in insertion order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+
+namespace wrht::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`; returns a cancellable id.
+  EventId schedule(Seconds when, EventFn fn);
+
+  /// Marks the event cancelled; it is skipped when popped. O(1).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] Seconds next_time() const;
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  struct Fired {
+    Seconds time;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<EventFn> callbacks_;   // indexed by EventId
+  std::vector<bool> cancelled_;      // indexed by EventId
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace wrht::sim

@@ -1,0 +1,42 @@
+#include "wrht/sim/simulator.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::sim {
+
+EventId Simulator::schedule_in(Seconds delay, EventFn fn) {
+  require(delay.count() >= 0.0, "Simulator: negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Seconds when, EventFn fn) {
+  require(when >= now_, "Simulator: schedule_at in the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired_now = 0;
+  while (!queue_.empty()) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    fn();
+    ++fired_;
+    ++fired_now;
+  }
+  return fired_now;
+}
+
+std::uint64_t Simulator::run_until(Seconds deadline) {
+  std::uint64_t fired_now = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    fn();
+    ++fired_;
+    ++fired_now;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired_now;
+}
+
+}  // namespace wrht::sim

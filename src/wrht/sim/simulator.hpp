@@ -1,0 +1,41 @@
+// Discrete-event simulation kernel shared by the optical and electrical
+// network models. Single-threaded, deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/common/units.hpp"
+#include "wrht/sim/event_queue.hpp"
+
+namespace wrht::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `fn` to fire `delay` after the current time.
+  EventId schedule_in(Seconds delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `when` (must be >= now).
+  EventId schedule_at(Seconds when, EventFn fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until no events remain. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs until the queue is empty or time would exceed `deadline`;
+  /// events at exactly `deadline` still fire.
+  std::uint64_t run_until(Seconds deadline);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  EventQueue queue_;
+  Seconds now_{0.0};
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace wrht::sim

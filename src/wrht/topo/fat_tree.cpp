@@ -1,0 +1,64 @@
+#include "wrht/topo/fat_tree.hpp"
+
+namespace wrht::topo {
+
+FatTree::FatTree(std::uint32_t num_hosts, std::uint32_t router_ports)
+    : hosts_(num_hosts), ports_(router_ports) {
+  require(router_ports >= 4 && router_ports % 2 == 0,
+          "FatTree: router_ports must be even and >= 4");
+  require(num_hosts >= 2, "FatTree: need at least 2 hosts");
+  hosts_per_edge_ = ports_ / 2;
+  edges_ = (hosts_ + hosts_per_edge_ - 1) / hosts_per_edge_;
+  cores_ = ports_ / 2;
+  // Directed link layout:
+  //   [0, hosts)                     host -> edge
+  //   [hosts, 2*hosts)               edge -> host
+  //   then edge->core and core->edge blocks of edges*cores each.
+  links_ = 2 * hosts_ + 2 * edges_ * cores_;
+}
+
+std::uint32_t FatTree::edge_of(HostId host) const {
+  check_host(host);
+  return host / hosts_per_edge_;
+}
+
+LinkId FatTree::host_to_edge(HostId host) const {
+  check_host(host);
+  return host;
+}
+
+LinkId FatTree::edge_to_host(HostId host) const {
+  check_host(host);
+  return hosts_ + host;
+}
+
+LinkId FatTree::edge_to_core(std::uint32_t edge, std::uint32_t core) const {
+  require(edge < edges_ && core < cores_, "FatTree: edge/core out of range");
+  return 2 * hosts_ + edge * cores_ + core;
+}
+
+LinkId FatTree::core_to_edge(std::uint32_t core, std::uint32_t edge) const {
+  require(edge < edges_ && core < cores_, "FatTree: edge/core out of range");
+  return 2 * hosts_ + edges_ * cores_ + edge * cores_ + core;
+}
+
+FatTree::Route FatTree::route(HostId src, HostId dst) const {
+  check_host(src);
+  check_host(dst);
+  require(src != dst, "FatTree: route to self");
+  const std::uint32_t se = edge_of(src);
+  const std::uint32_t de = edge_of(dst);
+  Route r;
+  if (se == de) {
+    r.links = {host_to_edge(src), edge_to_host(dst)};
+    r.routers = 1;
+    return r;
+  }
+  const std::uint32_t core = dst % cores_;
+  r.links = {host_to_edge(src), edge_to_core(se, core), core_to_edge(core, de),
+             edge_to_host(dst)};
+  r.routers = 3;
+  return r;
+}
+
+}  // namespace wrht::topo

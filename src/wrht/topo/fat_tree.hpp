@@ -1,0 +1,71 @@
+// Two-level fat-tree topology (hosts -> edge routers -> core routers),
+// matching the paper's electrical baseline: "two-level cluster with 32-port
+// routers" (Table 2).
+//
+// Each edge router dedicates half of its ports to hosts and half to uplinks,
+// one uplink per core router. Every directed link gets its own id so the
+// flow-level simulator can model full-duplex capacity independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::topo {
+
+using HostId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+class FatTree {
+ public:
+  /// Builds a two-level fat tree for `num_hosts` hosts using routers with
+  /// `router_ports` ports (default 32 per the paper).
+  explicit FatTree(std::uint32_t num_hosts, std::uint32_t router_ports = 32);
+
+  [[nodiscard]] std::uint32_t num_hosts() const { return hosts_; }
+  [[nodiscard]] std::uint32_t router_ports() const { return ports_; }
+  [[nodiscard]] std::uint32_t hosts_per_edge() const { return hosts_per_edge_; }
+  [[nodiscard]] std::uint32_t num_edges() const { return edges_; }
+  [[nodiscard]] std::uint32_t num_cores() const { return cores_; }
+  /// Total number of directed links.
+  [[nodiscard]] std::uint32_t num_links() const { return links_; }
+
+  [[nodiscard]] std::uint32_t edge_of(HostId host) const;
+
+  /// Directed link ids.
+  [[nodiscard]] LinkId host_to_edge(HostId host) const;
+  [[nodiscard]] LinkId edge_to_host(HostId host) const;
+  [[nodiscard]] LinkId edge_to_core(std::uint32_t edge,
+                                    std::uint32_t core) const;
+  [[nodiscard]] LinkId core_to_edge(std::uint32_t core,
+                                    std::uint32_t edge) const;
+
+  /// A routed path: the directed links traversed plus the number of routers
+  /// crossed (store-and-forward delay applies per router).
+  struct Route {
+    std::vector<LinkId> links;
+    std::uint32_t routers = 0;
+  };
+
+  /// Shortest path host -> host. Same edge: host-edge-host (1 router).
+  /// Different edges: host-edge-core-edge-host (3 routers); the core is
+  /// chosen by destination (D-mod-k routing, dst mod cores), the standard
+  /// deterministic fat-tree rule SimGrid implements — flows to distinct
+  /// hosts of a rack spread over distinct cores.
+  [[nodiscard]] Route route(HostId src, HostId dst) const;
+
+  void check_host(HostId host) const {
+    require(host < hosts_, "FatTree: host id out of range");
+  }
+
+ private:
+  std::uint32_t hosts_;
+  std::uint32_t ports_;
+  std::uint32_t hosts_per_edge_;
+  std::uint32_t edges_;
+  std::uint32_t cores_;
+  std::uint32_t links_;
+};
+
+}  // namespace wrht::topo

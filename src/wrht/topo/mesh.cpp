@@ -1,0 +1,47 @@
+#include "wrht/topo/mesh.hpp"
+
+#include <cstdlib>
+
+namespace wrht::topo {
+
+Mesh::Mesh(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows), cols_(cols) {
+  require(rows >= 2 && cols >= 2, "Mesh: need at least 2x2");
+}
+
+NodeId Mesh::node_at(std::uint32_t row, std::uint32_t col) const {
+  require(row < rows_ && col < cols_, "Mesh: coordinate out of range");
+  return row * cols_ + col;
+}
+
+std::uint32_t Mesh::row_of(NodeId node) const {
+  check_node(node);
+  return node / cols_;
+}
+
+std::uint32_t Mesh::col_of(NodeId node) const {
+  check_node(node);
+  return node % cols_;
+}
+
+std::uint32_t Mesh::line_distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  require(row_of(a) == row_of(b) || col_of(a) == col_of(b),
+          "Mesh: nodes do not share a line");
+  if (row_of(a) == row_of(b)) {
+    return col_of(a) > col_of(b) ? col_of(a) - col_of(b)
+                                 : col_of(b) - col_of(a);
+  }
+  return row_of(a) > row_of(b) ? row_of(a) - row_of(b)
+                               : row_of(b) - row_of(a);
+}
+
+std::uint64_t line_all_to_all_wavelengths(std::uint64_t k) {
+  // On a line of k nodes the segment between positions floor(k/2)-1 and
+  // floor(k/2) is crossed by every pair straddling it: floor(k/2)*ceil(k/2)
+  // ordered pairs per direction.
+  return (k / 2) * ((k + 1) / 2);
+}
+
+}  // namespace wrht::topo

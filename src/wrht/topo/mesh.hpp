@@ -1,0 +1,44 @@
+// 2-D mesh topology (torus without the wraparound links) for the second
+// half of the paper's §6.1 extension. Rows and columns are *lines*: a
+// lightpath between two nodes of a line has exactly one route, and an
+// all-to-all among k line nodes loads the middle segment with ~k^2/4
+// lightpaths per direction (the "one-stage model for a line" of Liang &
+// Shen that the paper cites).
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/common/error.hpp"
+#include "wrht/topo/ring.hpp"
+
+namespace wrht::topo {
+
+class Mesh {
+ public:
+  Mesh(std::uint32_t rows, std::uint32_t cols);
+
+  [[nodiscard]] std::uint32_t rows() const { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const { return cols_; }
+  [[nodiscard]] std::uint32_t size() const { return rows_ * cols_; }
+
+  [[nodiscard]] NodeId node_at(std::uint32_t row, std::uint32_t col) const;
+  [[nodiscard]] std::uint32_t row_of(NodeId node) const;
+  [[nodiscard]] std::uint32_t col_of(NodeId node) const;
+
+  /// Hops between two nodes of the same row/column line.
+  [[nodiscard]] std::uint32_t line_distance(NodeId a, NodeId b) const;
+
+  void check_node(NodeId node) const {
+    require(node < size(), "Mesh: node id out of range");
+  }
+
+ private:
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+};
+
+/// Wavelengths needed for a one-step all-to-all among k nodes of a line:
+/// the middle segment carries ceil(k^2/4) lightpaths per direction.
+[[nodiscard]] std::uint64_t line_all_to_all_wavelengths(std::uint64_t k);
+
+}  // namespace wrht::topo

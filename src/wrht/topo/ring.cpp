@@ -1,0 +1,64 @@
+#include "wrht/topo/ring.hpp"
+
+namespace wrht::topo {
+
+Ring::Ring(std::uint32_t num_nodes) : n_(num_nodes) {
+  require(num_nodes >= 2, "Ring: need at least 2 nodes");
+}
+
+std::uint32_t Ring::cw_distance(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  return (to + n_ - from) % n_;
+}
+
+std::uint32_t Ring::ccw_distance(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  return (from + n_ - to) % n_;
+}
+
+std::uint32_t Ring::distance(NodeId from, NodeId to) const {
+  return std::min(cw_distance(from, to), ccw_distance(from, to));
+}
+
+Direction Ring::shortest_direction(NodeId from, NodeId to) const {
+  return cw_distance(from, to) <= ccw_distance(from, to)
+             ? Direction::kClockwise
+             : Direction::kCounterClockwise;
+}
+
+std::uint32_t Ring::distance_along(NodeId from, NodeId to,
+                                   Direction dir) const {
+  return dir == Direction::kClockwise ? cw_distance(from, to)
+                                      : ccw_distance(from, to);
+}
+
+NodeId Ring::advance(NodeId from, std::uint32_t hops, Direction dir) const {
+  check_node(from);
+  const std::uint32_t h = hops % n_;
+  if (dir == Direction::kClockwise) return (from + h) % n_;
+  return (from + n_ - h) % n_;
+}
+
+std::vector<std::uint32_t> Ring::segments(NodeId from, NodeId to,
+                                          Direction dir) const {
+  const std::uint32_t hops = distance_along(from, to, dir);
+  std::vector<std::uint32_t> segs;
+  segs.reserve(hops);
+  NodeId at = from;
+  for (std::uint32_t i = 0; i < hops; ++i) {
+    // Clockwise segment k spans k -> k+1; counterclockwise segment k spans
+    // k+1 -> k, so a CCW hop departing `at` crosses segment at-1.
+    if (dir == Direction::kClockwise) {
+      segs.push_back(at);
+      at = (at + 1) % n_;
+    } else {
+      at = (at + n_ - 1) % n_;
+      segs.push_back(at);
+    }
+  }
+  return segs;
+}
+
+}  // namespace wrht::topo

@@ -1,0 +1,122 @@
+#include "wrht/dnn/bucketing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+#include "wrht/dnn/zoo.hpp"
+
+namespace wrht::dnn {
+namespace {
+
+TEST(Bucketize, CoversEveryParameterExactlyOnce) {
+  for (const auto& model : paper_workloads()) {
+    const BucketPlan plan = bucketize(model, 25'000'000 / 4);
+    EXPECT_EQ(plan.total_params(), model.parameter_count()) << model.name();
+  }
+}
+
+TEST(Bucketize, RespectsCapExceptSingleHugeLayers) {
+  const Model model = vgg16();
+  const std::uint64_t cap = 5'000'000;
+  const BucketPlan plan = bucketize(model, cap);
+  std::uint64_t largest_layer = 0;
+  for (const auto& l : model.layers()) {
+    largest_layer = std::max(largest_layer, l.parameters);
+  }
+  for (const std::uint64_t b : plan.bucket_params) {
+    EXPECT_LE(b, std::max(cap, largest_layer));
+  }
+}
+
+TEST(Bucketize, SmallerCapMeansMoreBuckets) {
+  const Model model = resnet50();
+  EXPECT_GT(bucketize(model, 1'000'000).buckets(),
+            bucketize(model, 10'000'000).buckets());
+}
+
+TEST(Bucketize, HugeCapYieldsSingleBucket) {
+  const Model model = alexnet();
+  const BucketPlan plan = bucketize(model, model.parameter_count());
+  EXPECT_EQ(plan.buckets(), 1u);
+  EXPECT_EQ(plan.bucket_params[0], model.parameter_count());
+}
+
+TEST(Bucketize, FirstBucketHoldsLastLayers) {
+  // Reverse order: the classifier head lands in the first bucket.
+  const Model model = vgg16();
+  const BucketPlan plan = bucketize(model, 5'000'000);
+  // fc3 is ~4.1M params; it fits the first bucket alone under a 5M cap.
+  EXPECT_EQ(plan.bucket_params.front(), 4'097'000u);
+}
+
+TEST(Bucketize, Validation) {
+  EXPECT_THROW(bucketize(resnet50(), 0), InvalidArgument);
+}
+
+TEST(Overlap, FullyHiddenWhenComputeDominates) {
+  const Model model = beit_large();  // heavy compute
+  TrainingConfig cfg;
+  cfg.batch_per_worker = 64;
+  const BucketPlan plan = bucketize(model, 10'000'000);
+  // Tiny communication: 1 us per bucket.
+  std::vector<Seconds> comm(plan.buckets(), Seconds(1e-6));
+  const OverlapResult r = overlapped_iteration(model, cfg, plan, comm);
+  EXPECT_GT(r.overlap_efficiency(), 0.95);
+  EXPECT_NEAR(r.iteration.count(), compute_time(model, cfg).count(), 1e-4);
+}
+
+TEST(Overlap, FullyExposedWhenCommDominates) {
+  const Model model = resnet50();
+  TrainingConfig cfg;
+  cfg.batch_per_worker = 1;
+  const BucketPlan plan = bucketize(model, model.parameter_count());
+  std::vector<Seconds> comm{Seconds(10.0)};
+  const OverlapResult r = overlapped_iteration(model, cfg, plan, comm);
+  // One bucket only becomes ready at the END of backward: zero overlap.
+  EXPECT_NEAR(r.exposed_comm.count(), 10.0, 1e-9);
+  EXPECT_LT(r.overlap_efficiency(), 0.01);
+}
+
+TEST(Overlap, MoreBucketsHideMoreCommunication) {
+  const Model model = vgg16();
+  TrainingConfig cfg;
+  cfg.batch_per_worker = 32;
+  const BucketPlan one = bucketize(model, model.parameter_count());
+  const BucketPlan many = bucketize(model, 5'000'000);
+  // Same total communication either way.
+  const double total_comm = 0.05;
+  std::vector<Seconds> comm_one{Seconds(total_comm)};
+  std::vector<Seconds> comm_many(
+      many.buckets(), Seconds(total_comm / many.buckets()));
+  const OverlapResult r_one = overlapped_iteration(model, cfg, one, comm_one);
+  const OverlapResult r_many =
+      overlapped_iteration(model, cfg, many, comm_many);
+  EXPECT_LT(r_many.exposed_comm.count(), r_one.exposed_comm.count());
+  EXPECT_LE(r_many.iteration.count(), r_one.iteration.count());
+}
+
+TEST(Overlap, IterationNeverBeatsComputeOrComm) {
+  const Model model = alexnet();
+  TrainingConfig cfg;
+  const BucketPlan plan = bucketize(model, 10'000'000);
+  std::vector<Seconds> comm(plan.buckets(), Seconds(0.002));
+  const OverlapResult r = overlapped_iteration(model, cfg, plan, comm);
+  EXPECT_GE(r.iteration.count(), compute_time(model, cfg).count());
+  EXPECT_GE(r.iteration.count(), r.total_comm.count());
+}
+
+TEST(Overlap, Validation) {
+  const Model model = resnet50();
+  TrainingConfig cfg;
+  const BucketPlan plan = bucketize(model, 1'000'000);
+  std::vector<Seconds> wrong(plan.buckets() + 1, Seconds(0.0));
+  EXPECT_THROW(overlapped_iteration(model, cfg, plan, wrong),
+               InvalidArgument);
+  BucketPlan bad = plan;
+  bad.bucket_params.back() += 1;
+  std::vector<Seconds> comm(bad.buckets(), Seconds(0.0));
+  EXPECT_THROW(overlapped_iteration(model, cfg, bad, comm), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::dnn

@@ -1,0 +1,74 @@
+// Consistency property: whenever the wavelength budget carries every step
+// in a single round, the simulated optical time equals the closed-form
+// Eq. (6) arithmetic (sum over steps of a + max_payload/B) — for EVERY
+// registered algorithm. This pins the simulator to the paper's analytical
+// model on the configurations the paper evaluates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "wrht/collectives/registry.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/optical/ring_network.hpp"
+
+namespace wrht {
+namespace {
+
+using Case = std::tuple<std::string, std::uint32_t, std::size_t>;
+
+class ClosedFormConsistency : public testing::TestWithParam<Case> {};
+
+TEST_P(ClosedFormConsistency, SimulatorMatchesEq6WhenNoSplitting) {
+  const auto& [name, n, elements] = GetParam();
+  core::register_wrht_algorithm();
+
+  coll::AllreduceParams p;
+  p.num_nodes = n;
+  p.elements = elements;
+  p.group_size = name == "hring" ? 5u : 0u;
+  p.wavelengths = 64;
+  const coll::Schedule sched = coll::Registry::instance().build(name, p);
+
+  optics::OpticalConfig cfg;
+  cfg.wavelengths = 64;
+  const optics::RingNetwork net(n, cfg);
+  const auto res = net.execute(sched);
+
+  if (res.total_rounds != res.steps) {
+    GTEST_SKIP() << "budget forced multi-round steps";
+  }
+  EXPECT_NEAR(res.total_time.count(),
+              net.single_round_estimate(sched).count(),
+              1e-12 * res.total_time.count() + 1e-15)
+      << name << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosedFormConsistency,
+    testing::Combine(testing::Values("ring", "hring", "btree",
+                                     "recursive_doubling", "halving_doubling",
+                                     "wrht"),
+                     testing::Values(16u, 33u, 64u, 128u),
+                     testing::Values(512u, 100'000u)),
+    [](const testing::TestParamInfo<Case>& info) {
+      return std::get<0>(info.param) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_e" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ClosedFormConsistency, EstimateCountsEmptyStepsAsFree) {
+  coll::Schedule s("manual", 4, 8);
+  s.add_step();  // empty
+  s.add_step().transfers.push_back(
+      coll::Transfer{0, 1, 0, 8, coll::TransferKind::kReduce, {}});
+  optics::OpticalConfig cfg;
+  const optics::RingNetwork net(4, cfg);
+  EXPECT_DOUBLE_EQ(net.single_round_estimate(s).count(),
+                   net.round_time(8).count());
+  EXPECT_DOUBLE_EQ(net.execute(s).total_time.count(),
+                   net.round_time(8).count());
+}
+
+}  // namespace
+}  // namespace wrht

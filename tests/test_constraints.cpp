@@ -1,0 +1,77 @@
+#include "wrht/core/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::core {
+namespace {
+
+TEST(Constraints, ReportFieldsConsistent) {
+  OpticalConstraints c;
+  const ConstraintReport r = evaluate_constraints(1024, 65, c);
+  EXPECT_EQ(r.longest_path_hops, optics::wrht_max_comm_length(1024, 65));
+  EXPECT_DOUBLE_EQ(
+      r.insertion_loss.count(),
+      optics::insertion_loss(r.longest_path_hops, c.power).count());
+  EXPECT_EQ(r.power_ok,
+            optics::power_feasible(r.longest_path_hops, c.power));
+  EXPECT_EQ(r.ber_ok, r.ber < c.target_ber);
+}
+
+TEST(Constraints, DefaultsAdmitModerateGroups) {
+  OpticalConstraints c;
+  EXPECT_TRUE(group_size_feasible(1024, 65, c));
+  const std::uint32_t m = max_feasible_group_size(1024, c);
+  EXPECT_GE(m, 65u);
+  EXPECT_TRUE(group_size_feasible(1024, m, c));
+}
+
+TEST(Constraints, MaxIsMaximal) {
+  OpticalConstraints c;
+  const std::uint32_t m = max_feasible_group_size(1024, c);
+  ASSERT_GE(m, 2u);
+  for (std::uint32_t larger = m + 1; larger <= 1024; ++larger) {
+    EXPECT_FALSE(group_size_feasible(1024, larger, c)) << larger;
+  }
+}
+
+TEST(Constraints, PowerBindsWhenLaserWeak) {
+  OpticalConstraints c;
+  c.power.laser_power = PowerDbm(6.5);
+  // Headroom (6.5 - 1.3 - 4.8) = 0.4 dB -> 40 hops at 0.01 dB/hop.
+  ASSERT_EQ(optics::max_reach_hops(c.power), 40u);
+  const std::uint32_t m = max_feasible_group_size(1024, c);
+  EXPECT_LE(optics::wrht_max_comm_length(1024, m), 40u);
+  EXPECT_EQ(m, 40u);  // L=2 regime: longest path == m
+}
+
+TEST(Constraints, CrosstalkBindsWhenNoisy) {
+  OpticalConstraints c;
+  c.crosstalk.per_hop_crosstalk = PowerDbm(-35.0);  // leaky MRRs
+  const std::uint32_t m = max_feasible_group_size(1024, c);
+  const std::uint64_t reach = optics::max_hops_for_ber(c.crosstalk, 1e-9);
+  EXPECT_LE(optics::wrht_max_comm_length(1024, m), reach);
+  EXPECT_LT(m, 65u);
+}
+
+TEST(Constraints, InfeasibleEverywhereReturnsZero) {
+  OpticalConstraints c;
+  c.power.laser_power = PowerDbm(-20.0);
+  EXPECT_EQ(max_feasible_group_size(64, c), 0u);
+}
+
+TEST(Constraints, TightBerTargetShrinksGroups) {
+  OpticalConstraints loose, tight;
+  tight.target_ber = 1e-15;
+  EXPECT_LE(max_feasible_group_size(1024, tight),
+            max_feasible_group_size(1024, loose));
+}
+
+TEST(Constraints, Validation) {
+  OpticalConstraints c;
+  EXPECT_THROW(max_feasible_group_size(1, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::core

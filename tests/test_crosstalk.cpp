@@ -1,0 +1,104 @@
+#include "wrht/optical/crosstalk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wrht/common/error.hpp"
+#include "wrht/optical/power.hpp"
+
+namespace wrht::optics {
+namespace {
+
+TEST(Crosstalk, Eq12AccumulatesLinearly) {
+  CrosstalkParams p;
+  p.per_hop_crosstalk = PowerDbm(-30.0);  // 1 uW per hop
+  p.tx_crosstalk = PowerDbm(-30.0);
+  // 9 hops + tx = 10 uW = -20 dBm.
+  EXPECT_NEAR(worst_case_crosstalk(9, p).count(), -20.0, 1e-9);
+}
+
+TEST(Crosstalk, SnrMatchesHandComputation) {
+  CrosstalkParams p;
+  p.signal_power = PowerDbm(0.0);         // 1 mW
+  p.per_hop_crosstalk = PowerDbm(-30.0);  // 1 uW
+  p.tx_crosstalk = PowerDbm(-40.0);       // 0.1 uW
+  p.other_noise = PowerDbm(-40.0);        // 0.1 uW
+  // noise = 8*1 + 0.1 + 0.1 = 8.2 uW; snr = 1000/8.2.
+  EXPECT_NEAR(snr_linear(8, p), 1000.0 / 8.2, 1e-9);
+  EXPECT_NEAR(snr_db(8, p), 10.0 * std::log10(1000.0 / 8.2), 1e-9);
+}
+
+TEST(Crosstalk, SnrDecreasesWithHops) {
+  CrosstalkParams p;
+  double prev = snr_linear(1, p);
+  for (std::uint64_t hops = 2; hops <= 512; hops *= 2) {
+    const double snr = snr_linear(hops, p);
+    EXPECT_LT(snr, prev);
+    prev = snr;
+  }
+}
+
+TEST(Ber, Eq13Formula) {
+  EXPECT_DOUBLE_EQ(ber_from_snr(0.0), 0.5);
+  EXPECT_NEAR(ber_from_snr(4.0), 0.5 * std::exp(-1.0), 1e-12);
+  // SNR for BER = 1e-9: -4 ln(2e-9) ~ 80.1.
+  const double snr_min = -4.0 * std::log(2e-9);
+  EXPECT_NEAR(ber_from_snr(snr_min), 1e-9, 1e-15);
+  EXPECT_THROW(ber_from_snr(-1.0), InvalidArgument);
+}
+
+TEST(Ber, MonotoneInHops) {
+  CrosstalkParams p;
+  double prev = ber(1, p);
+  for (std::uint64_t hops = 2; hops <= 1024; hops *= 2) {
+    const double b = ber(hops, p);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(MaxHopsForBer, ThresholdIsExact) {
+  CrosstalkParams p;  // defaults: 0 dBm signal, -40 dB/hop crosstalk
+  const std::uint64_t hops = max_hops_for_ber(p, 1e-9);
+  ASSERT_GT(hops, 0u);
+  EXPECT_LT(ber(hops, p), 1e-9);
+  EXPECT_GE(ber(hops + 1, p), 1e-9);
+}
+
+TEST(MaxHopsForBer, StricterTargetShrinksReach) {
+  CrosstalkParams p;
+  EXPECT_LE(max_hops_for_ber(p, 1e-12), max_hops_for_ber(p, 1e-9));
+  EXPECT_LE(max_hops_for_ber(p, 1e-9), max_hops_for_ber(p, 1e-6));
+}
+
+TEST(MaxHopsForBer, StrongerSignalExtendsReach) {
+  CrosstalkParams weak, strong;
+  weak.signal_power = PowerDbm(-3.0);
+  strong.signal_power = PowerDbm(3.0);
+  EXPECT_LT(max_hops_for_ber(weak), max_hops_for_ber(strong));
+}
+
+TEST(MaxHopsForBer, ZeroWhenFixedNoiseTooHigh) {
+  CrosstalkParams p;
+  p.signal_power = PowerDbm(-30.0);
+  p.other_noise = PowerDbm(-30.0);  // SNR <= 1 even with zero hops
+  EXPECT_EQ(max_hops_for_ber(p, 1e-9), 0u);
+}
+
+TEST(MaxHopsForBer, Validation) {
+  CrosstalkParams p;
+  EXPECT_THROW(max_hops_for_ber(p, 0.0), InvalidArgument);
+  EXPECT_THROW(max_hops_for_ber(p, 0.7), InvalidArgument);
+}
+
+TEST(MaxGroupSizeByCrosstalk, ConsistentWithEq7) {
+  CrosstalkParams p;  // defaults allow a few hundred hops
+  const std::uint64_t reach = max_hops_for_ber(p, 1e-9);
+  const std::uint32_t m = max_group_size_by_crosstalk(1024, p, 1e-9);
+  ASSERT_GE(m, 2u);
+  EXPECT_LE(wrht_max_comm_length(1024, m), reach);
+}
+
+}  // namespace
+}  // namespace wrht::optics

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+#include "wrht/dnn/model.hpp"
+#include "wrht/dnn/training.hpp"
+#include "wrht/dnn/zoo.hpp"
+
+namespace wrht::dnn {
+namespace {
+
+TEST(Model, LayerHelpersCountParameters) {
+  Model m("toy", 1.0);
+  EXPECT_EQ(m.add_conv("c", 3, 8, 16), 3u * 3 * 8 * 16 + 16);
+  EXPECT_EQ(m.add_conv("c2", 1, 8, 16, /*bias=*/false), 8u * 16);
+  EXPECT_EQ(m.add_fc("f", 100, 10), 1010u);
+  EXPECT_EQ(m.add_norm("n", 32), 64u);
+  EXPECT_EQ(m.parameter_count(), 3u * 3 * 8 * 16 + 16 + 128 + 1010 + 64);
+}
+
+TEST(Model, GradientBytesAreFourPerParam) {
+  Model m("toy", 1.0);
+  m.add_fc("f", 10, 10);
+  EXPECT_EQ(m.gradient_bytes().count(), 110u * 4);
+  EXPECT_EQ(m.gradient_bytes(2).count(), 110u * 2);
+}
+
+TEST(Zoo, AlexNetMatchesPublishedCount) {
+  // Single-tower AlexNet: 62,378,344 parameters ("62.3M" in the paper).
+  EXPECT_EQ(alexnet().parameter_count(), 62'378'344u);
+}
+
+TEST(Zoo, Vgg16MatchesPublishedCount) {
+  // 138,357,544 parameters ("138M" in the paper).
+  EXPECT_EQ(vgg16().parameter_count(), 138'357'544u);
+}
+
+TEST(Zoo, ResNet50MatchesPublishedCount) {
+  // 25,557,032 trainable parameters ("25M" in the paper).
+  EXPECT_EQ(resnet50().parameter_count(), 25'557'032u);
+}
+
+TEST(Zoo, BeitLargeIsAbout307M) {
+  // The paper cites 307M; our layer-accurate build lands within 3%.
+  const std::uint64_t params = beit_large().parameter_count();
+  EXPECT_GT(params, 297'000'000u);
+  EXPECT_LT(params, 317'000'000u);
+}
+
+TEST(Zoo, BertLargeIsAbout335M) {
+  const std::uint64_t params = bert_large().parameter_count();
+  EXPECT_GT(params, 330'000'000u);
+  EXPECT_LT(params, 345'000'000u);
+}
+
+TEST(Zoo, PaperWorkloadsOrderedAsInFigures) {
+  const auto models = paper_workloads();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name(), "BEiT-L");
+  EXPECT_EQ(models[1].name(), "VGG16");
+  EXPECT_EQ(models[2].name(), "AlexNet");
+  EXPECT_EQ(models[3].name(), "ResNet50");
+  // Descending parameter counts, as the paper lists them.
+  for (std::size_t i = 1; i < models.size(); ++i) {
+    EXPECT_GT(models[i - 1].parameter_count(), models[i].parameter_count());
+  }
+}
+
+TEST(Zoo, EveryLayerNamedAndCounted) {
+  for (const auto& model : paper_workloads()) {
+    EXPECT_FALSE(model.layers().empty());
+    for (const auto& layer : model.layers()) {
+      EXPECT_FALSE(layer.name.empty());
+    }
+  }
+}
+
+TEST(Training, ComputeTimeScalesWithBatch) {
+  const Model m = resnet50();
+  TrainingConfig small, big;
+  small.batch_per_worker = 16;
+  big.batch_per_worker = 32;
+  EXPECT_NEAR(compute_time(m, big).count() / compute_time(m, small).count(),
+              2.0, 1e-9);
+}
+
+TEST(Training, ComputeTimeFormula) {
+  Model m("toy", 10.0);  // 10 GFLOPs forward per sample
+  TrainingConfig cfg;
+  cfg.batch_per_worker = 4;
+  cfg.gpu.sustained_gflops = 1000.0;
+  cfg.gpu.backward_multiplier = 2.0;
+  // (10 * 4) * 3 / 1000 = 0.12 s.
+  EXPECT_NEAR(compute_time(m, cfg).count(), 0.12, 1e-12);
+}
+
+TEST(Training, IterationBreakdownCommFraction) {
+  const Model m = resnet50();
+  TrainingConfig cfg;
+  const auto iter = iteration_breakdown(m, cfg, Seconds(1.0));
+  EXPECT_GT(iter.comm_fraction(), 0.9);  // 1 s comm vs ms-scale compute
+  const auto compute_only = iteration_breakdown(m, cfg, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(compute_only.comm_fraction(), 0.0);
+}
+
+TEST(Training, IterationsPerEpoch) {
+  TrainingConfig cfg;
+  cfg.batch_per_worker = 32;
+  cfg.num_workers = 8;
+  cfg.dataset_samples = 2560;
+  EXPECT_EQ(iterations_per_epoch(cfg), 10u);
+  cfg.dataset_samples = 2561;  // partial final batch rounds up
+  EXPECT_EQ(iterations_per_epoch(cfg), 11u);
+}
+
+TEST(Training, EpochTimeComposes) {
+  const Model m = alexnet();
+  TrainingConfig cfg;
+  cfg.num_workers = 64;
+  cfg.dataset_samples = 64 * 32 * 5;  // exactly 5 iterations
+  const Seconds comm(0.01);
+  const auto iter = iteration_breakdown(m, cfg, comm);
+  EXPECT_NEAR(epoch_time(m, cfg, comm).count(), 5.0 * iter.total().count(),
+              1e-12);
+}
+
+TEST(Training, Validation) {
+  const Model m = resnet50();
+  TrainingConfig cfg;
+  cfg.batch_per_worker = 0;
+  EXPECT_THROW(compute_time(m, cfg), InvalidArgument);
+  TrainingConfig cfg2;
+  EXPECT_THROW(iteration_breakdown(m, cfg2, Seconds(-1.0)), InvalidArgument);
+  EXPECT_THROW(Model("bad", 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::dnn

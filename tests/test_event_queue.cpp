@@ -1,0 +1,98 @@
+#include "wrht/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(Seconds(3.0), [&] { fired.push_back(3); });
+  q.schedule(Seconds(1.0), [&] { fired.push_back(1); });
+  q.schedule(Seconds(2.0), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Seconds(1.0), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue q;
+  q.schedule(Seconds(5.0), [] {});
+  q.schedule(Seconds(2.0), [] {});
+  EXPECT_DOUBLE_EQ(q.next_time().count(), 2.0);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(Seconds(1.0), [&] { fired.push_back(1); });
+  const EventId id = q.schedule(Seconds(2.0), [&] { fired.push_back(2); });
+  q.schedule(Seconds(3.0), [&] { fired.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.schedule(Seconds(1.0), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelAllLeavesEmptyQueue) {
+  EventQueue q;
+  const EventId a = q.schedule(Seconds(1.0), [] {});
+  const EventId b = q.schedule(Seconds(2.0), [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopCarriesFireTime) {
+  EventQueue q;
+  q.schedule(Seconds(1.5), [] {});
+  const auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time.count(), 1.5);
+}
+
+TEST(EventQueue, Validation) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(Seconds(1.0), EventFn{}), InvalidArgument);
+  EXPECT_THROW(q.cancel(99), InvalidArgument);
+  EXPECT_THROW(q.pop(), InvalidArgument);
+  EXPECT_THROW(q.next_time(), InvalidArgument);
+}
+
+TEST(EventQueue, ManyEventsStaySorted) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule(Seconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+}  // namespace
+}  // namespace wrht::sim

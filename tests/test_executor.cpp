@@ -1,0 +1,171 @@
+#include "wrht/collectives/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::coll {
+namespace {
+
+TEST(Executor, ReduceAccumulates) {
+  Schedule s("manual", 2, 3);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 3, TransferKind::kReduce, {}});
+  std::vector<std::vector<double>> buf = {{1, 2, 3}, {10, 20, 30}};
+  Executor::run(s, buf);
+  EXPECT_EQ(buf[1], (std::vector<double>{11, 22, 33}));
+  EXPECT_EQ(buf[0], (std::vector<double>{1, 2, 3}));  // sender unchanged
+}
+
+TEST(Executor, CopyOverwrites) {
+  Schedule s("manual", 2, 2);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 2, TransferKind::kCopy, {}});
+  std::vector<std::vector<double>> buf = {{5, 6}, {0, 0}};
+  Executor::run(s, buf);
+  EXPECT_EQ(buf[1], (std::vector<double>{5, 6}));
+}
+
+TEST(Executor, RangedTransferTouchesOnlyRange) {
+  Schedule s("manual", 2, 4);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 1, 2, TransferKind::kCopy, {}});
+  std::vector<std::vector<double>> buf = {{1, 2, 3, 4}, {9, 9, 9, 9}};
+  Executor::run(s, buf);
+  EXPECT_EQ(buf[1], (std::vector<double>{9, 2, 3, 9}));
+}
+
+TEST(Executor, SnapshotSemanticsForConcurrentExchange) {
+  // Both nodes send and reduce in the same step; each must observe the
+  // other's *pre-step* value (recursive-doubling relies on this).
+  Schedule s("manual", 2, 1);
+  Step& step = s.add_step();
+  step.transfers.push_back(Transfer{0, 1, 0, 1, TransferKind::kReduce, {}});
+  step.transfers.push_back(Transfer{1, 0, 0, 1, TransferKind::kReduce, {}});
+  std::vector<std::vector<double>> buf = {{3}, {4}};
+  Executor::run(s, buf);
+  EXPECT_EQ(buf[0][0], 7.0);
+  EXPECT_EQ(buf[1][0], 7.0);
+}
+
+TEST(Executor, SnapshotAcrossStepsIsSequential) {
+  // Step 2 must observe step 1's result.
+  Schedule s("manual", 3, 1);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 1, TransferKind::kReduce, {}});
+  s.add_step().transfers.push_back(
+      Transfer{1, 2, 0, 1, TransferKind::kReduce, {}});
+  std::vector<std::vector<double>> buf = {{1}, {2}, {4}};
+  Executor::run(s, buf);
+  EXPECT_EQ(buf[2][0], 7.0);  // 4 + (2 + 1)
+}
+
+TEST(Executor, ChainInOneStepUsesSnapshots) {
+  // 0 -> 1 and 1 -> 2 concurrently: node 2 gets node 1's OLD value.
+  Schedule s("manual", 3, 1);
+  Step& step = s.add_step();
+  step.transfers.push_back(Transfer{0, 1, 0, 1, TransferKind::kReduce, {}});
+  step.transfers.push_back(Transfer{1, 2, 0, 1, TransferKind::kReduce, {}});
+  std::vector<std::vector<double>> buf = {{1}, {2}, {4}};
+  Executor::run(s, buf);
+  EXPECT_EQ(buf[1][0], 3.0);
+  EXPECT_EQ(buf[2][0], 6.0);  // 4 + old 2, NOT 4 + 3
+}
+
+TEST(Executor, BufferShapeValidated) {
+  Schedule s("manual", 2, 2);
+  std::vector<std::vector<double>> wrong_count = {{1, 2}};
+  EXPECT_THROW(Executor::run(s, wrong_count), InvalidArgument);
+  std::vector<std::vector<double>> wrong_len = {{1}, {1}};
+  EXPECT_THROW(Executor::run(s, wrong_len), InvalidArgument);
+}
+
+TEST(Executor, VerifyDetectsNonAllreduce) {
+  // A schedule that does nothing is not an All-reduce (for n >= 2).
+  Schedule s("broken", 3, 4);
+  Rng rng;
+  EXPECT_THROW(Executor::verify_allreduce(s, rng), Error);
+}
+
+TEST(Executor, VerifyDetectsPartialAllreduce) {
+  // Only node 1 ends with the sum; nodes 0 and 2 do not.
+  Schedule s("partial", 3, 2);
+  Step& step = s.add_step();
+  step.transfers.push_back(Transfer{0, 1, 0, 2, TransferKind::kReduce, {}});
+  step.transfers.push_back(Transfer{2, 1, 0, 2, TransferKind::kReduce, {}});
+  Rng rng;
+  EXPECT_THROW(Executor::verify_allreduce(s, rng), Error);
+}
+
+TEST(Executor, VerifyReduceAcceptsGatherAndRejectsWrongRoot) {
+  Schedule s("gather", 3, 4);
+  Step& step = s.add_step();
+  step.transfers.push_back(Transfer{1, 0, 0, 4, TransferKind::kReduce, {}});
+  step.transfers.push_back(Transfer{2, 0, 0, 4, TransferKind::kReduce, {}});
+  Rng rng;
+  EXPECT_LE(Executor::verify_reduce(s, 0, rng), 1e-9);
+  EXPECT_THROW(Executor::verify_reduce(s, 1, rng), Error);
+  EXPECT_THROW(Executor::verify_reduce(s, 5, rng), InvalidArgument);
+}
+
+TEST(Executor, VerifyBroadcastAcceptsFanOutAndRejectsPartial) {
+  Schedule s("fanout", 3, 4);
+  Step& step = s.add_step();
+  step.transfers.push_back(Transfer{0, 1, 0, 4, TransferKind::kCopy, {}});
+  step.transfers.push_back(Transfer{0, 2, 0, 4, TransferKind::kCopy, {}});
+  Rng rng;
+  EXPECT_LE(Executor::verify_broadcast(s, 0, rng), 1e-9);
+
+  Schedule partial("partial", 3, 4);
+  partial.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 4, TransferKind::kCopy, {}});
+  EXPECT_THROW(Executor::verify_broadcast(partial, 0, rng), Error);
+}
+
+TEST(Executor, VerifyReduceScatterRejectsWrongChunkOwner) {
+  // Node 0 gets chunk 1's sum instead of chunk 0's: must be caught.
+  Schedule s("bad-rs", 2, 4);
+  Step& step = s.add_step();
+  step.transfers.push_back(Transfer{1, 0, 2, 2, TransferKind::kReduce, {}});
+  step.transfers.push_back(Transfer{0, 1, 0, 2, TransferKind::kReduce, {}});
+  Rng rng;
+  EXPECT_THROW(Executor::verify_reduce_scatter(s, 2, rng), Error);
+
+  // The correct orientation passes.
+  Schedule good("good-rs", 2, 4);
+  Step& gstep = good.add_step();
+  gstep.transfers.push_back(Transfer{1, 0, 0, 2, TransferKind::kReduce, {}});
+  gstep.transfers.push_back(Transfer{0, 1, 2, 2, TransferKind::kReduce, {}});
+  EXPECT_LE(Executor::verify_reduce_scatter(good, 2, rng), 1e-9);
+}
+
+TEST(Executor, VerifyAllgatherRejectsMissingChunk) {
+  Schedule s("bad-ag", 2, 4);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 2, TransferKind::kCopy, {}});
+  Rng rng;
+  // Node 0 never receives node 1's chunk.
+  EXPECT_THROW(Executor::verify_allgather(s, 2, rng), Error);
+
+  Schedule good("good-ag", 2, 4);
+  Step& gstep = good.add_step();
+  gstep.transfers.push_back(Transfer{0, 1, 0, 2, TransferKind::kCopy, {}});
+  gstep.transfers.push_back(Transfer{1, 0, 2, 2, TransferKind::kCopy, {}});
+  EXPECT_LE(Executor::verify_allgather(good, 2, rng), 1e-9);
+}
+
+TEST(Executor, VerifyAcceptsHandWrittenAllreduce) {
+  // Gather to node 0 then broadcast: a correct 2-step All-reduce on 3 nodes.
+  Schedule s("manual", 3, 5);
+  Step& gather = s.add_step();
+  gather.transfers.push_back(Transfer{1, 0, 0, 5, TransferKind::kReduce, {}});
+  gather.transfers.push_back(Transfer{2, 0, 0, 5, TransferKind::kReduce, {}});
+  Step& bcast = s.add_step();
+  bcast.transfers.push_back(Transfer{0, 1, 0, 5, TransferKind::kCopy, {}});
+  bcast.transfers.push_back(Transfer{0, 2, 0, 5, TransferKind::kCopy, {}});
+  Rng rng;
+  EXPECT_LE(Executor::verify_allreduce(s, rng), 1e-9);
+}
+
+}  // namespace
+}  // namespace wrht::coll

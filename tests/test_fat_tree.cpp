@@ -1,0 +1,110 @@
+#include "wrht/topo/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::topo {
+namespace {
+
+TEST(FatTree, SizingMatchesPaperParameters) {
+  // Table 2: two-level cluster with 32-port routers.
+  const FatTree ft(1024, 32);
+  EXPECT_EQ(ft.hosts_per_edge(), 16u);
+  EXPECT_EQ(ft.num_edges(), 64u);
+  EXPECT_EQ(ft.num_cores(), 16u);
+  EXPECT_EQ(ft.num_hosts(), 1024u);
+}
+
+TEST(FatTree, SizingSmall) {
+  const FatTree ft(128, 32);
+  EXPECT_EQ(ft.num_edges(), 8u);
+  EXPECT_EQ(ft.num_cores(), 16u);
+}
+
+TEST(FatTree, PartialEdge) {
+  const FatTree ft(20, 8);
+  EXPECT_EQ(ft.hosts_per_edge(), 4u);
+  EXPECT_EQ(ft.num_edges(), 5u);  // 20 / 4
+}
+
+TEST(FatTree, EdgeOf) {
+  const FatTree ft(64, 32);
+  EXPECT_EQ(ft.edge_of(0), 0u);
+  EXPECT_EQ(ft.edge_of(15), 0u);
+  EXPECT_EQ(ft.edge_of(16), 1u);
+  EXPECT_EQ(ft.edge_of(63), 3u);
+}
+
+TEST(FatTree, LinkIdsAreUnique) {
+  const FatTree ft(64, 32);
+  std::set<LinkId> ids;
+  for (HostId h = 0; h < 64; ++h) {
+    ids.insert(ft.host_to_edge(h));
+    ids.insert(ft.edge_to_host(h));
+  }
+  for (std::uint32_t e = 0; e < ft.num_edges(); ++e) {
+    for (std::uint32_t c = 0; c < ft.num_cores(); ++c) {
+      ids.insert(ft.edge_to_core(e, c));
+      ids.insert(ft.core_to_edge(c, e));
+    }
+  }
+  EXPECT_EQ(ids.size(), ft.num_links());
+  EXPECT_EQ(*ids.rbegin(), ft.num_links() - 1);
+}
+
+TEST(FatTree, IntraRackRouteHasOneRouter) {
+  const FatTree ft(64, 32);
+  const auto r = ft.route(1, 7);
+  EXPECT_EQ(r.routers, 1u);
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_EQ(r.links[0], ft.host_to_edge(1));
+  EXPECT_EQ(r.links[1], ft.edge_to_host(7));
+}
+
+TEST(FatTree, InterRackRouteHasThreeRouters) {
+  const FatTree ft(64, 32);
+  const auto r = ft.route(1, 40);  // edge 0 -> edge 2
+  EXPECT_EQ(r.routers, 3u);
+  ASSERT_EQ(r.links.size(), 4u);
+  EXPECT_EQ(r.links[0], ft.host_to_edge(1));
+  const std::uint32_t core = 40 % ft.num_cores();  // D-mod-k
+  EXPECT_EQ(r.links[1], ft.edge_to_core(0, core));
+  EXPECT_EQ(r.links[2], ft.core_to_edge(core, 2));
+  EXPECT_EQ(r.links[3], ft.edge_to_host(40));
+}
+
+TEST(FatTree, DModKSpreadsFanInOverDistinctCores) {
+  // Flows from one rack to the 16 distinct hosts of another rack must use
+  // 16 distinct cores (no shared uplink) under D-mod-k routing.
+  const FatTree ft(64, 32);
+  std::set<LinkId> uplinks;
+  for (HostId dst = 16; dst < 32; ++dst) {
+    const auto r = ft.route(0, dst);
+    uplinks.insert(r.links[1]);
+  }
+  EXPECT_EQ(uplinks.size(), 16u);
+}
+
+TEST(FatTree, DModKIsDestinationDeterministic) {
+  const FatTree ft(128, 32);
+  const auto a = ft.route(0, 100);
+  const auto c = ft.route(5, 100);
+  // Same destination, sources in the same rack: same core column.
+  EXPECT_EQ(a.links[2], c.links[2]);
+}
+
+TEST(FatTree, Validation) {
+  EXPECT_THROW(FatTree(1, 32), InvalidArgument);
+  EXPECT_THROW(FatTree(16, 3), InvalidArgument);
+  EXPECT_THROW(FatTree(16, 2), InvalidArgument);
+  const FatTree ft(16, 8);
+  EXPECT_THROW(ft.route(0, 0), InvalidArgument);
+  EXPECT_THROW(ft.route(0, 99), InvalidArgument);
+  EXPECT_THROW(ft.edge_to_core(99, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::topo

@@ -1,0 +1,102 @@
+#include "wrht/electrical/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::elec {
+namespace {
+
+TEST(MaxMin, SingleFlowGetsFullCapacity) {
+  const FlowLevelSimulator sim({100.0});
+  const auto rates = sim.max_min_rates({FlowSpec{10.0, {0}, 0.0}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMin, TwoFlowsShareEqually) {
+  const FlowLevelSimulator sim({100.0});
+  const auto rates = sim.max_min_rates(
+      {FlowSpec{10.0, {0}, 0.0}, FlowSpec{10.0, {0}, 0.0}});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMin, ClassicTriangleExample) {
+  // Links A(cap 10) and B(cap 8). Flow 0 uses A+B, flow 1 uses A, flow 2
+  // uses B. Max-min: bottleneck B gives 4 to flows 0 and 2; flow 1 then
+  // gets the A remainder, 6.
+  const FlowLevelSimulator sim({10.0, 8.0});
+  const auto rates = sim.max_min_rates({FlowSpec{1.0, {0, 1}, 0.0},
+                                        FlowSpec{1.0, {0}, 0.0},
+                                        FlowSpec{1.0, {1}, 0.0}});
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 6.0);
+  EXPECT_DOUBLE_EQ(rates[2], 4.0);
+}
+
+TEST(MaxMin, UnloadedLinkIgnored) {
+  const FlowLevelSimulator sim({5.0, 1000.0});
+  const auto rates = sim.max_min_rates({FlowSpec{1.0, {0}, 0.0}});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+TEST(FlowRun, SingleFlowDrainTime) {
+  const FlowLevelSimulator sim({100.0});
+  const FlowResult r = sim.run({FlowSpec{500.0, {0}, 0.0}});
+  EXPECT_NEAR(r.makespan, 5.0, 1e-9);
+}
+
+TEST(FlowRun, LatencyAddsToCompletion) {
+  const FlowLevelSimulator sim({100.0});
+  const FlowResult r = sim.run({FlowSpec{500.0, {0}, 2.5}});
+  EXPECT_NEAR(r.makespan, 7.5, 1e-9);
+}
+
+TEST(FlowRun, DepartureSpeedsUpSurvivors) {
+  // Two flows share a 10 B/s link; the small one (10 B) finishes at t=2,
+  // then the big one (50 B) drains its remaining 40 B at full rate:
+  // 2 + 4 = 6, instead of 10 under static halving.
+  const FlowLevelSimulator sim({10.0});
+  const FlowResult r =
+      sim.run({FlowSpec{10.0, {0}, 0.0}, FlowSpec{50.0, {0}, 0.0}});
+  EXPECT_NEAR(r.completion[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.completion[1], 6.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 6.0, 1e-9);
+  EXPECT_GE(r.rate_recomputations, 2u);
+}
+
+TEST(FlowRun, EqualFlowsFinishTogether) {
+  const FlowLevelSimulator sim({8.0});
+  const FlowResult r = sim.run({FlowSpec{16.0, {0}, 0.0},
+                                FlowSpec{16.0, {0}, 0.0},
+                                FlowSpec{16.0, {0}, 0.0},
+                                FlowSpec{16.0, {0}, 0.0}});
+  for (const double c : r.completion) EXPECT_NEAR(c, 8.0, 1e-9);
+}
+
+TEST(FlowRun, MultiHopBottleneck) {
+  // Flow crosses two links; the slower one governs.
+  const FlowLevelSimulator sim({100.0, 10.0});
+  const FlowResult r = sim.run({FlowSpec{50.0, {0, 1}, 0.0}});
+  EXPECT_NEAR(r.makespan, 5.0, 1e-9);
+}
+
+TEST(FlowRun, DisjointFlowsDontInteract) {
+  const FlowLevelSimulator sim({10.0, 10.0});
+  const FlowResult r =
+      sim.run({FlowSpec{20.0, {0}, 0.0}, FlowSpec{40.0, {1}, 0.0}});
+  EXPECT_NEAR(r.completion[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.completion[1], 4.0, 1e-9);
+}
+
+TEST(FlowRun, Validation) {
+  EXPECT_THROW(FlowLevelSimulator({0.0}), InvalidArgument);
+  const FlowLevelSimulator sim({10.0});
+  EXPECT_THROW(sim.run({FlowSpec{0.0, {0}, 0.0}}), InvalidArgument);
+  EXPECT_THROW(sim.run({FlowSpec{1.0, {}, 0.0}}), InvalidArgument);
+  EXPECT_THROW(sim.run({FlowSpec{1.0, {5}, 0.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::elec

@@ -1,0 +1,132 @@
+#include "wrht/core/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::core {
+namespace {
+
+TEST(Wavelengths, AllToAllBound) {
+  // ceil(k^2/8), Liang & Shen.
+  EXPECT_EQ(all_to_all_wavelengths(2), 1u);
+  EXPECT_EQ(all_to_all_wavelengths(3), 2u);  // motivating example: 2 lambdas
+  EXPECT_EQ(all_to_all_wavelengths(8), 8u);
+  EXPECT_EQ(all_to_all_wavelengths(32), 128u);
+}
+
+TEST(Wavelengths, GroupBound) {
+  EXPECT_EQ(group_wavelengths(5), 2u);
+  EXPECT_EQ(group_wavelengths(129), 64u);
+  EXPECT_EQ(group_wavelengths(2), 1u);
+}
+
+TEST(Hierarchy, MotivatingExample15Nodes2Wavelengths) {
+  // Paper Fig. 2(b): 15 nodes, 2 wavelengths, groups of 5 -> 3 reps ->
+  // all-to-all.
+  const Hierarchy h = build_hierarchy(15, 5, 2);
+  ASSERT_EQ(h.levels.size(), 1u);
+  ASSERT_EQ(h.levels[0].groups.size(), 3u);
+  EXPECT_TRUE(h.final_all_to_all);
+  ASSERT_EQ(h.final_reps.size(), 3u);
+  // Middle nodes of [0..4], [5..9], [10..14].
+  EXPECT_EQ(h.final_reps[0], 2u);
+  EXPECT_EQ(h.final_reps[1], 7u);
+  EXPECT_EQ(h.final_reps[2], 12u);
+}
+
+TEST(Hierarchy, PaperTable1Config) {
+  // N=1024, m=129, w=64: one grouping level, 8 reps, all-to-all.
+  const Hierarchy h = build_hierarchy(1024, 129, 64);
+  EXPECT_EQ(h.levels.size(), 1u);
+  EXPECT_EQ(h.final_reps.size(), 8u);
+  EXPECT_TRUE(h.final_all_to_all);
+}
+
+TEST(Hierarchy, AllToAllInfeasibleCollapsesToRoot) {
+  // N=1024, m=33, w=64: 32 reps need 128 lambdas > 64, so a second level
+  // groups them into one root.
+  const Hierarchy h = build_hierarchy(1024, 33, 64);
+  EXPECT_EQ(h.levels.size(), 2u);
+  EXPECT_FALSE(h.final_all_to_all);
+  ASSERT_EQ(h.final_reps.size(), 1u);
+}
+
+TEST(Hierarchy, GroupsPartitionInput) {
+  const Hierarchy h = build_hierarchy(100, 7, 1);
+  std::set<NodeId> seen;
+  for (const Group& g : h.levels[0].groups) {
+    for (const NodeId n : g.members) {
+      EXPECT_TRUE(seen.insert(n).second) << "duplicate node " << n;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Hierarchy, RepsAreGroupMiddles) {
+  const Hierarchy h = build_hierarchy(20, 5, 1);
+  for (const Group& g : h.levels[0].groups) {
+    EXPECT_EQ(g.rep_index, g.members.size() / 2);
+    EXPECT_EQ(g.rep(), g.members[g.members.size() / 2]);
+  }
+  EXPECT_EQ(h.levels[0].groups[0].rep(), 2u);
+  EXPECT_EQ(h.levels[0].groups[1].rep(), 7u);
+}
+
+TEST(Hierarchy, NextLevelGroupsPreviousReps) {
+  const Hierarchy h = build_hierarchy(64, 4, 1);
+  // Level 0: 16 groups of 4; level 1 groups the 16 reps into 4 groups...
+  ASSERT_GE(h.levels.size(), 2u);
+  EXPECT_EQ(h.levels[0].groups.size(), 16u);
+  EXPECT_EQ(h.levels[1].groups.size(), 4u);
+  std::set<NodeId> level0_reps;
+  for (const Group& g : h.levels[0].groups) level0_reps.insert(g.rep());
+  for (const Group& g : h.levels[1].groups) {
+    for (const NodeId n : g.members) {
+      EXPECT_TRUE(level0_reps.count(n)) << n;
+    }
+  }
+}
+
+TEST(Hierarchy, TerminatesAtSingleRootWithoutAllToAll) {
+  const Hierarchy h =
+      build_hierarchy(64, 4, 64, /*allow_all_to_all=*/false);
+  EXPECT_FALSE(h.final_all_to_all);
+  ASSERT_EQ(h.final_reps.size(), 1u);
+  EXPECT_EQ(h.levels.size(), 3u);  // 64 -> 16 -> 4 -> 1
+}
+
+TEST(Hierarchy, ImmediateAllToAllForSmallRings) {
+  // 4 nodes, plenty of wavelengths: no grouping at all.
+  const Hierarchy h = build_hierarchy(4, 3, 64);
+  EXPECT_TRUE(h.levels.empty());
+  EXPECT_TRUE(h.final_all_to_all);
+  EXPECT_EQ(h.final_reps.size(), 4u);
+}
+
+TEST(Hierarchy, RaggedLastGroup) {
+  const Hierarchy h = build_hierarchy(11, 4, 1);
+  ASSERT_EQ(h.levels[0].groups.size(), 3u);
+  EXPECT_EQ(h.levels[0].groups[2].members.size(), 3u);
+  EXPECT_EQ(h.levels[0].groups[2].rep(), 9u);  // middle of {8, 9, 10}
+}
+
+TEST(Hierarchy, ExplicitNodeList) {
+  const std::vector<NodeId> nodes = {3, 7, 11, 15, 19};
+  const Hierarchy h = build_hierarchy(nodes, 5, 1);
+  ASSERT_EQ(h.levels.size(), 1u);
+  EXPECT_EQ(h.levels[0].groups[0].rep(), 11u);
+}
+
+TEST(Hierarchy, Validation) {
+  EXPECT_THROW(build_hierarchy(1, 4, 8), InvalidArgument);
+  EXPECT_THROW(build_hierarchy(8, 1, 8), InvalidArgument);
+  EXPECT_THROW(build_hierarchy(8, 4, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::core

@@ -1,0 +1,64 @@
+#include "wrht/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace wrht {
+namespace {
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public testing::Test {
+ protected:
+  void SetUp() override { previous_ = set_log_level(LogLevel::kWarn); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_{};
+};
+
+TEST_F(LogTest, BelowThresholdIsSuppressed) {
+  ClogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  WRHT_LOG_INFO << "hidden";
+  EXPECT_EQ(capture.text(), "");
+}
+
+TEST_F(LogTest, AtThresholdIsEmitted) {
+  ClogCapture capture;
+  set_log_level(LogLevel::kInfo);
+  WRHT_LOG_INFO << "visible " << 42;
+  EXPECT_NE(capture.text().find("[wrht:INFO] visible 42"), std::string::npos);
+}
+
+TEST_F(LogTest, ErrorAlwaysAboveDefault) {
+  ClogCapture capture;
+  WRHT_LOG_ERROR << "bad";
+  EXPECT_NE(capture.text().find("[wrht:ERROR] bad"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  ClogCapture capture;
+  set_log_level(LogLevel::kOff);
+  WRHT_LOG_ERROR << "silent";
+  EXPECT_EQ(capture.text(), "");
+}
+
+TEST_F(LogTest, SetReturnsPrevious) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(set_log_level(LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace wrht

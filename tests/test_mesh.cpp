@@ -1,0 +1,65 @@
+#include "wrht/topo/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::topo {
+namespace {
+
+TEST(Mesh, CoordinatesRoundTrip) {
+  const Mesh m(3, 5);
+  EXPECT_EQ(m.size(), 15u);
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    for (std::uint32_t c = 0; c < 5; ++c) {
+      const NodeId id = m.node_at(r, c);
+      EXPECT_EQ(m.row_of(id), r);
+      EXPECT_EQ(m.col_of(id), c);
+    }
+  }
+}
+
+TEST(Mesh, LineDistanceWithinRow) {
+  const Mesh m(4, 6);
+  EXPECT_EQ(m.line_distance(m.node_at(1, 0), m.node_at(1, 5)), 5u);
+  EXPECT_EQ(m.line_distance(m.node_at(1, 5), m.node_at(1, 0)), 5u);
+  EXPECT_EQ(m.line_distance(m.node_at(2, 3), m.node_at(2, 3)), 0u);
+}
+
+TEST(Mesh, LineDistanceWithinColumn) {
+  const Mesh m(4, 6);
+  EXPECT_EQ(m.line_distance(m.node_at(0, 2), m.node_at(3, 2)), 3u);
+}
+
+TEST(Mesh, LineDistanceRejectsDiagonal) {
+  const Mesh m(4, 6);
+  EXPECT_THROW(m.line_distance(m.node_at(0, 0), m.node_at(1, 1)),
+               InvalidArgument);
+}
+
+TEST(Mesh, LineAllToAllWavelengths) {
+  // Middle segment load floor(k/2)*ceil(k/2): 1, 2, 4, 6, 9, ...
+  EXPECT_EQ(line_all_to_all_wavelengths(2), 1u);
+  EXPECT_EQ(line_all_to_all_wavelengths(3), 2u);
+  EXPECT_EQ(line_all_to_all_wavelengths(4), 4u);
+  EXPECT_EQ(line_all_to_all_wavelengths(5), 6u);
+  EXPECT_EQ(line_all_to_all_wavelengths(6), 9u);
+  EXPECT_EQ(line_all_to_all_wavelengths(8), 16u);
+}
+
+TEST(Mesh, LineBoundIsTwiceTheRingBoundAsymptotically) {
+  // The ring halves the load by wrapping: ceil(k^2/8) vs ~k^2/4.
+  for (std::uint64_t k = 4; k <= 64; k *= 2) {
+    EXPECT_GE(line_all_to_all_wavelengths(k),
+              2 * ((k * k + 7) / 8) - k);
+  }
+}
+
+TEST(Mesh, Validation) {
+  EXPECT_THROW(Mesh(1, 4), InvalidArgument);
+  const Mesh m(2, 2);
+  EXPECT_THROW(m.node_at(0, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::topo

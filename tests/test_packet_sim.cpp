@@ -1,0 +1,123 @@
+#include "wrht/electrical/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/collectives/recursive_doubling.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/common/error.hpp"
+
+namespace wrht::elec {
+namespace {
+
+using coll::Schedule;
+using coll::Transfer;
+using coll::TransferKind;
+
+ElectricalConfig cfg() {
+  ElectricalConfig c;
+  c.link_rate = BitsPerSecond(40e9);
+  c.router_delay = Seconds(25e-6);
+  c.packet_size = Bytes(72);
+  return c;
+}
+
+Schedule one_transfer(std::uint32_t n, topo::NodeId src, topo::NodeId dst,
+                      std::size_t elements) {
+  Schedule s("manual", n, elements);
+  s.add_step().transfers.push_back(
+      Transfer{src, dst, 0, elements, TransferKind::kReduce, {}});
+  return s;
+}
+
+TEST(PacketSim, SinglePacketIntraRack) {
+  const PacketLevelNetwork net(64, cfg());
+  // 18 elements * 4 B = 72 B = exactly one packet; two links + one router.
+  const auto res = net.execute(one_transfer(64, 0, 1, 18));
+  EXPECT_EQ(res.total_packets, 1u);
+  const double tx = 72.0 / 40e9;
+  EXPECT_NEAR(res.total_time.count(), 2 * tx + 25e-6, 1e-12);
+}
+
+TEST(PacketSim, PacketCountCeils) {
+  const PacketLevelNetwork net(64, cfg());
+  // 100 elements * 4 = 400 B -> 6 packets (5 full + 40 B tail).
+  const auto res = net.execute(one_transfer(64, 0, 1, 100));
+  EXPECT_EQ(res.total_packets, 6u);
+}
+
+TEST(PacketSim, PipeliningApproachesFlowModel) {
+  // For a long transfer the store-and-forward pipeline time converges to
+  // serialization + per-hop latency: the flow model's estimate.
+  const ElectricalConfig c = cfg();
+  const PacketLevelNetwork packet(64, c);
+  const FatTreeNetwork flow(64, c);
+  const auto sched = one_transfer(64, 0, 40, 250'000);  // 1 MB, inter-rack
+  const double tp = packet.execute(sched).total_time.count();
+  const double tf = flow.execute(sched).total_time.count();
+  EXPECT_NEAR(tp / tf, 1.0, 0.05);
+  EXPECT_GT(tp, tf);  // store-and-forward pipeline fill is strictly extra
+}
+
+TEST(PacketSim, ContentionMatchesFlowModelForEqualFlows) {
+  // 4 hosts of rack 0 send to the same destination: the shared edge->host
+  // link quarters the throughput in both models.
+  const ElectricalConfig c = cfg();
+  const PacketLevelNetwork packet(64, c);
+  const FatTreeNetwork flow(64, c);
+  Schedule s("fan-in", 64, 50'000);
+  coll::Step& step = s.add_step();
+  for (topo::NodeId src = 1; src <= 4; ++src) {
+    step.transfers.push_back(
+        Transfer{src, 9, 0, 50'000, TransferKind::kReduce, {}});
+  }
+  const double tp = packet.execute(s).total_time.count();
+  const double tf = flow.execute(s).total_time.count();
+  EXPECT_NEAR(tp / tf, 1.0, 0.10);
+}
+
+TEST(PacketSim, FifoInterleavingIsFair) {
+  // Two equal flows through one bottleneck finish (nearly) together.
+  const PacketLevelNetwork net(64, cfg());
+  Schedule s("pair", 64, 10'000);
+  coll::Step& step = s.add_step();
+  step.transfers.push_back(Transfer{1, 9, 0, 10'000, TransferKind::kReduce, {}});
+  step.transfers.push_back(Transfer{2, 9, 0, 10'000, TransferKind::kReduce, {}});
+  const auto res = net.execute(s);
+  // Completion ~= 2x serialization of one flow + latency.
+  const double serialization = 2.0 * 40'000.0 / 40e9;
+  EXPECT_NEAR(res.total_time.count(), serialization + 25e-6, serialization);
+}
+
+TEST(PacketSim, StepsAreSequentialBarriers) {
+  const PacketLevelNetwork net(16, cfg());
+  Schedule s("two", 16, 18);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 18, TransferKind::kReduce, {}});
+  s.add_step().transfers.push_back(
+      Transfer{1, 2, 0, 18, TransferKind::kCopy, {}});
+  const auto res = net.execute(s);
+  ASSERT_EQ(res.step_times.size(), 2u);
+  EXPECT_NEAR(res.total_time.count(),
+              res.step_times[0].count() + res.step_times[1].count(), 1e-15);
+}
+
+TEST(PacketSim, AgreesWithFlowModelOnSmallRingAllreduce) {
+  const ElectricalConfig c = cfg();
+  const PacketLevelNetwork packet(16, c);
+  const FatTreeNetwork flow(16, c);
+  const auto sched = coll::ring_allreduce(16, 16 * 200);
+  const double tp = packet.execute(sched).total_time.count();
+  const double tf = flow.execute(sched).total_time.count();
+  EXPECT_NEAR(tp / tf, 1.0, 0.15);
+}
+
+TEST(PacketSim, Validation) {
+  const PacketLevelNetwork net(16, cfg());
+  EXPECT_THROW(net.execute(one_transfer(32, 0, 20, 10)), InvalidArgument);
+  ElectricalConfig bad = cfg();
+  bad.packet_size = Bytes(0);
+  EXPECT_THROW(PacketLevelNetwork(16, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::elec

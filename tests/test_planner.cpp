@@ -1,0 +1,95 @@
+#include "wrht/core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::core {
+namespace {
+
+TEST(Planner, Figure5WavelengthSweep) {
+  // The paper's Fig. 5 setup: N = 1024, w in {4, 16, 64, 256}. The planner
+  // lands on m = 2w+1 (capped) and the step counts 7 / 4 / 3 / 3.
+  const WrhtPlan p4 = plan_wrht(1024, 4);
+  EXPECT_EQ(p4.group_size, 9u);
+  EXPECT_EQ(p4.steps.total_steps, 7u);
+
+  const WrhtPlan p16 = plan_wrht(1024, 16);
+  EXPECT_EQ(p16.group_size, 33u);
+  EXPECT_EQ(p16.steps.total_steps, 4u);
+
+  const WrhtPlan p64 = plan_wrht(1024, 64);
+  EXPECT_EQ(p64.group_size, 129u);
+  EXPECT_EQ(p64.steps.total_steps, 3u);
+
+  const WrhtPlan p256 = plan_wrht(1024, 256);
+  EXPECT_EQ(p256.group_size, 513u);
+  EXPECT_EQ(p256.steps.total_steps, 3u);
+}
+
+TEST(Planner, GroupSizeNeverExceedsLemma1Cap) {
+  for (std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+    for (std::uint32_t w : {1u, 2u, 8u, 32u}) {
+      const WrhtPlan p = plan_wrht(n, w);
+      EXPECT_LE(p.group_size, 2 * w + 1);
+      EXPECT_LE(p.group_size, n);
+    }
+  }
+}
+
+TEST(Planner, MinimisesStepsOverCap) {
+  for (std::uint32_t n : {64u, 100u, 256u}) {
+    for (std::uint32_t w : {2u, 8u, 16u}) {
+      const WrhtPlan best = plan_wrht(n, w);
+      for (std::uint32_t m = 2; m <= std::min(n, 2 * w + 1); ++m) {
+        EXPECT_LE(best.steps.total_steps, wrht_plan(n, m, w).total_steps)
+            << "n=" << n << " w=" << w << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Planner, TiesPreferLargerGroups) {
+  // At N=1024, w=64 both m=65 and m=129 give 3 steps; the planner picks 129
+  // (the paper's choice).
+  const WrhtPlan p = plan_wrht(1024, 64);
+  EXPECT_EQ(p.group_size, 129u);
+}
+
+TEST(Planner, ConstraintsCapGroupSize) {
+  OpticalConstraints c;
+  c.power.laser_power = PowerDbm(6.5);  // reach 40 hops -> m' = 40
+  const WrhtPlan p = plan_wrht(1024, 64, c);
+  EXPECT_LE(p.group_size, 40u);
+  EXPECT_TRUE(group_size_feasible(1024, p.group_size, c));
+  // The unconstrained plan would have chosen a larger group.
+  EXPECT_GT(plan_wrht(1024, 64).group_size, p.group_size);
+}
+
+TEST(Planner, ConstrainedPlanTakesMoreSteps) {
+  OpticalConstraints c;
+  c.power.laser_power = PowerDbm(6.5);
+  EXPECT_GE(plan_wrht(1024, 64, c).steps.total_steps,
+            plan_wrht(1024, 64).steps.total_steps);
+}
+
+TEST(Planner, ImpossibleConstraintsThrow) {
+  OpticalConstraints c;
+  c.power.laser_power = PowerDbm(-20.0);
+  EXPECT_THROW(plan_wrht(64, 8, c), ConstraintViolation);
+}
+
+TEST(Planner, Validation) {
+  EXPECT_THROW(plan_wrht(1, 8), InvalidArgument);
+  EXPECT_THROW(plan_wrht(8, 0), InvalidArgument);
+}
+
+TEST(Planner, SmallRingsPlanDirectExchange) {
+  // 8 nodes, 64 wavelengths: immediate all-to-all, a single step.
+  const WrhtPlan p = plan_wrht(8, 64);
+  EXPECT_EQ(p.steps.total_steps, 1u);
+  EXPECT_TRUE(p.steps.final_all_to_all);
+}
+
+}  // namespace
+}  // namespace wrht::core

@@ -1,0 +1,108 @@
+#include "wrht/optical/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::optics {
+namespace {
+
+TEST(InsertionLoss, Eq8IsLinearInHops) {
+  PowerParams p;
+  p.modulator_loss = Decibels(1.0);
+  p.pass_loss = Decibels(0.05);
+  EXPECT_DOUBLE_EQ(insertion_loss(0, p).count(), 1.0);
+  EXPECT_DOUBLE_EQ(insertion_loss(10, p).count(), 1.5);
+  EXPECT_DOUBLE_EQ(insertion_loss(100, p).count(), 6.0);
+}
+
+TEST(PowerFeasible, Eq9Threshold) {
+  PowerParams p;
+  p.laser_power = PowerDbm(10.0);
+  p.modulator_loss = Decibels(1.0);
+  p.pass_loss = Decibels(0.1);
+  p.extinction_penalty = Decibels(5.0);
+  // Budget headroom: 10 - 1 - 5 = 4 dB -> 40 hops.
+  EXPECT_TRUE(power_feasible(40, p));
+  EXPECT_FALSE(power_feasible(41, p));
+  EXPECT_EQ(max_reach_hops(p), 40u);
+}
+
+TEST(MaxReach, ZeroWhenBudgetNegative) {
+  PowerParams p;
+  p.laser_power = PowerDbm(1.0);
+  p.modulator_loss = Decibels(2.0);
+  p.extinction_penalty = Decibels(5.0);
+  EXPECT_EQ(max_reach_hops(p), 0u);
+  EXPECT_FALSE(power_feasible(1, p));
+}
+
+TEST(MaxReach, UnboundedWithoutPassLoss) {
+  PowerParams p;
+  p.pass_loss = Decibels(0.0);
+  EXPECT_EQ(max_reach_hops(p), UINT64_MAX);
+}
+
+TEST(MaxReach, MonotoneInLaserPower) {
+  PowerParams p;
+  std::uint64_t prev = 0;
+  for (double laser = 6.0; laser <= 14.0; laser += 1.0) {
+    p.laser_power = PowerDbm(laser);
+    const std::uint64_t reach = max_reach_hops(p);
+    EXPECT_GE(reach, prev);
+    prev = reach;
+  }
+}
+
+TEST(WrhtMaxCommLength, Eq7SingleLevel) {
+  // N <= m: one level, longest path floor(m/2).
+  EXPECT_EQ(wrht_max_comm_length(8, 9), 4u);
+  EXPECT_EQ(wrht_max_comm_length(8, 8), 4u);
+  EXPECT_EQ(wrht_max_comm_length(15, 15), 7u);
+}
+
+TEST(WrhtMaxCommLength, Eq7MultiLevel) {
+  // L = ceil(log_m N) >= 2: longest path m^(L-1).
+  EXPECT_EQ(wrht_max_comm_length(1024, 129), 129u);   // L = 2
+  EXPECT_EQ(wrht_max_comm_length(1024, 17), 289u);    // L = 3 -> 17^2
+  EXPECT_EQ(wrht_max_comm_length(1024, 4), 256u);     // L = 5 -> 4^4
+}
+
+TEST(WrhtMaxCommLength, Validation) {
+  EXPECT_THROW(wrht_max_comm_length(1, 4), InvalidArgument);
+  EXPECT_THROW(wrht_max_comm_length(8, 1), InvalidArgument);
+}
+
+TEST(MaxGroupSizeByPower, RespectsReach) {
+  PowerParams p;
+  p.laser_power = PowerDbm(10.0);
+  p.modulator_loss = Decibels(1.3);
+  p.pass_loss = Decibels(0.02);
+  p.extinction_penalty = Decibels(4.8);
+  // reach = floor((10 - 1.3 - 4.8) / 0.02) = 195 hops.
+  ASSERT_EQ(max_reach_hops(p), 195u);
+  const std::uint32_t m = max_group_size_by_power(1024, p);
+  ASSERT_GE(m, 2u);
+  EXPECT_LE(wrht_max_comm_length(1024, m), 195u);
+  // And the result is maximal: no larger m is feasible.
+  for (std::uint32_t larger = m + 1; larger <= 1024; ++larger) {
+    EXPECT_GT(wrht_max_comm_length(1024, larger), 195u);
+  }
+}
+
+TEST(MaxGroupSizeByPower, ZeroWhenNothingFits) {
+  PowerParams p;
+  p.laser_power = PowerDbm(0.0);
+  p.modulator_loss = Decibels(2.0);
+  p.extinction_penalty = Decibels(5.0);
+  EXPECT_EQ(max_group_size_by_power(64, p), 0u);
+}
+
+TEST(MaxGroupSizeByPower, GenerousBudgetAllowsFullRing) {
+  PowerParams p;
+  p.laser_power = PowerDbm(30.0);
+  EXPECT_EQ(max_group_size_by_power(64, p), 64u);
+}
+
+}  // namespace
+}  // namespace wrht::optics

@@ -1,0 +1,85 @@
+#include "wrht/collectives/ring_primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/collectives/executor.hpp"
+#include "wrht/common/error.hpp"
+
+namespace wrht::coll {
+namespace {
+
+TEST(RingReduceScatter, CorrectAcrossSizes) {
+  Rng rng;
+  for (std::uint32_t n : {2u, 3u, 5u, 8u, 13u, 16u}) {
+    const Schedule s = ring_reduce_scatter(n, 3 * n + 1);
+    EXPECT_LE(Executor::verify_reduce_scatter(s, n, rng), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(RingReduceScatter, HasNMinusOneSteps) {
+  EXPECT_EQ(ring_reduce_scatter(8, 16).num_steps(), 7u);
+  EXPECT_EQ(ring_reduce_scatter(2, 4).num_steps(), 1u);
+}
+
+TEST(RingReduceScatter, PayloadIsOneChunkPerStep) {
+  const Schedule s = ring_reduce_scatter(8, 64);
+  for (std::size_t i = 0; i < s.num_steps(); ++i) {
+    EXPECT_EQ(s.max_transfer_elements(i), 8u);
+  }
+}
+
+TEST(RingReduceScatter, AllTransfersReduce) {
+  const Schedule s = ring_reduce_scatter(5, 10);
+  for (const auto& step : s.steps()) {
+    for (const auto& t : step.transfers) {
+      EXPECT_EQ(t.kind, TransferKind::kReduce);
+      EXPECT_EQ(t.dst, (t.src + 1) % 5);
+    }
+  }
+}
+
+TEST(RingAllgather, CorrectAcrossSizes) {
+  Rng rng;
+  for (std::uint32_t n : {2u, 3u, 5u, 8u, 13u, 16u}) {
+    const Schedule s = ring_allgather(n, 3 * n + 1);
+    EXPECT_LE(Executor::verify_allgather(s, n, rng), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(RingAllgather, AllTransfersCopy) {
+  const Schedule s = ring_allgather(5, 10);
+  EXPECT_EQ(s.num_steps(), 4u);
+  for (const auto& step : s.steps()) {
+    for (const auto& t : step.transfers) {
+      EXPECT_EQ(t.kind, TransferKind::kCopy);
+    }
+  }
+}
+
+TEST(RingPrimitives, ComposeIntoAllreduce) {
+  // reduce-scatter followed by all-gather must be a full All-reduce.
+  const std::uint32_t n = 6;
+  const std::size_t elements = 18;
+  Schedule composed("rs+ag", n, elements);
+  const Schedule rs = ring_reduce_scatter(n, elements);
+  const Schedule ag = ring_allgather(n, elements);
+  for (const auto& step : rs.steps()) {
+    composed.add_step(step.label).transfers = step.transfers;
+  }
+  for (const auto& step : ag.steps()) {
+    composed.add_step(step.label).transfers = step.transfers;
+  }
+  Rng rng;
+  EXPECT_LE(Executor::verify_allreduce(composed, rng), 1e-9);
+}
+
+TEST(RingPrimitives, Validation) {
+  EXPECT_THROW(ring_reduce_scatter(1, 4), InvalidArgument);
+  EXPECT_THROW(ring_reduce_scatter(8, 4), InvalidArgument);
+  EXPECT_THROW(ring_allgather(1, 4), InvalidArgument);
+  EXPECT_THROW(ring_allgather(8, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::coll

@@ -1,0 +1,93 @@
+#include "wrht/topo/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::topo {
+namespace {
+
+TEST(Ring, Distances) {
+  const Ring ring(10);
+  EXPECT_EQ(ring.cw_distance(0, 3), 3u);
+  EXPECT_EQ(ring.cw_distance(3, 0), 7u);
+  EXPECT_EQ(ring.ccw_distance(0, 3), 7u);
+  EXPECT_EQ(ring.ccw_distance(3, 0), 3u);
+  EXPECT_EQ(ring.cw_distance(5, 5), 0u);
+  EXPECT_EQ(ring.distance(0, 3), 3u);
+  EXPECT_EQ(ring.distance(0, 7), 3u);
+  EXPECT_EQ(ring.distance(0, 5), 5u);
+}
+
+TEST(Ring, ShortestDirectionAndTies) {
+  const Ring ring(10);
+  EXPECT_EQ(ring.shortest_direction(0, 3), Direction::kClockwise);
+  EXPECT_EQ(ring.shortest_direction(0, 7), Direction::kCounterClockwise);
+  // Antipodal tie goes clockwise.
+  EXPECT_EQ(ring.shortest_direction(0, 5), Direction::kClockwise);
+}
+
+TEST(Ring, DistanceAlong) {
+  const Ring ring(8);
+  EXPECT_EQ(ring.distance_along(1, 5, Direction::kClockwise), 4u);
+  EXPECT_EQ(ring.distance_along(1, 5, Direction::kCounterClockwise), 4u);
+  EXPECT_EQ(ring.distance_along(7, 1, Direction::kClockwise), 2u);
+  EXPECT_EQ(ring.distance_along(7, 1, Direction::kCounterClockwise), 6u);
+}
+
+TEST(Ring, Advance) {
+  const Ring ring(6);
+  EXPECT_EQ(ring.advance(4, 3, Direction::kClockwise), 1u);
+  EXPECT_EQ(ring.advance(1, 3, Direction::kCounterClockwise), 4u);
+  EXPECT_EQ(ring.advance(2, 0, Direction::kClockwise), 2u);
+  EXPECT_EQ(ring.advance(2, 12, Direction::kClockwise), 2u);  // wraps
+}
+
+TEST(Ring, ClockwiseSegments) {
+  const Ring ring(6);
+  // 4 -> 1 clockwise crosses segments 4, 5, 0.
+  EXPECT_EQ(ring.segments(4, 1, Direction::kClockwise),
+            (std::vector<std::uint32_t>{4, 5, 0}));
+  EXPECT_EQ(ring.segments(0, 2, Direction::kClockwise),
+            (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Ring, CounterClockwiseSegments) {
+  const Ring ring(6);
+  // 1 -> 4 counterclockwise crosses segments 0, 5, 4 (in travel order).
+  EXPECT_EQ(ring.segments(1, 4, Direction::kCounterClockwise),
+            (std::vector<std::uint32_t>{0, 5, 4}));
+  // CW and CCW between the same endpoints use complementary segments.
+  EXPECT_EQ(ring.segments(2, 0, Direction::kCounterClockwise),
+            (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(Ring, SegmentsEmptyForSelf) {
+  const Ring ring(5);
+  EXPECT_TRUE(ring.segments(3, 3, Direction::kClockwise).empty());
+}
+
+TEST(Ring, DistanceSymmetryProperty) {
+  const Ring ring(17);
+  for (NodeId a = 0; a < 17; ++a) {
+    for (NodeId b = 0; b < 17; ++b) {
+      EXPECT_EQ(ring.cw_distance(a, b), ring.ccw_distance(b, a));
+      EXPECT_EQ((ring.cw_distance(a, b) + ring.ccw_distance(a, b)) % 17, 0u);
+    }
+  }
+}
+
+TEST(Ring, Validation) {
+  EXPECT_THROW(Ring(1), InvalidArgument);
+  const Ring ring(4);
+  EXPECT_THROW(ring.cw_distance(0, 4), InvalidArgument);
+  EXPECT_THROW(ring.advance(4, 1, Direction::kClockwise), InvalidArgument);
+}
+
+TEST(Ring, Opposite) {
+  EXPECT_EQ(opposite(Direction::kClockwise), Direction::kCounterClockwise);
+  EXPECT_EQ(opposite(Direction::kCounterClockwise), Direction::kClockwise);
+}
+
+}  // namespace
+}  // namespace wrht::topo

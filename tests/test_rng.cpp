@@ -1,0 +1,94 @@
+#include "wrht/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace wrht {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng;
+  EXPECT_EQ(rng.uniform_int(7, 7), 7u);
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng;
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng;
+  const auto perm = rng.permutation(257);
+  EXPECT_EQ(perm.size(), 257u);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng;
+  const auto perm = rng.permutation(100);
+  std::vector<std::size_t> identity(100);
+  for (std::size_t i = 0; i < 100; ++i) identity[i] = i;
+  EXPECT_NE(perm, identity);
+}
+
+TEST(Rng, UniformVectorShapeAndRange) {
+  Rng rng;
+  const auto v = rng.uniform_vector(50, -2.0, 3.0);
+  EXPECT_EQ(v.size(), 50u);
+  for (const double x : v) {
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace wrht

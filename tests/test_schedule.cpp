@@ -1,0 +1,110 @@
+#include "wrht/collectives/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::coll {
+namespace {
+
+TEST(Schedule, BasicAccessors) {
+  Schedule s("test", 4, 100);
+  EXPECT_EQ(s.algorithm(), "test");
+  EXPECT_EQ(s.num_nodes(), 4u);
+  EXPECT_EQ(s.elements(), 100u);
+  EXPECT_EQ(s.num_steps(), 0u);
+}
+
+TEST(Schedule, AddStepAndTraffic) {
+  Schedule s("test", 4, 100);
+  Step& a = s.add_step("first");
+  a.transfers.push_back(Transfer{0, 1, 0, 50, TransferKind::kReduce, {}});
+  a.transfers.push_back(Transfer{2, 3, 50, 50, TransferKind::kCopy, {}});
+  Step& b = s.add_step("second");
+  b.transfers.push_back(Transfer{1, 2, 0, 100, TransferKind::kReduce, {}});
+  EXPECT_EQ(s.num_steps(), 2u);
+  EXPECT_EQ(s.total_traffic_elements(), 200u);
+  EXPECT_EQ(s.max_transfer_elements(0), 50u);
+  EXPECT_EQ(s.max_transfer_elements(1), 100u);
+  EXPECT_EQ(s.steps()[0].label, "first");
+  s.validate();
+}
+
+TEST(Schedule, ValidateRejectsBadNodeIds) {
+  Schedule s("test", 2, 10);
+  s.add_step().transfers.push_back(
+      Transfer{0, 5, 0, 10, TransferKind::kReduce, {}});
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Schedule, ValidateRejectsSelfTransfer) {
+  Schedule s("test", 2, 10);
+  s.add_step().transfers.push_back(
+      Transfer{1, 1, 0, 10, TransferKind::kReduce, {}});
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Schedule, ValidateRejectsOutOfRangeElements) {
+  Schedule s("test", 2, 10);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 8, 5, TransferKind::kReduce, {}});
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Schedule, ValidateRejectsEmptyTransfer) {
+  Schedule s("test", 2, 10);
+  s.add_step().transfers.push_back(
+      Transfer{0, 1, 0, 0, TransferKind::kReduce, {}});
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Schedule, ConstructionValidation) {
+  EXPECT_THROW(Schedule("x", 0, 10), InvalidArgument);
+  EXPECT_THROW(Schedule("x", 2, 0), InvalidArgument);
+  Schedule s("x", 2, 1);
+  EXPECT_THROW(s.max_transfer_elements(0), InvalidArgument);
+}
+
+TEST(ChunkRange, PartitionsExactly) {
+  // Chunks must tile [0, elements) without gaps or overlaps.
+  for (std::size_t elements : {1u, 7u, 16u, 100u, 1023u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 5u, 16u}) {
+      std::size_t expect_offset = 0;
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < chunks; ++i) {
+        const ChunkRange r = chunk_range(elements, chunks, i);
+        EXPECT_EQ(r.offset, expect_offset);
+        expect_offset += r.count;
+        total += r.count;
+      }
+      EXPECT_EQ(total, elements);
+    }
+  }
+}
+
+TEST(ChunkRange, Balanced) {
+  // Any two chunks differ by at most one element.
+  const std::size_t elements = 103, chunks = 10;
+  std::size_t min_c = elements, max_c = 0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const ChunkRange r = chunk_range(elements, chunks, i);
+    min_c = std::min(min_c, r.count);
+    max_c = std::max(max_c, r.count);
+  }
+  EXPECT_LE(max_c - min_c, 1u);
+}
+
+TEST(ChunkRange, MoreChunksThanElements) {
+  // Trailing chunks are empty but still validly placed.
+  const ChunkRange r = chunk_range(3, 5, 4);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.offset, 3u);
+}
+
+TEST(ChunkRange, Validation) {
+  EXPECT_THROW(chunk_range(10, 0, 0), InvalidArgument);
+  EXPECT_THROW(chunk_range(10, 3, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::coll

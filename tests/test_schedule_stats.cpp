@@ -1,0 +1,58 @@
+#include "wrht/collectives/schedule_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/collectives/btree_allreduce.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+
+namespace wrht::coll {
+namespace {
+
+TEST(ScheduleStats, RingIsPerfectlyBalanced) {
+  const ScheduleStats stats = analyze(ring_allreduce(8, 64));
+  EXPECT_EQ(stats.steps, 14u);
+  EXPECT_EQ(stats.transfers, 14u * 8u);
+  EXPECT_DOUBLE_EQ(stats.tx_imbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.rx_imbalance(), 1.0);
+  // 2(N-1) chunks of d/N per node.
+  EXPECT_EQ(stats.max_node_tx, 14u * 8u);
+  EXPECT_EQ(stats.max_transfer_elements, 8u);
+  EXPECT_EQ(stats.max_step_transfers, 8u);
+}
+
+TEST(ScheduleStats, BtreeConcentratesLoadOnRoot) {
+  const ScheduleStats stats = analyze(btree_allreduce(8, 64));
+  // Node 0 receives in every reduce level (3 x 64 elements) against a mean
+  // of 14*64/8 = 112: imbalance 12/7.
+  EXPECT_NEAR(stats.rx_imbalance(), 12.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.tx_imbalance(), 12.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.max_node_rx, 3u * 64u);
+}
+
+TEST(ScheduleStats, WrhtTradesTrafficForSteps) {
+  const std::size_t elements = 64;
+  const std::uint32_t n = 27;
+  const ScheduleStats wrht =
+      analyze(core::wrht_allreduce(n, elements, core::WrhtOptions{3, 8}));
+  const ScheduleStats ring = analyze(ring_allreduce(n, elements));
+  EXPECT_LT(wrht.steps, ring.steps);
+  EXPECT_GT(wrht.total_traffic_elements, ring.total_traffic_elements);
+}
+
+TEST(ScheduleStats, TotalsMatchScheduleHelpers) {
+  const auto sched = btree_allreduce(13, 26);
+  const ScheduleStats stats = analyze(sched);
+  EXPECT_EQ(stats.total_traffic_elements, sched.total_traffic_elements());
+  EXPECT_EQ(stats.steps, sched.num_steps());
+}
+
+TEST(ScheduleStats, EmptyScheduleIsNeutral) {
+  const Schedule s("empty", 4, 8);
+  const ScheduleStats stats = analyze(s);
+  EXPECT_EQ(stats.transfers, 0u);
+  EXPECT_DOUBLE_EQ(stats.tx_imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace wrht::coll

@@ -1,0 +1,102 @@
+#include "wrht/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(Seconds(1.0), [&] { times.push_back(sim.now().count()); });
+  sim.schedule_in(Seconds(2.5), [&] { times.push_back(sim.now().count()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(sim.now().count(), 2.5);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    ++chain;
+    if (chain < 5) sim.schedule_in(Seconds(1.0), next);
+  };
+  sim.schedule_in(Seconds(1.0), next);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now().count(), 5.0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(Seconds(4.0), [&] { fired_at = sim.now().count(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule_in(Seconds(2.0), [&] {
+    EXPECT_THROW(sim.schedule_at(Seconds(1.0), [] {}), InvalidArgument);
+  });
+  sim.run();
+  EXPECT_THROW(sim.schedule_in(Seconds(-1.0), [] {}), InvalidArgument);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_in(Seconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  const auto n = sim.run_until(Seconds(2.0));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now().count(), 2.0);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(Seconds(10.0));
+  EXPECT_DOUBLE_EQ(sim.now().count(), 10.0);
+}
+
+TEST(Simulator, CountsEventsFired) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(Seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 7u);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_in(Seconds(1.0), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ZeroDelaySameTimeOrdering) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(Seconds(0.0), [&] {
+    order.push_back(1);
+    sim.schedule_in(Seconds(0.0), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace wrht::sim

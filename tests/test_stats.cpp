@@ -1,0 +1,72 @@
+#include "wrht/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_THROW(s.variance(), InvalidArgument);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), InvalidArgument);
+  EXPECT_THROW(s.min(), InvalidArgument);
+  EXPECT_THROW(s.max(), InvalidArgument);
+}
+
+TEST(RunningStats, NumericalStabilityLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geometric_mean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+  EXPECT_THROW(geometric_mean({}), InvalidArgument);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), InvalidArgument);
+}
+
+TEST(ArithmeticMean, Basics) {
+  EXPECT_DOUBLE_EQ(arithmetic_mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(arithmetic_mean({}), InvalidArgument);
+}
+
+TEST(MeanReduction, MatchesPaperAggregation) {
+  // ours half of baseline everywhere -> 50% reduction.
+  EXPECT_DOUBLE_EQ(mean_reduction_percent({1.0, 2.0}, {2.0, 4.0}), 50.0);
+  // Mixed: 75% and 25% -> 50% average.
+  EXPECT_DOUBLE_EQ(mean_reduction_percent({1.0, 3.0}, {4.0, 4.0}), 50.0);
+  // Slower than baseline yields a negative reduction.
+  EXPECT_LT(mean_reduction_percent({3.0}, {2.0}), 0.0);
+}
+
+TEST(MeanReduction, Validation) {
+  EXPECT_THROW(mean_reduction_percent({1.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(mean_reduction_percent({}, {}), InvalidArgument);
+  EXPECT_THROW(mean_reduction_percent({1.0}, {0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "wrht/common/csv.hpp"
+#include "wrht/common/error.hpp"
+#include "wrht/common/table.hpp"
+
+namespace wrht {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"algo", "steps"});
+  t.add_row({"ring", "2046"});
+  t.add_row({"wrht", "3"});
+  std::ostringstream os;
+  os << t;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| algo | steps |"), std::string::npos);
+  EXPECT_NE(out.find("| ring | 2046  |"), std::string::npos);
+  EXPECT_NE(out.find("| wrht | 3     |"), std::string::npos);
+  EXPECT_NE(out.find("|------|"), std::string::npos);
+}
+
+TEST(Table, WidensToLongestCell) {
+  Table t({"x"});
+  t.add_row({"a-very-long-cell"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("| a-very-long-cell |"), std::string::npos);
+}
+
+TEST(Table, ArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/wrht_test.csv";
+  {
+    CsvWriter csv(path, {"n", "time"});
+    csv.add_row({"1024", "0.5"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "n,time");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1024,0.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ArityChecked) {
+  const std::string path = testing::TempDir() + "/wrht_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht

@@ -1,0 +1,45 @@
+#include "wrht/topo/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::topo {
+namespace {
+
+TEST(Torus, CoordinatesRoundTrip) {
+  const Torus t(4, 6);
+  EXPECT_EQ(t.size(), 24u);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      const NodeId id = t.node_at(r, c);
+      EXPECT_EQ(t.row_of(id), r);
+      EXPECT_EQ(t.col_of(id), c);
+    }
+  }
+}
+
+TEST(Torus, RowMajorLayout) {
+  const Torus t(3, 5);
+  EXPECT_EQ(t.node_at(0, 0), 0u);
+  EXPECT_EQ(t.node_at(0, 4), 4u);
+  EXPECT_EQ(t.node_at(1, 0), 5u);
+  EXPECT_EQ(t.node_at(2, 4), 14u);
+}
+
+TEST(Torus, RingViews) {
+  const Torus t(4, 6);
+  EXPECT_EQ(t.row_ring().size(), 6u);
+  EXPECT_EQ(t.col_ring().size(), 4u);
+}
+
+TEST(Torus, Validation) {
+  EXPECT_THROW(Torus(1, 4), InvalidArgument);
+  EXPECT_THROW(Torus(4, 1), InvalidArgument);
+  const Torus t(2, 2);
+  EXPECT_THROW(t.node_at(2, 0), InvalidArgument);
+  EXPECT_THROW(t.row_of(4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wrht::topo

@@ -1,0 +1,107 @@
+#include "wrht/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht {
+namespace {
+
+TEST(Bytes, LiteralsAndArithmetic) {
+  EXPECT_EQ((1_KiB).count(), 1024u);
+  EXPECT_EQ((2_MiB).count(), 2u << 20);
+  EXPECT_EQ((1_GiB).count(), 1u << 30);
+  EXPECT_EQ((3_B + 4_B).count(), 7u);
+  EXPECT_EQ((10_B - 4_B).count(), 6u);
+  EXPECT_EQ((3_B * 4).count(), 12u);
+  EXPECT_EQ((4 * 3_B).count(), 12u);
+}
+
+TEST(Bytes, BitsConversion) {
+  EXPECT_DOUBLE_EQ((1_B).bits(), 8.0);
+  EXPECT_DOUBLE_EQ((1_KiB).bits(), 8192.0);
+}
+
+TEST(Bytes, CeilDiv) {
+  EXPECT_EQ(Bytes(10).ceil_div(3).count(), 4u);
+  EXPECT_EQ(Bytes(9).ceil_div(3).count(), 3u);
+  EXPECT_EQ(Bytes(1).ceil_div(100).count(), 1u);
+}
+
+TEST(Bytes, Comparison) {
+  EXPECT_LT(1_KiB, 1_MiB);
+  EXPECT_EQ(1024_B, 1_KiB);
+  EXPECT_GT(2_GiB, 2_MiB);
+}
+
+TEST(Bytes, CompoundAssign) {
+  Bytes b(5);
+  b += Bytes(7);
+  EXPECT_EQ(b.count(), 12u);
+}
+
+TEST(Seconds, LiteralsScale) {
+  EXPECT_DOUBLE_EQ((1.0_s).count(), 1.0);
+  EXPECT_DOUBLE_EQ((1.0_ms).count(), 1e-3);
+  EXPECT_DOUBLE_EQ((25.0_us).count(), 25e-6);
+  EXPECT_DOUBLE_EQ((497.0_fs).count(), 497e-15);
+  EXPECT_DOUBLE_EQ((1.0_ns).count(), 1e-9);
+}
+
+TEST(Seconds, Arithmetic) {
+  EXPECT_DOUBLE_EQ((1.0_ms + 1.0_us).count(), 1.001e-3);
+  EXPECT_DOUBLE_EQ((2.0_s - 0.5_s).count(), 1.5);
+  EXPECT_DOUBLE_EQ((2.0_s * 3.0).count(), 6.0);
+  EXPECT_DOUBLE_EQ((4.0_s / 2.0_s), 2.0);
+  EXPECT_DOUBLE_EQ((1.0_s).micros(), 1e6);
+  EXPECT_DOUBLE_EQ((1.0_s).millis(), 1e3);
+}
+
+TEST(BitsPerSecond, LiteralsAndHelpers) {
+  EXPECT_DOUBLE_EQ((40.0_Gbps).count(), 40e9);
+  EXPECT_DOUBLE_EQ((40.0_Gbps).gbps(), 40.0);
+  EXPECT_DOUBLE_EQ((100.0_Mbps).count(), 1e8);
+}
+
+TEST(BitsPerSecond, TransferTime) {
+  // 40 Gbit/s drains 5 GB in 1 second.
+  const Seconds t = transfer_time(Bytes(5'000'000'000ull), 40.0_Gbps);
+  EXPECT_DOUBLE_EQ(t.count(), 1.0);
+}
+
+TEST(Decibels, LinearConversion) {
+  EXPECT_DOUBLE_EQ((10.0_dB).linear(), 10.0);
+  EXPECT_DOUBLE_EQ((3.0_dB + 7.0_dB).count(), 10.0);
+  EXPECT_DOUBLE_EQ((10.0_dB - 4.0_dB).count(), 6.0);
+  EXPECT_NEAR((3.0103_dB).linear(), 2.0, 1e-3);
+  EXPECT_DOUBLE_EQ((2.0 * 5.0_dB).count(), 10.0);
+}
+
+TEST(PowerDbm, MilliwattsRoundTrip) {
+  EXPECT_DOUBLE_EQ((0.0_dBm).milliwatts(), 1.0);
+  EXPECT_DOUBLE_EQ((10.0_dBm).milliwatts(), 10.0);
+  EXPECT_NEAR(PowerDbm::from_milliwatts(2.0).count(), 3.0103, 1e-3);
+}
+
+TEST(PowerDbm, LossAndGain) {
+  const PowerDbm after = 10.0_dBm - 3.0_dB;
+  EXPECT_DOUBLE_EQ(after.count(), 7.0);
+  EXPECT_DOUBLE_EQ((after + 3.0_dB).count(), 10.0);
+  EXPECT_DOUBLE_EQ((10.0_dBm - 4.0_dBm).count(), 6.0);
+}
+
+TEST(PowerDbm, PowerSumIsLinear) {
+  // 0 dBm + 0 dBm = 2 mW = ~3.01 dBm, not 0 dBm.
+  EXPECT_NEAR(power_sum(0.0_dBm, 0.0_dBm).count(), 3.0103, 1e-3);
+  // Summing something 30 dB weaker barely moves the total.
+  EXPECT_NEAR(power_sum(0.0_dBm, -30.0_dBm).count(), 0.00432, 1e-4);
+}
+
+TEST(Formatting, HumanReadable) {
+  EXPECT_EQ(to_string(Bytes(512)), "512 B");
+  EXPECT_NE(to_string(2_MiB).find("MiB"), std::string::npos);
+  EXPECT_NE(to_string(25.0_us).find("us"), std::string::npos);
+  EXPECT_NE(to_string(1.5_s).find("s"), std::string::npos);
+  EXPECT_NE(to_string(40.0_Gbps).find("Gbit/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrht
