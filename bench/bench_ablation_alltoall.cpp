@@ -28,16 +28,16 @@ int main() {
 
   for (const std::uint32_t n : {256u, 1024u, 4096u}) {
     for (const std::uint32_t m : {17u, 65u, 129u}) {
-      optics::OpticalConfig cfg;
-      cfg.wavelengths = kWavelengths;
-      const optics::RingNetwork net(n, cfg);
+      const optics::RingNetwork net(
+          n, optics::OpticalConfig{}.with_wavelengths(kWavelengths));
 
       const auto on = core::wrht_allreduce(
           n, kElements, core::WrhtOptions{m, kWavelengths, true});
       const auto off = core::wrht_allreduce(
           n, kElements, core::WrhtOptions{m, kWavelengths, false});
-      const auto res_on = net.execute(on);
-      const auto res_off = net.execute(off);
+      const obs::Probe probe{nullptr, &bench::metrics()};
+      const auto res_on = net.execute(on, probe);
+      const auto res_off = net.execute(off, probe);
 
       const double saving =
           (1.0 - res_on.total_time.count() / res_off.total_time.count()) *
@@ -61,5 +61,6 @@ int main() {
       "ceil(m*^2/8) wavelengths are available (Table 1's 3 vs 4 steps).\n");
   std::printf("CSV written to %s\n",
               bench::csv_path("ablation_alltoall").c_str());
+  bench::write_metrics_csv("ablation_alltoall");
   return 0;
 }

@@ -17,10 +17,10 @@ using namespace wrht;
 
 double timed(const coll::Schedule& sched, std::uint32_t n,
              optics::OpticalConfig::RateConvention convention) {
-  optics::OpticalConfig cfg;
-  cfg.convention = convention;
-  const optics::RingNetwork net(n, cfg);
-  return net.execute(sched).total_time.count();
+  const optics::RingNetwork net(
+      n, optics::OpticalConfig{}.with_convention(convention));
+  return net.execute(sched, obs::Probe{nullptr, &bench::metrics()})
+      .total_time.count();
 }
 
 }  // namespace
@@ -68,5 +68,6 @@ int main() {
       "the contradiction that pinned down the paper's numeric convention.\n");
   std::printf("CSV written to %s\n",
               bench::csv_path("ablation_convention").c_str());
+  bench::write_metrics_csv("ablation_convention");
   return 0;
 }

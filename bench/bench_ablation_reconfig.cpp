@@ -26,14 +26,14 @@ struct Priced {
 
 Priced price(const coll::Schedule& sched, std::uint32_t n,
              std::uint32_t wavelengths) {
-  optics::OpticalConfig cfg;
-  cfg.wavelengths = wavelengths;
+  const auto cfg = optics::OpticalConfig{}.with_wavelengths(wavelengths);
   const optics::RingNetwork every(n, cfg);
-  cfg.reconfig_accounting =
-      optics::OpticalConfig::ReconfigAccounting::kOnRetune;
-  const optics::RingNetwork retune(n, cfg);
-  const auto a = every.execute(sched);
-  const auto b = retune.execute(sched);
+  const optics::RingNetwork retune(
+      n, optics::OpticalConfig{cfg}.with_reconfig_accounting(
+             optics::OpticalConfig::ReconfigAccounting::kOnRetune));
+  const obs::Probe probe{nullptr, &bench::metrics()};
+  const auto a = every.execute(sched, probe);
+  const auto b = retune.execute(sched, probe);
   return Priced{a.total_time.count(), b.total_time.count(),
                 b.reconfigurations};
 }
@@ -91,5 +91,6 @@ int main() {
       "work.\n");
   std::printf("CSV written to %s\n",
               bench::csv_path("ablation_reconfig").c_str());
+  bench::write_metrics_csv("ablation_reconfig");
   return 0;
 }

@@ -21,22 +21,34 @@
 #include "wrht/core/wrht_schedule.hpp"
 #include "wrht/dnn/zoo.hpp"
 #include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/obs/counters.hpp"
+#include "wrht/obs/run_report.hpp"
 #include "wrht/optical/ring_network.hpp"
 
 namespace wrht::bench {
 
-/// Optical communication time of `algorithm` for a payload of `elements`
-/// float32 gradients on an N-node ring with w wavelengths.
-inline double optical_time(const std::string& algorithm, std::uint32_t n,
-                           std::size_t elements, std::uint32_t wavelengths,
-                           std::uint32_t group_size = 0) {
+/// Process-wide counter registry. Every simulator run launched through the
+/// helpers below feeds it (rounds, reconfiguration charges, fair-share
+/// bottlenecks, events fired, ...); write_metrics_csv() dumps it next to
+/// the figure CSV at the end of the bench.
+inline obs::Counters& metrics() {
+  static obs::Counters counters;
+  return counters;
+}
+
+/// Optical run of `algorithm` for a payload of `elements` float32
+/// gradients on an N-node ring with w wavelengths, as a RunReport.
+inline RunReport optical_report(const std::string& algorithm, std::uint32_t n,
+                                std::size_t elements,
+                                std::uint32_t wavelengths,
+                                std::uint32_t group_size = 0) {
   core::register_wrht_algorithm();
-  optics::OpticalConfig cfg;
-  cfg.wavelengths = wavelengths;
   // The paper's sweeps "assume there is no constraint of optical
   // communication" (§5.4): WRHT with m = 2*256+1 legitimately exceeds the
   // per-node MRR budget, which the TeraRack hardware model would reject.
-  cfg.validate_node_capacity = false;
+  const auto cfg = optics::OpticalConfig{}
+                       .with_wavelengths(wavelengths)
+                       .with_validate_node_capacity(false);
   const optics::RingNetwork net(n, cfg);
   coll::AllreduceParams p;
   p.num_nodes = n;
@@ -45,20 +57,33 @@ inline double optical_time(const std::string& algorithm, std::uint32_t n,
   p.wavelengths = wavelengths;
   const coll::Schedule sched =
       coll::Registry::instance().build(algorithm, p);
-  return net.execute(sched).total_time.count();
+  return net.execute(sched, obs::Probe{nullptr, &metrics()}).to_report();
 }
 
-/// Electrical (fat-tree) communication time under the same conventions.
-inline double electrical_time(const std::string& algorithm, std::uint32_t n,
-                              std::size_t elements) {
-  elec::ElectricalConfig cfg;
-  const elec::FatTreeNetwork net(n, cfg);
+/// Electrical (fat-tree) run under the same conventions, as a RunReport.
+inline RunReport electrical_report(const std::string& algorithm,
+                                   std::uint32_t n, std::size_t elements) {
+  const elec::FatTreeNetwork net(n, elec::ElectricalConfig{});
   coll::AllreduceParams p;
   p.num_nodes = n;
   p.elements = elements;
   const coll::Schedule sched =
       coll::Registry::instance().build(algorithm, p);
-  return net.execute(sched).total_time.count();
+  return net.execute(sched, obs::Probe{nullptr, &metrics()}).to_report();
+}
+
+/// Optical communication time in seconds (RunReport shortcut).
+inline double optical_time(const std::string& algorithm, std::uint32_t n,
+                           std::size_t elements, std::uint32_t wavelengths,
+                           std::uint32_t group_size = 0) {
+  return optical_report(algorithm, n, elements, wavelengths, group_size)
+      .total_time.count();
+}
+
+/// Electrical communication time in seconds (RunReport shortcut).
+inline double electrical_time(const std::string& algorithm, std::uint32_t n,
+                              std::size_t elements) {
+  return electrical_report(algorithm, n, elements).total_time.count();
 }
 
 /// Prints the paper-text aggregate: "X reduces communication time by P% on
@@ -74,6 +99,14 @@ inline void print_reduction(const std::string& ours_name,
 
 inline std::string csv_path(const std::string& bench_name) {
   return bench_name + ".csv";
+}
+
+/// Dumps the accumulated metrics() counters to `<bench>_metrics.csv`
+/// alongside the figure CSV.
+inline void write_metrics_csv(const std::string& bench_name) {
+  const std::string path = bench_name + "_metrics.csv";
+  metrics().write_csv(path);
+  std::printf("metrics CSV written to %s\n", path.c_str());
 }
 
 }  // namespace wrht::bench

@@ -21,9 +21,8 @@ int main() {
       "=== Figure 2: motivating example — %u nodes, %u wavelengths ===\n\n",
       kNodes, kWavelengths);
 
-  optics::OpticalConfig cfg;
-  cfg.wavelengths = kWavelengths;
-  const optics::RingNetwork net(kNodes, cfg);
+  const optics::RingNetwork net(
+      kNodes, optics::OpticalConfig{}.with_wavelengths(kWavelengths));
   Rng rng;
 
   const auto bt = coll::btree_allreduce(kNodes, kElements);
@@ -39,8 +38,9 @@ int main() {
     coll::Executor::verify_allreduce(wrht_small, rng);
   }
 
-  const auto bt_run = net.execute(bt);
-  const auto wrht_run = net.execute(wrht);
+  const obs::Probe probe{nullptr, &bench::metrics()};
+  const auto bt_run = net.execute(bt, probe);
+  const auto wrht_run = net.execute(wrht, probe);
 
   std::printf("Binary tree (paper Fig. 2a: 8 steps):\n");
   optics::print_timeline(bt_run, std::cout);
@@ -72,5 +72,6 @@ int main() {
                Table::num(wrht_run.total_time.count(), 6)});
   std::printf("CSV written to %s\n",
               bench::csv_path("fig2_motivating").c_str());
+  bench::write_metrics_csv("fig2_motivating");
   return 0;
 }

@@ -54,5 +54,6 @@ int main() {
       "(the paper's prose approximates the 5:3 ratio as \"half\").\n");
   std::printf("CSV written to %s\n",
               bench::csv_path("fig4_grouped_nodes").c_str());
+  bench::write_metrics_csv("fig4_grouped_nodes");
   return 0;
 }

@@ -66,5 +66,6 @@ int main() {
   bench::print_reduction("wrht", series["wrht"], "btree", series["btree"]);
   std::printf("CSV written to %s\n",
               bench::csv_path("fig5_wavelengths").c_str());
+  bench::write_metrics_csv("fig5_wavelengths");
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
   bench::print_reduction("wrht", series["wrht"], "hring", series["hring"]);
   bench::print_reduction("wrht", series["wrht"], "btree", series["btree"]);
   std::printf("CSV written to %s\n", bench::csv_path("fig6_scaling").c_str());
+  bench::write_metrics_csv("fig6_scaling");
   return 0;
 }

@@ -35,26 +35,26 @@ int main() {
     Table table({"N", "E-Ring", "E-RD", "O-Ring", "WRHT"});
     const std::size_t elements = model.parameter_count();
     for (const std::uint32_t n : kNodes) {
-      const double e_ring = bench::electrical_time("ring", n, elements);
-      const double e_rd =
-          bench::electrical_time("recursive_doubling", n, elements);
-      const double o_ring =
-          bench::optical_time("ring", n, elements, kWavelengths);
-      const double wrht = bench::optical_time(
-          "wrht", n, elements, kWavelengths,
-          core::plan_wrht(n, kWavelengths).group_size);
+      // All four systems report through the unified RunReport shape.
+      const std::pair<const char*, RunReport> rows[] = {
+          {"e_ring", bench::electrical_report("ring", n, elements)},
+          {"e_rd", bench::electrical_report("recursive_doubling", n,
+                                            elements)},
+          {"o_ring", bench::optical_report("ring", n, elements,
+                                           kWavelengths)},
+          {"wrht", bench::optical_report(
+                       "wrht", n, elements, kWavelengths,
+                       core::plan_wrht(n, kWavelengths).group_size)}};
 
-      table.add_row({std::to_string(n), Table::num(e_ring / base, 3),
-                     Table::num(e_rd / base, 3), Table::num(o_ring / base, 3),
-                     Table::num(wrht / base, 3)});
-      const std::pair<const char*, double> rows[] = {
-          {"e_ring", e_ring}, {"e_rd", e_rd}, {"o_ring", o_ring},
-          {"wrht", wrht}};
-      for (const auto& [name, t] : rows) {
+      std::vector<std::string> cells{std::to_string(n)};
+      for (const auto& [name, report] : rows) {
+        const double t = report.total_time.count();
+        cells.push_back(Table::num(t / base, 3));
         csv.add_row({model.name(), std::to_string(n), name, Table::num(t, 6),
                      Table::num(t / base, 4)});
         series[name].push_back(t);
       }
+      table.add_row(cells);
     }
     std::cout << table << "\n";
   }
@@ -68,5 +68,6 @@ int main() {
   bench::print_reduction("wrht", series["wrht"], "e_rd", series["e_rd"]);
   std::printf("CSV written to %s\n",
               bench::csv_path("fig7_electrical_vs_optical").c_str());
+  bench::write_metrics_csv("fig7_electrical_vs_optical");
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "wrht/core/planner.hpp"
 #include "wrht/core/wrht_schedule.hpp"
 #include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/obs/trace.hpp"
 #include "wrht/optical/ring_network.hpp"
 #include "wrht/optical/rwa.hpp"
 #include "wrht/sim/simulator.hpp"
@@ -70,6 +71,31 @@ void BM_OpticalExecuteRing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OpticalExecuteRing)->Range(64, 1024);
+
+// The observability contract: an empty probe must cost nothing over the
+// unobserved overload above (compare the two), while a fully attached
+// probe shows the actual price of tracing + counting.
+void BM_OpticalExecuteRingNoopProbe(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const optics::RingNetwork net(n, optics::OpticalConfig{});
+  const auto sched = coll::ring_allreduce(n, 4 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.execute(sched, obs::Probe{}));
+  }
+}
+BENCHMARK(BM_OpticalExecuteRingNoopProbe)->Range(64, 1024);
+
+void BM_OpticalExecuteRingObserved(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const optics::RingNetwork net(n, optics::OpticalConfig{});
+  const auto sched = coll::ring_allreduce(n, 4 * n);
+  for (auto _ : state) {
+    obs::MemoryTraceSink sink;
+    obs::Counters counters;
+    benchmark::DoNotOptimize(net.execute(sched, obs::Probe{&sink, &counters, 0}));
+  }
+}
+BENCHMARK(BM_OpticalExecuteRingObserved)->Range(64, 1024);
 
 void BM_ExecutorVerify(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

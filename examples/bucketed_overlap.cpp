@@ -33,9 +33,8 @@ int main(int argc, char** argv) {
   dnn::TrainingConfig cfg;
   cfg.num_workers = nodes;
 
-  optics::OpticalConfig ocfg;
-  ocfg.wavelengths = kWavelengths;
-  const optics::RingNetwork net(nodes, ocfg);
+  const optics::RingNetwork net(
+      nodes, optics::OpticalConfig{}.with_wavelengths(kWavelengths));
   const std::uint32_t m = core::plan_wrht(nodes, kWavelengths).group_size;
 
   Table table({"Model", "buckets", "flat comm", "overlapped (exposed)",

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "wrht/collectives/btree_allreduce.hpp"
 #include "wrht/collectives/executor.hpp"
@@ -59,25 +60,26 @@ int main(int argc, char** argv) {
   std::printf("\nexecutor: every node holds the exact global sum "
               "(max error %.2e)\n", err);
 
-  // 4. Price it on the optical ring against the baselines.
-  optics::OpticalConfig cfg;
-  cfg.wavelengths = wavelengths;
-  const optics::RingNetwork net(nodes, cfg);
+  // 4. Price it on the optical ring against the baselines. Every backend
+  // result converts to the same RunReport shape, so the comparison table
+  // is one loop.
+  const optics::RingNetwork net(
+      nodes, optics::OpticalConfig{}.with_wavelengths(wavelengths));
 
-  const auto wrht = net.execute(sched);
-  const auto ring = net.execute(coll::ring_allreduce(nodes, elements));
-  const auto bt = net.execute(coll::btree_allreduce(nodes, elements));
+  const RunReport wrht = net.execute(sched).to_report();
+  const RunReport ring =
+      net.execute(coll::ring_allreduce(nodes, elements)).to_report();
+  const RunReport bt =
+      net.execute(coll::btree_allreduce(nodes, elements)).to_report();
 
   Table table({"Algorithm", "Steps", "Lambdas used", "Time"});
-  table.add_row({"WRHT", std::to_string(wrht.steps),
-                 std::to_string(wrht.max_wavelengths_used),
-                 to_string(wrht.total_time)});
-  table.add_row({"Ring", std::to_string(ring.steps),
-                 std::to_string(ring.max_wavelengths_used),
-                 to_string(ring.total_time)});
-  table.add_row({"Binary tree", std::to_string(bt.steps),
-                 std::to_string(bt.max_wavelengths_used),
-                 to_string(bt.total_time)});
+  const std::pair<const char*, const RunReport*> rows[] = {
+      {"WRHT", &wrht}, {"Ring", &ring}, {"Binary tree", &bt}};
+  for (const auto& [name, report] : rows) {
+    table.add_row({name, std::to_string(report->steps),
+                   std::to_string(report->max_wavelengths_used()),
+                   to_string(report->total_time)});
+  }
   std::printf("\n");
   std::cout << table;
 

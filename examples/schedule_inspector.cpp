@@ -27,9 +27,8 @@ int main(int argc, char** argv) {
   core::register_wrht_algorithm();
   auto& registry = coll::Registry::instance();
 
-  optics::OpticalConfig ocfg;
-  ocfg.wavelengths = wavelengths;
-  const optics::RingNetwork optical(nodes, ocfg);
+  const optics::RingNetwork optical(
+      nodes, optics::OpticalConfig{}.with_wavelengths(wavelengths));
   const elec::FatTreeNetwork electrical(nodes, elec::ElectricalConfig{});
 
   std::printf(

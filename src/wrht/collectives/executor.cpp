@@ -9,6 +9,12 @@ namespace wrht::coll {
 
 void Executor::run(const Schedule& schedule,
                    std::vector<std::vector<double>>& buffers) {
+  run(schedule, buffers, obs::Probe{});
+}
+
+void Executor::run(const Schedule& schedule,
+                   std::vector<std::vector<double>>& buffers,
+                   const obs::Probe& probe) {
   schedule.validate();
   require(buffers.size() == schedule.num_nodes(),
           "Executor: buffer count != node count");
@@ -17,6 +23,7 @@ void Executor::run(const Schedule& schedule,
             "Executor: buffer length != schedule elements");
   }
 
+  std::size_t step_index = 0;
   for (const auto& step : schedule.steps()) {
     // Snapshot each sender's buffer once per step so concurrent transfers
     // all observe beginning-of-step state.
@@ -24,6 +31,7 @@ void Executor::run(const Schedule& schedule,
     for (const auto& t : step.transfers) {
       snapshots.try_emplace(t.src, buffers[t.src]);
     }
+    std::uint64_t elements_moved = 0;
     for (const auto& t : step.transfers) {
       const auto& src = snapshots.at(t.src);
       auto& dst = buffers[t.dst];
@@ -36,7 +44,24 @@ void Executor::run(const Schedule& schedule,
           dst[e] = src[e];
         }
       }
+      elements_moved += t.count;
     }
+
+    probe.count("executor.steps");
+    probe.count("executor.transfers", step.transfers.size());
+    probe.count("executor.elements_moved", elements_moved);
+    if (probe.trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = step.label.empty() ? "step " + std::to_string(step_index)
+                                     : step.label;
+      span.category = "executor-step";
+      span.start = Seconds(static_cast<double>(step_index) * 1e-6);
+      span.duration = Seconds(1e-6);
+      span.args = {{"transfers", std::to_string(step.transfers.size())},
+                   {"elements_moved", std::to_string(elements_moved)}};
+      probe.span(span);
+    }
+    ++step_index;
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "wrht/collectives/schedule.hpp"
 #include "wrht/common/rng.hpp"
+#include "wrht/obs/trace.hpp"
 
 namespace wrht::coll {
 
@@ -21,6 +22,13 @@ class Executor {
   /// schedule.elements() doubles each.
   static void run(const Schedule& schedule,
                   std::vector<std::vector<double>>& buffers);
+
+  /// Observed variant: accumulates "executor.*" counters and emits one
+  /// logical-time span per step (the executor has no physical timebase, so
+  /// spans are laid out one microsecond per step index).
+  static void run(const Schedule& schedule,
+                  std::vector<std::vector<double>>& buffers,
+                  const obs::Probe& probe);
 
   /// Generates deterministic per-node inputs, runs the schedule, and checks
   /// that every node ends with the element-wise sum over all nodes.

@@ -51,8 +51,18 @@ std::vector<std::string> Registry::names() const {
 
 Schedule Registry::build(const std::string& name,
                          const AllreduceParams& params) const {
+  require(params.num_nodes > 0, "Registry::build: num_nodes must be > 0");
+  require(params.elements > 0, "Registry::build: elements must be > 0");
   const auto it = builders_.find(name);
-  require(it != builders_.end(), "Registry: unknown algorithm '" + name + "'");
+  if (it == builders_.end()) {
+    std::string known;
+    for (const auto& [registered, fn] : builders_) {
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    throw InvalidArgument("Registry: unknown algorithm '" + name +
+                          "' (registered: " + known + ")");
+  }
   return it->second(params);
 }
 

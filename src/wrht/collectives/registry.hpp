@@ -42,7 +42,9 @@ class Registry {
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// Builds the schedule; throws InvalidArgument for unknown names.
+  /// Builds the schedule. Throws InvalidArgument when `params.num_nodes`
+  /// or `params.elements` is zero, and for unknown names (the message
+  /// lists every registered algorithm).
   [[nodiscard]] Schedule build(const std::string& name,
                                const AllreduceParams& params) const;
 

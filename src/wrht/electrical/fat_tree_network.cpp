@@ -66,11 +66,17 @@ FatTreeNetwork::StepTiming FatTreeNetwork::evaluate_step(
   for (const auto l : load) max_load = std::max(max_load, l);
 
   const FlowResult res = flow_sim_.run(flows);
-  return StepTiming{res.makespan, max_load};
+  return StepTiming{res.makespan, max_load, res.bottleneck_links,
+                    res.rate_recomputations};
 }
 
 ElectricalRunResult FatTreeNetwork::execute(
     const coll::Schedule& schedule) const {
+  return execute(schedule, obs::Probe{});
+}
+
+ElectricalRunResult FatTreeNetwork::execute(const coll::Schedule& schedule,
+                                            const obs::Probe& probe) const {
   require(schedule.num_nodes() <= tree_.num_hosts(),
           "FatTreeNetwork: schedule spans more nodes than hosts");
   schedule.validate();
@@ -80,9 +86,12 @@ ElectricalRunResult FatTreeNetwork::execute(
   result.step_times.reserve(schedule.num_steps());
 
   double now = 0.0;
+  std::size_t step_index = 0;
   for (const auto& step : schedule.steps()) {
+    probe.count("electrical.steps");
     if (step.transfers.empty()) {
       result.step_times.emplace_back(0.0);
+      ++step_index;
       continue;
     }
     const std::uint64_t sig = step_signature(step);
@@ -96,10 +105,48 @@ ElectricalRunResult FatTreeNetwork::execute(
     result.total_flows += step.transfers.size();
     result.max_link_load = std::max(result.max_link_load, timing.max_link_load);
     result.step_times.emplace_back(timing.seconds);
+
+    probe.count("electrical.flows", step.transfers.size());
+    probe.count("electrical.rate_recomputations", timing.rate_recomputations);
+    probe.count("electrical.bottleneck_links", timing.bottleneck_links);
+    probe.count_max("electrical.max_link_load", timing.max_link_load);
+    if (probe.trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = step.label.empty() ? "step " + std::to_string(step_index)
+                                     : step.label;
+      span.category = "flow-step";
+      span.start = Seconds(now);
+      span.duration = Seconds(timing.seconds);
+      span.args = {{"flows", std::to_string(step.transfers.size())},
+                   {"max_link_load", std::to_string(timing.max_link_load)},
+                   {"bottleneck_links",
+                    std::to_string(timing.bottleneck_links)}};
+      probe.span(span);
+    }
     now += timing.seconds;
+    ++step_index;
   }
   result.total_time = Seconds(now);
   return result;
+}
+
+RunReport ElectricalRunResult::to_report() const {
+  RunReport report;
+  report.backend = "electrical-flow";
+  report.total_time = total_time;
+  report.steps = steps;
+  report.rounds = step_times.size();  // one fair-sharing round per step
+  report.step_reports.reserve(step_times.size());
+  Seconds cursor(0.0);
+  for (std::size_t i = 0; i < step_times.size(); ++i) {
+    StepReport step;
+    step.label = "step " + std::to_string(i);
+    step.start = cursor;
+    step.duration = step_times[i];
+    report.step_reports.push_back(std::move(step));
+    cursor += step_times[i];
+  }
+  return report;
 }
 
 }  // namespace wrht::elec

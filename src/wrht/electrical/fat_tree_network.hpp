@@ -15,6 +15,8 @@
 #include "wrht/collectives/schedule.hpp"
 #include "wrht/common/units.hpp"
 #include "wrht/electrical/flow_sim.hpp"
+#include "wrht/obs/run_report.hpp"
+#include "wrht/obs/trace.hpp"
 #include "wrht/topo/fat_tree.hpp"
 
 namespace wrht::elec {
@@ -34,6 +36,33 @@ struct ElectricalConfig {
   [[nodiscard]] double bytes_per_second() const {
     return paper_rate_convention ? link_rate.count() : link_rate.count() / 8.0;
   }
+
+  // Fluent builders mirroring optics::OpticalConfig; aggregate
+  // initialization keeps working.
+  ElectricalConfig& with_link_rate(BitsPerSecond v) {
+    link_rate = v;
+    return *this;
+  }
+  ElectricalConfig& with_router_delay(Seconds v) {
+    router_delay = v;
+    return *this;
+  }
+  ElectricalConfig& with_packet_size(Bytes v) {
+    packet_size = v;
+    return *this;
+  }
+  ElectricalConfig& with_bytes_per_element(std::uint32_t v) {
+    bytes_per_element = v;
+    return *this;
+  }
+  ElectricalConfig& with_router_ports(std::uint32_t v) {
+    router_ports = v;
+    return *this;
+  }
+  ElectricalConfig& with_paper_rate_convention(bool v) {
+    paper_rate_convention = v;
+    return *this;
+  }
 };
 
 struct ElectricalRunResult {
@@ -43,6 +72,9 @@ struct ElectricalRunResult {
   /// Largest number of concurrent flows sharing one link in any step.
   std::uint32_t max_link_load = 0;
   std::vector<Seconds> step_times;
+
+  /// Backend-neutral view (RunReport) of this run.
+  [[nodiscard]] RunReport to_report() const;
 };
 
 class FatTreeNetwork {
@@ -55,10 +87,17 @@ class FatTreeNetwork {
   [[nodiscard]] ElectricalRunResult execute(
       const coll::Schedule& schedule) const;
 
+  /// Observed variant: one trace span per step plus "electrical.*"
+  /// counters (flows, link load, fair-share bottlenecks, recomputations).
+  [[nodiscard]] ElectricalRunResult execute(const coll::Schedule& schedule,
+                                            const obs::Probe& probe) const;
+
  private:
   struct StepTiming {
-    double seconds;
-    std::uint32_t max_link_load;
+    double seconds = 0.0;
+    std::uint32_t max_link_load = 0;
+    std::uint32_t bottleneck_links = 0;
+    std::uint64_t rate_recomputations = 0;
   };
   [[nodiscard]] StepTiming evaluate_step(const coll::Step& step) const;
   [[nodiscard]] std::uint64_t step_signature(const coll::Step& step) const;

@@ -101,6 +101,17 @@ FlowResult FlowLevelSimulator::run(const std::vector<FlowSpec>& flows) const {
   while (live > 0) {
     const std::vector<double> rates = fill_rates(capacity_, flows, active);
     ++result.rate_recomputations;
+    if (result.rate_recomputations == 1) {
+      // Count the initial fair-share bottlenecks: links whose capacity the
+      // first allocation fully consumes.
+      std::vector<double> used(capacity_.size(), 0.0);
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        for (const LinkId l : flows[i].links) used[l] += rates[i];
+      }
+      for (LinkId l = 0; l < capacity_.size(); ++l) {
+        if (used[l] >= capacity_[l] * (1.0 - 1e-9)) ++result.bottleneck_links;
+      }
+    }
 
     // Time until the next flow drains completely.
     double dt = std::numeric_limits<double>::infinity();

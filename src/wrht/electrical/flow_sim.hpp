@@ -27,6 +27,9 @@ struct FlowResult {
   double makespan = 0.0;
   /// Number of max-min rate recomputations performed.
   std::uint64_t rate_recomputations = 0;
+  /// Links saturated by the initial fair-share allocation (the fair-share
+  /// bottlenecks while every flow is still active).
+  std::uint32_t bottleneck_links = 0;
 };
 
 class FlowLevelSimulator {

@@ -27,8 +27,10 @@ struct Packet {
 
 double PacketLevelNetwork::simulate_step(const coll::Step& step,
                                          std::uint64_t& packets,
-                                         std::uint64_t& events) const {
+                                         std::uint64_t& events,
+                                         const obs::Probe& probe) const {
   sim::Simulator simulator;
+  simulator.set_counters(probe.counters);
   std::vector<double> next_free(tree_.num_links(), 0.0);
   const double rate = config_.bytes_per_second();
   const double router_delay = config_.router_delay.count();
@@ -78,6 +80,11 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
 
 PacketRunResult PacketLevelNetwork::execute(
     const coll::Schedule& schedule) const {
+  return execute(schedule, obs::Probe{});
+}
+
+PacketRunResult PacketLevelNetwork::execute(const coll::Schedule& schedule,
+                                            const obs::Probe& probe) const {
   require(schedule.num_nodes() <= tree_.num_hosts(),
           "PacketLevelNetwork: schedule spans more nodes than hosts");
   schedule.validate();
@@ -86,16 +93,53 @@ PacketRunResult PacketLevelNetwork::execute(
   result.steps = schedule.num_steps();
   result.step_times.reserve(schedule.num_steps());
   double total = 0.0;
+  std::size_t step_index = 0;
   for (const auto& step : schedule.steps()) {
-    const double t =
-        step.transfers.empty()
-            ? 0.0
-            : simulate_step(step, result.total_packets, result.events_fired);
+    probe.count("packet.steps");
+    const std::uint64_t packets_before = result.total_packets;
+    const double t = step.transfers.empty()
+                         ? 0.0
+                         : simulate_step(step, result.total_packets,
+                                         result.events_fired, probe);
+    probe.count("packet.packets", result.total_packets - packets_before);
+    if (probe.trace != nullptr && !step.transfers.empty()) {
+      obs::TraceSpan span;
+      span.name = step.label.empty() ? "step " + std::to_string(step_index)
+                                     : step.label;
+      span.category = "packet-step";
+      span.start = Seconds(total);
+      span.duration = Seconds(t);
+      span.args = {
+          {"transfers", std::to_string(step.transfers.size())},
+          {"packets", std::to_string(result.total_packets - packets_before)}};
+      probe.span(span);
+    }
     result.step_times.emplace_back(t);
     total += t;
+    ++step_index;
   }
   result.total_time = Seconds(total);
   return result;
+}
+
+RunReport PacketRunResult::to_report() const {
+  RunReport report;
+  report.backend = "electrical-packet";
+  report.total_time = total_time;
+  report.steps = steps;
+  report.rounds = step_times.size();
+  report.events_fired = events_fired;
+  report.step_reports.reserve(step_times.size());
+  Seconds cursor(0.0);
+  for (std::size_t i = 0; i < step_times.size(); ++i) {
+    StepReport step;
+    step.label = "step " + std::to_string(i);
+    step.start = cursor;
+    step.duration = step_times[i];
+    report.step_reports.push_back(std::move(step));
+    cursor += step_times[i];
+  }
+  return report;
 }
 
 }  // namespace wrht::elec

@@ -14,6 +14,8 @@
 #include "wrht/collectives/schedule.hpp"
 #include "wrht/common/units.hpp"
 #include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/obs/run_report.hpp"
+#include "wrht/obs/trace.hpp"
 #include "wrht/topo/fat_tree.hpp"
 
 namespace wrht::elec {
@@ -24,6 +26,9 @@ struct PacketRunResult {
   std::uint64_t total_packets = 0;
   std::uint64_t events_fired = 0;
   std::vector<Seconds> step_times;
+
+  /// Backend-neutral view (RunReport) of this run.
+  [[nodiscard]] RunReport to_report() const;
 };
 
 class PacketLevelNetwork {
@@ -38,10 +43,15 @@ class PacketLevelNetwork {
   /// payload (bytes / packet_size); intended for validation-scale runs.
   [[nodiscard]] PacketRunResult execute(const coll::Schedule& schedule) const;
 
+  /// Observed variant: one trace span per step plus "packet.*" counters.
+  [[nodiscard]] PacketRunResult execute(const coll::Schedule& schedule,
+                                        const obs::Probe& probe) const;
+
  private:
   [[nodiscard]] double simulate_step(const coll::Step& step,
                                      std::uint64_t& packets,
-                                     std::uint64_t& events) const;
+                                     std::uint64_t& events,
+                                     const obs::Probe& probe) const;
 
   topo::FatTree tree_;
   ElectricalConfig config_;

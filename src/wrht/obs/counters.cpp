@@ -1,0 +1,38 @@
+#include "wrht/obs/counters.hpp"
+
+#include <algorithm>
+
+#include "wrht/common/csv.hpp"
+
+namespace wrht::obs {
+
+void Counters::add(const std::string& name, std::uint64_t delta) {
+  values_[name] += delta;
+}
+
+void Counters::observe_max(const std::string& name, std::uint64_t value) {
+  auto [it, inserted] = values_.try_emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+std::uint64_t Counters::value(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+bool Counters::contains(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+void Counters::merge(const Counters& other) {
+  for (const auto& [name, v] : other.values_) values_[name] += v;
+}
+
+void Counters::write_csv(const std::string& path) const {
+  CsvWriter csv(path, {"counter", "value"});
+  for (const auto& [name, v] : values_) {
+    csv.add_row({name, std::to_string(v)});
+  }
+}
+
+}  // namespace wrht::obs

@@ -1,0 +1,48 @@
+// Named counter registry for simulator telemetry.
+//
+// Every instrumented layer (event kernel, optical ring, electrical fat
+// tree, packet model, data-level executor) accumulates into one Counters
+// instance handed in through obs::Probe: wavelengths used per round,
+// rounds per step, reconfiguration charges under either accounting mode,
+// multi-round splits, fair-share bottleneck links, events fired. Counters
+// are ordered (std::map) so snapshots and CSV dumps are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wrht::obs {
+
+class Counters {
+ public:
+  /// Adds `delta` to `name`, creating the counter at zero first.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  /// Raises `name` to `value` if `value` is larger (high-watermark style,
+  /// e.g. the peak wavelength count or link load across a run).
+  void observe_max(const std::string& name, std::uint64_t value);
+
+  /// Current value; absent counters read as zero.
+  [[nodiscard]] std::uint64_t value(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Name-ordered view of every counter.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& snapshot() const {
+    return values_;
+  }
+
+  /// Adds every counter of `other` into this registry.
+  void merge(const Counters& other);
+
+  void clear() { values_.clear(); }
+
+  /// Writes `counter,value` rows (header included) to `path`.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace wrht::obs

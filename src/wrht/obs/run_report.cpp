@@ -1,0 +1,49 @@
+#include "wrht/obs/run_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "wrht/common/csv.hpp"
+
+namespace wrht {
+
+namespace {
+
+std::string format_seconds(Seconds s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", s.count());
+  return buf;
+}
+
+}  // namespace
+
+Seconds RunReport::max_step_duration() const {
+  Seconds out{0.0};
+  for (const auto& s : step_reports) out = std::max(out, s.duration);
+  return out;
+}
+
+std::uint32_t RunReport::max_wavelengths_used() const {
+  std::uint32_t out = 0;
+  for (const auto& s : step_reports) {
+    out = std::max(out, s.wavelengths_used);
+  }
+  return out;
+}
+
+void RunReport::add_counters(const obs::Counters& from) {
+  for (const auto& [name, value] : from.snapshot()) counters[name] += value;
+}
+
+void RunReport::write_step_csv(const std::string& path) const {
+  CsvWriter csv(path, {"step", "label", "start_s", "duration_s", "rounds",
+                       "wavelengths_used"});
+  for (std::size_t i = 0; i < step_reports.size(); ++i) {
+    const StepReport& s = step_reports[i];
+    csv.add_row({std::to_string(i), s.label, format_seconds(s.start),
+                 format_seconds(s.duration), std::to_string(s.rounds),
+                 std::to_string(s.wavelengths_used)});
+  }
+}
+
+}  // namespace wrht

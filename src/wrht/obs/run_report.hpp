@@ -1,0 +1,52 @@
+// Unified run report across all schedule-executing backends.
+//
+// OpticalRunResult, ElectricalRunResult and PacketRunResult each carry
+// backend-specific fields in backend-specific shapes; benches used to
+// re-convert them by hand. RunReport is the common currency: every result
+// type converts with a single to_report(), so tables, CSVs and aggregate
+// statistics are written once against one shape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+#include "wrht/obs/counters.hpp"
+
+namespace wrht {
+
+/// One communication step as priced by some backend. Fields a backend
+/// cannot know stay at their defaults (electrical steps have one "round"
+/// and no wavelengths).
+struct StepReport {
+  std::string label;
+  Seconds start{0.0};
+  Seconds duration{0.0};
+  std::uint32_t rounds = 1;
+  std::uint32_t wavelengths_used = 0;
+};
+
+struct RunReport {
+  /// "optical-ring", "electrical-flow" or "electrical-packet".
+  std::string backend;
+  Seconds total_time{0.0};
+  std::size_t steps = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t events_fired = 0;
+  std::vector<StepReport> step_reports;
+  /// Counter snapshot attached via add_counters(); empty when the run was
+  /// not observed.
+  std::map<std::string, std::uint64_t> counters;
+
+  [[nodiscard]] Seconds max_step_duration() const;
+  [[nodiscard]] std::uint32_t max_wavelengths_used() const;
+  /// Merges a counter registry's snapshot into `counters`.
+  void add_counters(const obs::Counters& from);
+  /// Writes one row per step: step,label,start_s,duration_s,rounds,
+  /// wavelengths_used.
+  void write_step_csv(const std::string& path) const;
+};
+
+}  // namespace wrht

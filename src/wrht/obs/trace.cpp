@@ -1,0 +1,8 @@
+#include "wrht/obs/trace.hpp"
+
+namespace wrht::obs {
+
+// Out-of-line key function anchors the vtable in this translation unit.
+TraceSink::~TraceSink() = default;
+
+}  // namespace wrht::obs

@@ -1,0 +1,82 @@
+// Step-level trace instrumentation for the simulators.
+//
+// TraceSink is the single interface every timing-producing layer emits
+// into: the optical ring posts one span per communication step with child
+// spans per RWA round, the electrical simulators post one span per step,
+// and the data-level executor posts logical-time spans. The default is no
+// sink at all — instrumentation sites hold a possibly-null Probe and every
+// emission is guarded by one pointer test, so a run without observers costs
+// nothing but untaken branches (verified against bench_micro).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+#include "wrht/obs/counters.hpp"
+
+namespace wrht::obs {
+
+/// One complete span on the run timeline. `track` separates concurrent
+/// timelines (e.g. several network executions in one trace file); spans on
+/// the same track nest by time containment, so a step span naturally
+/// parents its round spans.
+struct TraceSpan {
+  std::string name;      ///< step label / round id
+  std::string category;  ///< "step", "round", "flow-step", "packet-step", ...
+  Seconds start{0.0};
+  Seconds duration{0.0};
+  std::uint32_t track = 0;
+  /// Key/value annotations (rounds, wavelengths, flows, link load, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Receiver of trace spans. Implementations must tolerate spans arriving
+/// out of global time order across tracks (each simulator emits its own
+/// track in order).
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+  virtual void span(const TraceSpan& span) = 0;
+};
+
+/// Collects spans in memory; the unit tests' sink of choice.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void span(const TraceSpan& s) override { spans_.push_back(s); }
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+/// The observation bundle instrumented code carries: both members optional,
+/// both null by default. `track` is the timeline spans are tagged with, so
+/// callers can lay several executions side by side in one trace.
+struct Probe {
+  TraceSink* trace = nullptr;
+  Counters* counters = nullptr;
+  std::uint32_t track = 0;
+
+  [[nodiscard]] bool active() const { return trace || counters; }
+
+  /// Emits `s` (stamped with this probe's track) if a sink is attached.
+  void span(TraceSpan s) const {
+    if (trace == nullptr) return;
+    s.track = track;
+    trace->span(s);
+  }
+
+  void count(const std::string& name, std::uint64_t delta = 1) const {
+    if (counters != nullptr) counters->add(name, delta);
+  }
+
+  void count_max(const std::string& name, std::uint64_t value) const {
+    if (counters != nullptr) counters->observe_max(name, value);
+  }
+};
+
+}  // namespace wrht::obs

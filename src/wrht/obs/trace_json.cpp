@@ -1,0 +1,98 @@
+#include "wrht/obs/trace_json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::obs {
+
+namespace {
+
+/// Fixed-precision microseconds: deterministic across runs and platforms.
+std::string format_us(Seconds t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", t.count() * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::string process_name)
+    : process_name_(std::move(process_name)) {}
+
+void ChromeTraceSink::span(const TraceSpan& s) { spans_.push_back(s); }
+
+void ChromeTraceSink::set_track_name(std::uint32_t track,
+                                     const std::string& name) {
+  track_names_[track] = name;
+}
+
+std::string ChromeTraceSink::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeTraceSink::write(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata first: process name, then the named tracks (track id order —
+  // std::map keeps this stable).
+  sep();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      << "\"args\":{\"name\":\"" << escape(process_name_) << "\"}}";
+  for (const auto& [track, name] : track_names_) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << track
+        << ",\"args\":{\"name\":\"" << escape(name) << "\"}}";
+  }
+
+  for (const TraceSpan& s : spans_) {
+    sep();
+    out << "{\"name\":\"" << escape(s.name) << "\",\"cat\":\""
+        << escape(s.category) << "\",\"ph\":\"X\",\"ts\":" << format_us(s.start)
+        << ",\"dur\":" << format_us(s.duration) << ",\"pid\":0,\"tid\":"
+        << s.track << ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : s.args) {
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"" << escape(key) << "\":\"" << escape(value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+void ChromeTraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("ChromeTraceSink: cannot open '" + path + "'");
+  write(out);
+}
+
+}  // namespace wrht::obs

@@ -1,0 +1,48 @@
+// Chrome trace-event JSON exporter.
+//
+// ChromeTraceSink accumulates spans and serializes them in the Trace Event
+// Format ("X" complete events) that chrome://tracing and Perfetto's legacy
+// importer load directly. Field order inside every event object is fixed
+// (name, cat, ph, ts, dur, pid, tid, args) and events are emitted in
+// arrival order, so output is byte-stable for a deterministic run — the
+// golden test relies on that.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wrht/obs/trace.hpp"
+
+namespace wrht::obs {
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::string process_name = "wrht");
+
+  void span(const TraceSpan& s) override;
+
+  /// Labels `track` in the viewer (emitted as thread_name metadata).
+  void set_track_name(std::uint32_t track, const std::string& name);
+
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+
+  /// Serializes the whole trace; `ts`/`dur` are microseconds with fixed
+  /// 6-digit precision.
+  void write(std::ostream& out) const;
+
+  /// write() to `path`; throws wrht::Error if the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+  /// Escapes a string for embedding inside a JSON string literal.
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  std::string process_name_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::uint32_t, std::string> track_names_;
+};
+
+}  // namespace wrht::obs

@@ -104,9 +104,12 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
     for (const std::size_t idx : round_members[r]) {
       max_elements = std::max(max_elements, step.transfers[idx].count);
     }
+    std::uint32_t round_lambda = 0;
     for (const auto& path : round_paths[r]) {
       out.longest_hops = std::max(out.longest_hops, path.hops);
+      round_lambda = std::max(round_lambda, path.wavelength + 1);
     }
+    out.round_wavelengths.push_back(round_lambda);
     out.cost.max_transfer_elements =
         std::max(out.cost.max_transfer_elements, max_elements);
     out.cost.duration += round_time(max_elements);
@@ -123,6 +126,12 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
 
 OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
                                       Rng* rng) const {
+  return execute(schedule, obs::Probe{}, rng);
+}
+
+OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
+                                      const obs::Probe& probe,
+                                      Rng* rng) const {
   require(schedule.num_nodes() <= ring_.size(),
           "RingNetwork: schedule spans more nodes than the ring");
   schedule.validate();
@@ -134,6 +143,7 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   // Drive the steps through the event kernel: each step-completion event
   // evaluates (or cache-hits) the next step and schedules its completion.
   sim::Simulator simulator;
+  simulator.set_counters(probe.counters);
   std::size_t next_step = 0;
   const bool retune_mode = config_.reconfig_accounting ==
                            OpticalConfig::ReconfigAccounting::kOnRetune;
@@ -142,6 +152,7 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   std::function<void()> launch = [&]() {
     if (next_step >= schedule.num_steps()) return;
     const coll::Step& step = schedule.steps()[next_step];
+    const std::size_t step_index = next_step;
     ++next_step;
 
     PatternCost pattern;
@@ -159,26 +170,42 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
       }
     }
 
+    // Per-round durations; filled only when someone will look at them
+    // (retune re-pricing always needs the walk, tracing needs the spans).
+    std::vector<Seconds> round_durations;
     if (retune_mode) {
       // Re-price the step: a round pays the reconfiguration delay only if
       // some micro-ring has to change state relative to the previous round.
       Seconds duration(0.0);
       for (std::size_t r = 0; r < pattern.round_serialization.size(); ++r) {
+        Seconds round(0.0);
         const std::size_t retuned =
             previous_tuning.retune_count(pattern.round_tunings[r]);
         if (retuned > 0) {
-          duration += config_.mrr_reconfig_delay;
+          round += config_.mrr_reconfig_delay;
           ++result.reconfigurations;
           result.retuned_mrrs += retuned;
+          probe.count("optical.reconfig_charges");
+          probe.count("optical.retuned_mrrs", retuned);
         }
-        duration += config_.oeo_delay + pattern.round_serialization[r];
+        round += config_.oeo_delay + pattern.round_serialization[r];
+        round_durations.push_back(round);
+        duration += round;
         previous_tuning = pattern.round_tunings[r];
       }
       pattern.cost.duration = duration;
     } else {
       result.reconfigurations += pattern.cost.rounds;
+      probe.count("optical.reconfig_charges", pattern.cost.rounds);
+      if (probe.trace != nullptr) {
+        for (const Seconds ser : pattern.round_serialization) {
+          round_durations.push_back(config_.mrr_reconfig_delay +
+                                    config_.oeo_delay + ser);
+        }
+      }
     }
 
+    pattern.cost.label = step.label;
     pattern.cost.start = simulator.now();
     result.step_costs.push_back(pattern.cost);
     result.total_rounds += pattern.cost.rounds;
@@ -186,6 +213,43 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
         std::max(result.max_wavelengths_used, pattern.cost.wavelengths_used);
     result.longest_lightpath_hops =
         std::max(result.longest_lightpath_hops, pattern.longest_hops);
+
+    probe.count("optical.steps");
+    probe.count("optical.rounds", pattern.cost.rounds);
+    if (pattern.cost.rounds > 1) probe.count("optical.multi_round_steps");
+    probe.count_max("optical.max_wavelengths_used",
+                    pattern.cost.wavelengths_used);
+    if (probe.trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = step.label.empty() ? "step " + std::to_string(step_index)
+                                     : step.label;
+      span.category = "step";
+      span.start = pattern.cost.start;
+      span.duration = pattern.cost.duration;
+      span.args = {
+          {"rounds", std::to_string(pattern.cost.rounds)},
+          {"wavelengths", std::to_string(pattern.cost.wavelengths_used)},
+          {"max_transfer_elements",
+           std::to_string(pattern.cost.max_transfer_elements)}};
+      probe.span(span);
+      Seconds cursor = pattern.cost.start;
+      for (std::size_t r = 0; r < round_durations.size(); ++r) {
+        obs::TraceSpan round;
+        round.name = "round " + std::to_string(r);
+        round.category = "round";
+        round.start = cursor;
+        round.duration = round_durations[r];
+        round.args = {
+            {"serialization_us",
+             std::to_string(pattern.round_serialization[r].micros())},
+            {"wavelengths",
+             std::to_string(r < pattern.round_wavelengths.size()
+                                ? pattern.round_wavelengths[r]
+                                : 0)}};
+        probe.span(round);
+        cursor += round_durations[r];
+      }
+    }
     simulator.schedule_in(pattern.cost.duration, launch);
   };
 
@@ -195,6 +259,26 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   result.total_time = simulator.now();
   result.events_fired = simulator.events_fired();
   return result;
+}
+
+RunReport OpticalRunResult::to_report() const {
+  RunReport report;
+  report.backend = "optical-ring";
+  report.total_time = total_time;
+  report.steps = steps;
+  report.rounds = total_rounds;
+  report.events_fired = events_fired;
+  report.step_reports.reserve(step_costs.size());
+  for (const StepCost& cost : step_costs) {
+    StepReport step;
+    step.label = cost.label;
+    step.start = cost.start;
+    step.duration = cost.duration;
+    step.rounds = cost.rounds;
+    step.wavelengths_used = cost.wavelengths_used;
+    report.step_reports.push_back(std::move(step));
+  }
+  return report;
 }
 
 }  // namespace wrht::optics

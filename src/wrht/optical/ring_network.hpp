@@ -14,12 +14,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "wrht/collectives/schedule.hpp"
 #include "wrht/common/rng.hpp"
 #include "wrht/common/units.hpp"
+#include "wrht/obs/run_report.hpp"
+#include "wrht/obs/trace.hpp"
 #include "wrht/optical/node.hpp"
 #include "wrht/optical/rwa.hpp"
 #include "wrht/topo/ring.hpp"
@@ -66,9 +69,66 @@ struct OpticalConfig {
                ? wavelength_rate.count()
                : wavelength_rate.count() / 8.0;
   }
+
+  // Fluent builders so call sites can assemble a config in one expression
+  // (`OpticalConfig{}.with_wavelengths(8).with_rwa_policy(...)`).
+  // Aggregate initialization keeps working — these are plain members.
+  OpticalConfig& with_wavelengths(std::uint32_t v) {
+    wavelengths = v;
+    return *this;
+  }
+  OpticalConfig& with_fibers_per_direction(std::uint32_t v) {
+    fibers_per_direction = v;
+    return *this;
+  }
+  OpticalConfig& with_wavelength_rate(BitsPerSecond v) {
+    wavelength_rate = v;
+    return *this;
+  }
+  OpticalConfig& with_mrr_reconfig_delay(Seconds v) {
+    mrr_reconfig_delay = v;
+    return *this;
+  }
+  OpticalConfig& with_oeo_delay(Seconds v) {
+    oeo_delay = v;
+    return *this;
+  }
+  OpticalConfig& with_packet_size(Bytes v) {
+    packet_size = v;
+    return *this;
+  }
+  OpticalConfig& with_bytes_per_element(std::uint32_t v) {
+    bytes_per_element = v;
+    return *this;
+  }
+  OpticalConfig& with_convention(RateConvention v) {
+    convention = v;
+    return *this;
+  }
+  OpticalConfig& with_rwa_policy(RwaPolicy v) {
+    rwa_policy = v;
+    return *this;
+  }
+  OpticalConfig& with_multi_round_steps(bool v) {
+    allow_multi_round_steps = v;
+    return *this;
+  }
+  OpticalConfig& with_node_hardware(NodeHardware v) {
+    node_hardware = v;
+    return *this;
+  }
+  OpticalConfig& with_validate_node_capacity(bool v) {
+    validate_node_capacity = v;
+    return *this;
+  }
+  OpticalConfig& with_reconfig_accounting(ReconfigAccounting v) {
+    reconfig_accounting = v;
+    return *this;
+  }
 };
 
 struct StepCost {
+  std::string label;   ///< the schedule step's label
   Seconds start{0.0};  ///< simulation time at which the step began
   Seconds duration{0.0};
   std::uint32_t rounds = 0;
@@ -90,6 +150,9 @@ struct OpticalRunResult {
   /// 0 otherwise).
   std::uint64_t retuned_mrrs = 0;
   std::vector<StepCost> step_costs;
+
+  /// Backend-neutral view (RunReport) of this run.
+  [[nodiscard]] RunReport to_report() const;
 };
 
 class RingNetwork {
@@ -103,6 +166,13 @@ class RingNetwork {
   /// cannot be carried at all (and multi-round splitting is disabled or
   /// cannot help). `rng` is required only for random-fit RWA.
   [[nodiscard]] OpticalRunResult execute(const coll::Schedule& schedule,
+                                         Rng* rng = nullptr) const;
+
+  /// Observed variant: emits one trace span per step with child spans per
+  /// RWA round, and accumulates "optical.*" counters. An empty probe makes
+  /// this identical to the unobserved overload.
+  [[nodiscard]] OpticalRunResult execute(const coll::Schedule& schedule,
+                                         const obs::Probe& probe,
                                          Rng* rng = nullptr) const;
 
   /// Cost of one round carrying a largest transfer of `elements` elements:
@@ -125,6 +195,8 @@ class RingNetwork {
     /// Per-round serialization and tuning, for retune-aware accounting.
     std::vector<Seconds> round_serialization;
     std::vector<TuningState> round_tunings;
+    /// Per-round wavelength high-water marks, for round trace spans.
+    std::vector<std::uint32_t> round_wavelengths;
   };
 
   [[nodiscard]] PatternCost evaluate_step(const coll::Step& step,

@@ -23,6 +23,7 @@ std::uint64_t Simulator::run() {
     ++fired_;
     ++fired_now;
   }
+  if (counters_ != nullptr) counters_->add("sim.events_fired", fired_now);
   return fired_now;
 }
 
@@ -36,6 +37,7 @@ std::uint64_t Simulator::run_until(Seconds deadline) {
     ++fired_now;
   }
   if (now_ < deadline) now_ = deadline;
+  if (counters_ != nullptr) counters_->add("sim.events_fired", fired_now);
   return fired_now;
 }
 

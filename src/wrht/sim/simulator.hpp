@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "wrht/common/units.hpp"
+#include "wrht/obs/counters.hpp"
 #include "wrht/sim/event_queue.hpp"
 
 namespace wrht::sim {
@@ -32,10 +33,15 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  /// Attaches a counter registry: each run()/run_until() adds the events it
+  /// fired to "sim.events_fired". Null (the default) costs nothing.
+  void set_counters(obs::Counters* counters) { counters_ = counters; }
+
  private:
   EventQueue queue_;
   Seconds now_{0.0};
   std::uint64_t fired_ = 0;
+  obs::Counters* counters_ = nullptr;
 };
 
 }  // namespace wrht::sim
