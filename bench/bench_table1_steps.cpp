@@ -74,5 +74,27 @@ int main() {
   csv.add_row({"wrht", std::to_string(plan.total_steps),
                std::to_string(wrht.num_steps()), "3"});
   std::printf("CSV written to %s\n", bench::csv_path("table1_steps").c_str());
-  return 0;
+
+  // Drift guard: the closed forms, the generated schedules and the paper's
+  // Table 1 must all agree — a mismatch fails the bench (and CI) instead of
+  // silently publishing a wrong table.
+  int drift = 0;
+  const auto check = [&drift](const char* name, std::uint64_t closed,
+                              std::uint64_t generated, std::uint64_t paper) {
+    if (closed != generated || closed != paper) {
+      std::fprintf(stderr,
+                   "DRIFT in %s: closed form %llu, generated %llu, paper "
+                   "%llu\n",
+                   name, static_cast<unsigned long long>(closed),
+                   static_cast<unsigned long long>(generated),
+                   static_cast<unsigned long long>(paper));
+      drift = 1;
+    }
+  };
+  check("ring", coll::ring_allreduce_steps(kNodes), ring.num_steps(), 2046);
+  check("hring", coll::hring_steps(kNodes, kHringGroup, kWavelengths),
+        hring.num_steps(), 417);
+  check("btree", coll::btree_allreduce_steps(kNodes), bt.num_steps(), 20);
+  check("wrht", plan.total_steps, wrht.num_steps(), 3);
+  return drift;
 }

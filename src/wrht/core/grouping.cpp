@@ -32,15 +32,27 @@ Hierarchy build_hierarchy(const std::vector<NodeId>& nodes,
     }
     Level level;
     std::vector<NodeId> reps;
-    for (std::size_t start = 0; start < current.size();
-         start += group_size) {
+    // Partition into ceil(k/m) balanced groups (sizes differ by at most
+    // one, larger groups first) rather than fixed-stride groups with one
+    // ragged remainder. When m does not divide k this keeps the surviving
+    // representatives near-equally spaced along the ring, which is what
+    // the ceil(m*^2/8) all-to-all wavelength bound assumes; it also never
+    // increases the level's group count (still ceil(k/m)) or its
+    // wavelength need (group sizes only shrink).
+    const std::size_t k = current.size();
+    const std::size_t num_groups = (k + group_size - 1) / group_size;
+    const std::size_t base = k / num_groups;
+    const std::size_t extra = k % num_groups;
+    std::size_t start = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
       Group group;
-      const std::size_t end =
-          std::min(current.size(), start + group_size);
-      group.members.assign(current.begin() + start, current.begin() + end);
+      const std::size_t size = base + (g < extra ? 1 : 0);
+      group.members.assign(current.begin() + start,
+                           current.begin() + start + size);
       group.rep_index = static_cast<std::uint32_t>(group.members.size() / 2);
       reps.push_back(group.rep());
       level.groups.push_back(std::move(group));
+      start += size;
     }
     hierarchy.levels.push_back(std::move(level));
     current = std::move(reps);

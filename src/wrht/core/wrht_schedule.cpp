@@ -39,25 +39,40 @@ void append_reduce_steps(Schedule& sched, const Hierarchy& hierarchy,
   }
   if (hierarchy.final_all_to_all) {
     Step& step = sched.add_step("all-to-all exchange");
-    for (const NodeId a : hierarchy.final_reps) {
-      for (const NodeId b : hierarchy.final_reps) {
-        if (a == b) continue;
-        // Shortest-direction routing; antipodal ties are split between the
-        // two fibers (a < b clockwise, else counterclockwise) so neither
-        // direction carries more than the k^2/8 per-segment load.
+    // Shortest-direction routing per unordered pair. An antipodal pair
+    // (cw == ccw) sends BOTH of its directed transfers in the SAME
+    // direction: the two arcs a->b and b->a then tile the ring without
+    // overlapping, so they can even share a wavelength, whereas mirroring
+    // them onto opposite fibers stacks each on top of that fiber's
+    // shortest-path traffic and pushes the per-segment load past the
+    // ceil(k^2/8) bound (e.g. 4 equally spaced reps need 3 lambdas instead
+    // of 2). Successive antipodal pairs alternate fibers for balance.
+    bool tie_clockwise = true;
+    const auto& reps = hierarchy.final_reps;
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      for (std::size_t j = i + 1; j < reps.size(); ++j) {
+        const NodeId a = reps[i];
+        const NodeId b = reps[j];
         const std::uint32_t cw = ring.cw_distance(a, b);
         const std::uint32_t ccw = ring.ccw_distance(a, b);
-        std::optional<topo::Direction> dir;
+        topo::Direction forward;   // direction of a -> b
+        topo::Direction backward;  // direction of b -> a
         if (cw < ccw) {
-          dir = topo::Direction::kClockwise;
+          forward = topo::Direction::kClockwise;
+          backward = topo::Direction::kCounterClockwise;
         } else if (ccw < cw) {
-          dir = topo::Direction::kCounterClockwise;
+          forward = topo::Direction::kCounterClockwise;
+          backward = topo::Direction::kClockwise;
         } else {
-          dir = a < b ? topo::Direction::kClockwise
-                      : topo::Direction::kCounterClockwise;
+          forward = backward = tie_clockwise
+                                   ? topo::Direction::kClockwise
+                                   : topo::Direction::kCounterClockwise;
+          tie_clockwise = !tie_clockwise;
         }
         step.transfers.push_back(
-            Transfer{a, b, 0, elements, TransferKind::kReduce, dir});
+            Transfer{a, b, 0, elements, TransferKind::kReduce, forward});
+        step.transfers.push_back(
+            Transfer{b, a, 0, elements, TransferKind::kReduce, backward});
       }
     }
   }

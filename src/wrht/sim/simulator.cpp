@@ -18,6 +18,10 @@ std::uint64_t Simulator::run() {
   std::uint64_t fired_now = 0;
   while (!queue_.empty()) {
     auto [time, fn] = queue_.pop();
+    // Monotonicity is the contract the timing verifiers build on: an event
+    // firing before the current time would silently corrupt every price
+    // derived from now(). Cheap to enforce on every pop, so enforce it.
+    require(time >= now_, "Simulator: event fired before current time");
     now_ = time;
     fn();
     ++fired_;
@@ -31,6 +35,7 @@ std::uint64_t Simulator::run_until(Seconds deadline) {
   std::uint64_t fired_now = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     auto [time, fn] = queue_.pop();
+    require(time >= now_, "Simulator: event fired before current time");
     now_ = time;
     fn();
     ++fired_;

@@ -1,0 +1,71 @@
+#include "wrht/verify/differential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "wrht/common/error.hpp"
+#include "wrht/core/analysis.hpp"
+
+namespace wrht::verify {
+
+DifferentialReport check_differential(const coll::Schedule& schedule,
+                                      const DifferentialOptions& options) {
+  DifferentialReport report;
+  const optics::OpticalConfig& cfg = options.config;
+
+  optics::OpticalRunResult run;
+  try {
+    const optics::RingNetwork net(schedule.num_nodes(), cfg);
+    run = net.execute(schedule);
+  } catch (const Error& e) {
+    report.result.add("differential.infeasible",
+                      std::string("simulator rejected the schedule: ") +
+                          e.what());
+    return report;
+  }
+  report.simulated_seconds = run.total_time.count();
+  report.single_round = run.total_rounds == run.steps;
+
+  // Eq. (6) from the analysis module: per step, overhead a plus the
+  // serialization of the step's widest transfer.
+  core::TimeModel model;
+  model.per_step_overhead =
+      Seconds{cfg.mrr_reconfig_delay.count() + cfg.oeo_delay.count()};
+  model.bytes_per_second = cfg.bytes_per_second();
+  double analytical = 0.0;
+  for (const coll::Step& step : schedule.steps()) {
+    std::size_t widest = 0;
+    for (const coll::Transfer& t : step.transfers) {
+      widest = std::max(widest, t.count);
+    }
+    const Bytes payload{static_cast<std::uint64_t>(widest) *
+                        cfg.bytes_per_element};
+    analytical += core::comm_time(1, payload, model).count();
+  }
+  report.analytical_seconds = analytical;
+
+  const double diff = std::abs(report.simulated_seconds - analytical);
+  report.rel_error = analytical > 0.0 ? diff / analytical : 0.0;
+
+  if (report.single_round) {
+    if (report.rel_error > options.rel_tolerance) {
+      report.result.add(
+          "differential.tolerance",
+          "simulated " + std::to_string(report.simulated_seconds) +
+              " s vs analytical " + std::to_string(analytical) + " s (" +
+              std::to_string(report.rel_error * 100.0) +
+              "% relative error, single-round)");
+    }
+  } else if (report.simulated_seconds + 1e-12 < analytical) {
+    report.result.add(
+        "differential.lower_bound",
+        "multi-round run finished in " +
+            std::to_string(report.simulated_seconds) +
+            " s, beating the Eq. (6) lower bound " +
+            std::to_string(analytical) + " s");
+  }
+  return report;
+}
+
+}  // namespace wrht::verify

@@ -1,0 +1,46 @@
+// Differential oracle: discrete-event simulator vs the analytical model.
+//
+// The optical ring simulator (optics::RingNetwork) prices a schedule by
+// driving every step through RWA and the event kernel. The paper's Eq. (6)
+// model prices the same schedule as theta * (a + d/B). These are two
+// independent implementations of the same quantity, so they cross-check:
+//   * when every step fits in a single RWA round, the simulated time must
+//     match the analytical time within a relative tolerance (default 1%);
+//   * when steps split into multiple rounds the analytical model is a
+//     strict lower bound — extra rounds only add reconfiguration and
+//     serialization time, never remove it.
+// The analytical side is computed here from core::comm_time, NOT from
+// RingNetwork::single_round_estimate, so a pricing bug in either module
+// surfaces as a disagreement.
+#pragma once
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/optical/ring_network.hpp"
+#include "wrht/verify/report.hpp"
+
+namespace wrht::verify {
+
+struct DifferentialOptions {
+  optics::OpticalConfig config{};
+  /// Maximum |simulated - analytical| / analytical when single-round.
+  double rel_tolerance = 0.01;
+};
+
+struct DifferentialReport {
+  CheckResult result;
+  double simulated_seconds = 0.0;
+  double analytical_seconds = 0.0;
+  /// |simulated - analytical| / analytical (0 when analytical is 0).
+  double rel_error = 0.0;
+  /// True when no step needed more than one RWA round, i.e. the Eq. (6)
+  /// regime where the two models must agree tightly.
+  bool single_round = false;
+
+  [[nodiscard]] bool ok() const { return result.ok(); }
+};
+
+/// Prices `schedule` with both models and reports any disagreement.
+[[nodiscard]] DifferentialReport check_differential(
+    const coll::Schedule& schedule, const DifferentialOptions& options = {});
+
+}  // namespace wrht::verify

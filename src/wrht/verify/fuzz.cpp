@@ -1,0 +1,165 @@
+#include "wrht/verify/fuzz.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "wrht/collectives/registry.hpp"
+#include "wrht/common/error.hpp"
+#include "wrht/common/rng.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/verify/differential.hpp"
+#include "wrht/verify/invariants.hpp"
+#include "wrht/verify/oracle.hpp"
+
+namespace wrht::verify {
+
+namespace {
+
+/// Builder-specific preconditions: clamp a raw sample into the domain the
+/// algorithm accepts so the fuzzer explores valid configurations only.
+void legalize(FuzzCase& c) {
+  c.num_nodes = std::max<std::uint32_t>(c.num_nodes, 2);
+  c.elements = std::max<std::size_t>(c.elements, 1);
+  c.group_size = std::max<std::uint32_t>(c.group_size, 2);
+  c.wavelengths = std::max<std::uint32_t>(c.wavelengths, 1);
+  if (c.algorithm == "ring" || c.algorithm == "hring" ||
+      c.algorithm == "halving_doubling") {
+    // Reduce-scatter-based builders need at least one element per node.
+    c.elements = std::max<std::size_t>(c.elements, c.num_nodes);
+  }
+}
+
+FuzzCase sample(Rng& rng, const std::vector<std::string>& algorithms,
+                const FuzzOptions& options) {
+  FuzzCase c;
+  c.algorithm =
+      algorithms[rng.uniform_int(0, algorithms.size() - 1)];
+  c.num_nodes = static_cast<std::uint32_t>(
+      rng.uniform_int(2, options.max_nodes));
+  c.elements = static_cast<std::size_t>(
+      rng.uniform_int(1, options.max_elements));
+  c.group_size = static_cast<std::uint32_t>(
+      rng.uniform_int(2, std::max<std::uint32_t>(2, std::min<std::uint32_t>(
+                                                        c.num_nodes, 16))));
+  c.wavelengths = static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+  legalize(c);
+  return c;
+}
+
+/// Greedy shrink: repeatedly try to move each dimension toward its
+/// minimum (halving first, then decrementing) while the case still fails.
+FuzzFailure shrink_failure(const FuzzCase& first, const CheckResult& found) {
+  FuzzFailure best{first, found};
+  const auto try_case = [&best](FuzzCase candidate) {
+    legalize(candidate);
+    if (candidate.algorithm == best.config.algorithm &&
+        candidate.num_nodes == best.config.num_nodes &&
+        candidate.elements == best.config.elements &&
+        candidate.group_size == best.config.group_size &&
+        candidate.wavelengths == best.config.wavelengths) {
+      return false;
+    }
+    const CheckResult r = check_case(candidate);
+    if (r.ok()) return false;
+    best = FuzzFailure{candidate, r};
+    return true;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    FuzzCase c = best.config;
+    // Nodes first — the dominant cost dimension.
+    { FuzzCase t = c; t.num_nodes = (t.num_nodes + 2) / 2; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.num_nodes -= 1; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.elements = (t.elements + 1) / 2; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.elements -= 1; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.group_size = (t.group_size + 2) / 2; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.group_size -= 1; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.wavelengths = (t.wavelengths + 1) / 2; progress |= try_case(t); }
+    { FuzzCase t = best.config; t.wavelengths -= 1; progress |= try_case(t); }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string FuzzCase::to_string() const {
+  return algorithm + "(N=" + std::to_string(num_nodes) +
+         ", elements=" + std::to_string(elements) +
+         ", m=" + std::to_string(group_size) +
+         ", w=" + std::to_string(wavelengths) + ")";
+}
+
+CheckResult check_case(const FuzzCase& c) {
+  core::register_wrht_algorithm();
+  CheckResult result;
+
+  coll::AllreduceParams params;
+  params.num_nodes = c.num_nodes;
+  params.elements = c.elements;
+  params.group_size = c.group_size;
+  params.wavelengths = c.wavelengths;
+  std::optional<coll::Schedule> schedule;
+  try {
+    schedule.emplace(coll::Registry::instance().build(c.algorithm, params));
+  } catch (const Error& e) {
+    result.add("fuzz.build",
+               c.to_string() + " failed to build: " + e.what());
+    return result;
+  }
+
+  // Data-level proof: the schedule must compute the global sum.
+  const OracleReport oracle = check_allreduce(*schedule);
+  result.merge(oracle.result);
+
+  // Structural and RWA invariants hold for every algorithm.
+  result.merge(check_schedule_structure(*schedule));
+  InvariantOptions inv;
+  inv.wavelengths = c.wavelengths;
+  result.merge(check_conflict_freedom(*schedule, c.num_nodes, inv));
+
+  // WRHT-specific closed-form and hierarchy checks.
+  if (c.algorithm == "wrht") {
+    result.merge(check_wrht_hierarchy(c.num_nodes, c.group_size,
+                                      c.wavelengths));
+    result.merge(check_wrht_step_count(*schedule, c.num_nodes, c.group_size,
+                                       c.wavelengths));
+    result.merge(check_wrht_wavelength_discipline(
+        *schedule, c.num_nodes, c.group_size, c.wavelengths));
+  }
+
+  // Differential pricing: event-driven simulator vs Eq. (6).
+  DifferentialOptions diff;
+  diff.config.wavelengths = c.wavelengths;
+  result.merge(check_differential(*schedule, diff).result);
+
+  return result;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  core::register_wrht_algorithm();
+  const std::vector<std::string> algorithms =
+      options.algorithms.empty() ? coll::Registry::instance().names()
+                                 : options.algorithms;
+  require(!algorithms.empty(), "run_fuzz: no algorithms to fuzz");
+
+  Rng rng(options.seed);
+  FuzzReport report;
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    const FuzzCase c = sample(rng, algorithms, options);
+    ++report.cases_per_algorithm[c.algorithm];
+    const CheckResult result = check_case(c);
+    ++report.iterations_run;
+    if (!result.ok()) {
+      report.failures.push_back(FuzzFailure{c, result});
+    }
+  }
+  if (!report.failures.empty() && options.shrink) {
+    report.minimal_failure = shrink_failure(report.failures.front().config,
+                                            report.failures.front().result);
+  }
+  return report;
+}
+
+}  // namespace wrht::verify

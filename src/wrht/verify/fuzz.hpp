@@ -1,0 +1,72 @@
+// Differential fuzzing over the collective registry.
+//
+// Draws random (algorithm, N, elements, m, w) configurations from a seeded
+// Rng, builds the schedule through coll::Registry, and subjects it to every
+// applicable oracle: the data-level correctness proof, the structural and
+// RWA invariants, the WRHT-specific hierarchy/step/wavelength checks, and
+// the simulator-vs-Eq.(6) differential. Failures are collected (never
+// thrown) and the first failing configuration is greedily shrunk toward a
+// minimal reproducer so the report names the smallest broken case, not a
+// 96-node haystack.
+//
+// Everything is deterministic in the seed: the same FuzzOptions always
+// explores the same configurations in the same order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wrht/verify/report.hpp"
+
+namespace wrht::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 0xf1ed'f055'0001ull;
+  std::size_t iterations = 500;
+  std::uint32_t max_nodes = 96;
+  std::size_t max_elements = 512;
+  /// Algorithms to draw from; empty means every registered algorithm
+  /// (WRHT is registered before sampling).
+  std::vector<std::string> algorithms;
+  /// Greedily shrink the first failure toward a minimal reproducer.
+  bool shrink = true;
+};
+
+/// One sampled configuration.
+struct FuzzCase {
+  std::string algorithm;
+  std::uint32_t num_nodes = 2;
+  std::size_t elements = 1;
+  std::uint32_t group_size = 2;
+  std::uint32_t wavelengths = 64;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FuzzFailure {
+  FuzzCase config;
+  CheckResult result;
+};
+
+struct FuzzReport {
+  std::size_t iterations_run = 0;
+  std::map<std::string, std::size_t> cases_per_algorithm;
+  std::vector<FuzzFailure> failures;
+  /// The first failure shrunk to the smallest configuration that still
+  /// fails (present only when shrinking was enabled and something failed).
+  std::optional<FuzzFailure> minimal_failure;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs every applicable checker against one configuration.
+[[nodiscard]] CheckResult check_case(const FuzzCase& c);
+
+/// Samples and checks `options.iterations` configurations.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options = {});
+
+}  // namespace wrht::verify

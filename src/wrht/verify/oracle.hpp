@@ -1,0 +1,71 @@
+// Data-level schedule oracle.
+//
+// Executes any coll::Schedule against concrete per-node payloads and proves
+// that every node ends holding the element-wise global sum. The interpreter
+// here is an INDEPENDENT implementation of the step/transfer semantics
+// (snapshot-per-step concurrent sends) — it deliberately does not call
+// coll::Executor, so the two interpreters cross-check each other: a bug in
+// either shows up as a disagreement in the fuzz driver.
+//
+// Two proofs run side by side:
+//   * numeric  — random real inputs; the final buffers must equal the
+//     reference sum within a tolerance. Catches any wrong linear
+//     combination with overwhelming probability.
+//   * provenance — each node starts owning exactly one unit of its own
+//     contribution; transfers move exact integer contribution counts. The
+//     final state must be exactly one contribution from every node at
+//     every element of every node. This is an exact proof that the
+//     schedule computes sum(x_0..x_{N-1}) — no tolerance involved.
+//     Tracked only while num_nodes^2 * elements stays under a memory cap
+//     (the numeric check still runs above it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/verify/report.hpp"
+
+namespace wrht::verify {
+
+struct OracleOptions {
+  double tolerance = 1e-9;
+  std::uint64_t seed = 0x0c0ffee5eed;
+  /// Provenance tracking is skipped when num_nodes^2 * elements exceeds
+  /// this cap (counts grow quadratically in N).
+  std::uint64_t provenance_cell_limit = 1u << 22;
+};
+
+struct OracleReport {
+  CheckResult result;
+  /// Largest |final - expected| over all nodes and elements.
+  double max_abs_error = 0.0;
+  /// Where the numeric error peaked (valid when max_abs_error > 0).
+  std::uint32_t worst_node = 0;
+  std::size_t worst_element = 0;
+  /// True when the exact provenance proof ran (and is reflected in
+  /// `result`); false when the configuration exceeded the cell cap.
+  bool provenance_checked = false;
+
+  [[nodiscard]] bool ok() const { return result.ok(); }
+};
+
+/// Proves `schedule` implements All-reduce. Throws only on structurally
+/// invalid schedules (wrht::InvalidArgument via Schedule::validate()).
+[[nodiscard]] OracleReport check_allreduce(const coll::Schedule& schedule,
+                                           const OracleOptions& options = {});
+
+/// Same interpreter, Reduce semantics: only node `root` must end with the
+/// global sum.
+[[nodiscard]] OracleReport check_reduce(const coll::Schedule& schedule,
+                                        std::uint32_t root,
+                                        const OracleOptions& options = {});
+
+/// Same interpreter, Broadcast semantics: every node must end with node
+/// `root`'s initial vector.
+[[nodiscard]] OracleReport check_broadcast(const coll::Schedule& schedule,
+                                           std::uint32_t root,
+                                           const OracleOptions& options = {});
+
+}  // namespace wrht::verify

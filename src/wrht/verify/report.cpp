@@ -1,0 +1,26 @@
+#include "wrht/verify/report.hpp"
+
+#include <utility>
+
+namespace wrht::verify {
+
+void CheckResult::add(std::string check, std::string detail) {
+  findings_.push_back(Finding{std::move(check), std::move(detail)});
+}
+
+void CheckResult::merge(const CheckResult& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(),
+                   other.findings_.end());
+}
+
+std::string CheckResult::summary() const {
+  if (findings_.empty()) return "ok";
+  std::string out;
+  for (const Finding& f : findings_) {
+    if (!out.empty()) out += '\n';
+    out += f.check + ": " + f.detail;
+  }
+  return out;
+}
+
+}  // namespace wrht::verify

@@ -1,0 +1,42 @@
+// Result vocabulary of the verification subsystem.
+//
+// Every checker in wrht::verify returns a CheckResult: a list of Findings,
+// each naming the violated property (dotted check id) and carrying enough
+// context to reproduce the violation. Checkers never throw on a *failed
+// property* — they reserve exceptions for misuse (bad arguments) — so a
+// fuzz driver can collect every violation of a configuration instead of
+// stopping at the first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wrht::verify {
+
+/// One violated property.
+struct Finding {
+  /// Dotted id of the check, e.g. "oracle.allreduce.sum",
+  /// "invariant.rwa.conflict", "differential.rel_error".
+  std::string check;
+  /// Human-readable description with the concrete values that failed.
+  std::string detail;
+};
+
+class CheckResult {
+ public:
+  [[nodiscard]] bool ok() const { return findings_.empty(); }
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+
+  void add(std::string check, std::string detail);
+  void merge(const CheckResult& other);
+
+  /// "ok" or one line per finding ("check: detail").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace wrht::verify

@@ -1,0 +1,13 @@
+// Umbrella header for the schedule verification subsystem (wrht::verify):
+//   * oracle.hpp       — data-level proof that a schedule computes the
+//                        collective it claims (numeric + exact provenance);
+//   * invariants.hpp   — structural, RWA and WRHT closed-form invariants;
+//   * differential.hpp — event-driven simulator vs Eq. (6) pricing;
+//   * fuzz.hpp         — seeded random sweeps with failure shrinking.
+#pragma once
+
+#include "wrht/verify/differential.hpp"
+#include "wrht/verify/fuzz.hpp"
+#include "wrht/verify/invariants.hpp"
+#include "wrht/verify/oracle.hpp"
+#include "wrht/verify/report.hpp"

@@ -1,0 +1,111 @@
+// Regression tests for the grouping edge cases the fuzzer motivated:
+// ragged node counts (N not divisible by m) must produce balanced groups so
+// representatives stay near-equally spaced, and the degenerate m* = 2
+// all-to-all ending must still prove correct and fit its wavelength bound.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "wrht/core/grouping.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/verify/verify.hpp"
+
+namespace wrht {
+namespace {
+
+std::vector<std::size_t> level_sizes(const core::Level& level) {
+  std::vector<std::size_t> sizes;
+  for (const core::Group& g : level.groups) sizes.push_back(g.members.size());
+  return sizes;
+}
+
+// ------------------------------------------------ ragged N, balanced split
+
+TEST(GroupingEdgeCases, RaggedCountsSplitBalanced) {
+  // 10 nodes in groups of up to 4: ceil(10/4) = 3 groups. A fixed-stride
+  // split would produce {4, 4, 2} and leave the last representative badly
+  // off-centre; the balanced split spreads the slack.
+  const core::Hierarchy h = core::build_hierarchy(10, 4, 1, false);
+  ASSERT_FALSE(h.levels.empty());
+  EXPECT_EQ(level_sizes(h.levels.front()), (std::vector<std::size_t>{4, 3, 3}));
+
+  // 11 nodes keep the documented {4, 4, 3} shape (only one group short).
+  const core::Hierarchy h11 = core::build_hierarchy(11, 4, 1, false);
+  EXPECT_EQ(level_sizes(h11.levels.front()),
+            (std::vector<std::size_t>{4, 4, 3}));
+}
+
+TEST(GroupingEdgeCases, BalancePropertyHoldsAcrossSweep) {
+  for (std::uint32_t n = 2; n <= 97; ++n) {
+    for (const std::uint32_t m : {2u, 3u, 4u, 7u, 11u}) {
+      const verify::CheckResult result = verify::check_wrht_hierarchy(n, m, 4);
+      EXPECT_TRUE(result.ok())
+          << "N=" << n << " m=" << m << ":\n" << result.summary();
+    }
+  }
+}
+
+TEST(GroupingEdgeCases, RaggedConfigsStillProveAllreduce) {
+  for (const auto& [n, m] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {7, 3}, {10, 4}, {11, 4}, {13, 5}, {23, 6}, {46, 7}}) {
+    const coll::Schedule sched =
+        core::wrht_allreduce(n, 32, core::WrhtOptions{m, 64});
+    const verify::OracleReport oracle = verify::check_allreduce(sched);
+    EXPECT_TRUE(oracle.ok())
+        << "N=" << n << " m=" << m << ":\n" << oracle.result.summary();
+    EXPECT_TRUE(oracle.provenance_checked);
+  }
+}
+
+// --------------------------------------------- degenerate m* = 2 ending
+
+TEST(GroupingEdgeCases, TwoRepresentativeAllToAllEnding) {
+  // N=4, m=2, w=1: one grouping level leaves two representatives and
+  // ceil(2^2/8) = 1 <= w, so the reduce stage ends in a two-party exchange.
+  const core::Hierarchy h = core::build_hierarchy(4, 2, 1);
+  EXPECT_TRUE(h.final_all_to_all);
+  ASSERT_EQ(h.final_reps.size(), 2u);
+
+  const coll::Schedule sched =
+      core::wrht_allreduce(4, 16, core::WrhtOptions{2, 1});
+  const verify::OracleReport oracle = verify::check_allreduce(sched);
+  EXPECT_TRUE(oracle.ok()) << oracle.result.summary();
+
+  const verify::CheckResult all = verify::check_wrht_configuration(4, 2, 1, 16);
+  EXPECT_TRUE(all.ok()) << all.summary();
+}
+
+TEST(GroupingEdgeCases, AntipodalRepresentativesFitTheBound) {
+  // N=8, m=2 leaves 4 equally spaced representatives whose all-to-all
+  // includes antipodal pairs; the complementary-arc routing must carry the
+  // step in a single round within ceil(4^2/8) = 2 wavelengths.
+  for (const std::uint32_t w : {2u, 8u, 64u}) {
+    const core::WrhtStepPlan plan = core::wrht_plan(8, 2, w);
+    const coll::Schedule sched =
+        core::wrht_allreduce(8, 16, core::WrhtOptions{2, w});
+    const verify::CheckResult result =
+        verify::check_wrht_wavelength_discipline(sched, 8, 2, w);
+    EXPECT_TRUE(result.ok()) << "w=" << w << ":\n" << result.summary();
+    // The analytic requirement never exceeds the budget that chose the
+    // ending (w=2 folds to 4 reps needing ceil(16/8)=2; larger budgets
+    // take the immediate 8-node all-to-all needing ceil(64/8)=8).
+    EXPECT_LE(plan.wavelengths_required, w) << "w=" << w;
+  }
+}
+
+TEST(GroupingEdgeCases, DegenerateEndingsAcrossWavelengthBudgets) {
+  // Sweep budgets that flip configurations between root-collapse and
+  // all-to-all endings; every variant must prove correct.
+  for (const std::uint32_t n : {4u, 6u, 8u, 12u, 18u}) {
+    for (const std::uint32_t w : {1u, 2u, 3u, 8u}) {
+      const verify::CheckResult result =
+          verify::check_wrht_configuration(n, 2, w, 24);
+      EXPECT_TRUE(result.ok())
+          << "N=" << n << " w=" << w << ":\n" << result.summary();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrht

@@ -1,0 +1,118 @@
+// Golden regression for the committed Table 1 artifact: every step count in
+// table1_steps.csv is recomputed from the closed forms and the generated
+// schedules, so silent drift in either the builders or the analysis module
+// fails this test before it reaches a published figure.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wrht/collectives/btree_allreduce.hpp"
+#include "wrht/collectives/hring_allreduce.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/analysis.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+
+#ifndef WRHT_REPO_ROOT
+#error "WRHT_REPO_ROOT must point at the repository root"
+#endif
+
+namespace wrht {
+namespace {
+
+// Table 1's fixed experimental setup (paper §5.2).
+constexpr std::uint32_t kNodes = 1024;
+constexpr std::uint32_t kWavelengths = 64;
+constexpr std::uint32_t kHringGroup = 5;
+constexpr std::uint32_t kWrhtGroup = 129;
+constexpr std::size_t kElements = 4096;
+
+struct GoldenRow {
+  std::uint64_t closed_form = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t paper = 0;
+};
+
+std::map<std::string, GoldenRow> load_golden() {
+  const std::string path = std::string(WRHT_REPO_ROOT) + "/table1_steps.csv";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+
+  std::map<std::string, GoldenRow> rows;
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "algorithm,closed_form,generated,paper");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string algorithm, cell;
+    GoldenRow row;
+    std::getline(ss, algorithm, ',');
+    std::getline(ss, cell, ',');
+    row.closed_form = std::stoull(cell);
+    std::getline(ss, cell, ',');
+    row.generated = std::stoull(cell);
+    std::getline(ss, cell, ',');
+    row.paper = std::stoull(cell);
+    rows[algorithm] = row;
+  }
+  return rows;
+}
+
+TEST(Table1Golden, CsvListsAllFourAlgorithms) {
+  const auto rows = load_golden();
+  ASSERT_EQ(rows.size(), 4u);
+  for (const char* name : {"ring", "hring", "btree", "wrht"}) {
+    EXPECT_TRUE(rows.count(name)) << name;
+  }
+}
+
+TEST(Table1Golden, StepCountsMatchRecomputedClosedForms) {
+  const auto rows = load_golden();
+  ASSERT_TRUE(rows.count("ring") && rows.count("hring") &&
+              rows.count("btree") && rows.count("wrht"));
+
+  EXPECT_EQ(rows.at("ring").closed_form,
+            coll::ring_allreduce_steps(kNodes));
+  EXPECT_EQ(rows.at("hring").closed_form,
+            coll::hring_steps(kNodes, kHringGroup, kWavelengths));
+  EXPECT_EQ(rows.at("btree").closed_form,
+            coll::btree_allreduce_steps(kNodes));
+  EXPECT_EQ(rows.at("wrht").closed_form,
+            core::wrht_plan(kNodes, kWrhtGroup, kWavelengths).total_steps);
+}
+
+TEST(Table1Golden, StepCountsMatchRegeneratedSchedules) {
+  const auto rows = load_golden();
+  EXPECT_EQ(rows.at("ring").generated,
+            coll::ring_allreduce(kNodes, kElements).num_steps());
+  EXPECT_EQ(rows.at("hring").generated,
+            coll::hring_allreduce(kNodes, kElements, kHringGroup).num_steps());
+  EXPECT_EQ(rows.at("btree").generated,
+            coll::btree_allreduce(kNodes, kElements).num_steps());
+  EXPECT_EQ(rows.at("wrht").generated,
+            core::wrht_allreduce(kNodes, kElements,
+                                 core::WrhtOptions{kWrhtGroup, kWavelengths})
+                .num_steps());
+}
+
+TEST(Table1Golden, PaperColumnsAreTheIcppNumbers) {
+  const auto rows = load_golden();
+  EXPECT_EQ(rows.at("ring").paper, 2046u);
+  EXPECT_EQ(rows.at("hring").paper, 417u);
+  EXPECT_EQ(rows.at("btree").paper, 20u);
+  EXPECT_EQ(rows.at("wrht").paper, 3u);
+}
+
+TEST(Table1Golden, ClosedFormAgreesWithGeneratedEverywhere) {
+  for (const auto& [name, row] : load_golden()) {
+    EXPECT_EQ(row.closed_form, row.generated) << name;
+    EXPECT_EQ(row.closed_form, row.paper) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wrht

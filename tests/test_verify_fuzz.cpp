@@ -1,0 +1,107 @@
+#include "wrht/verify/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "wrht/collectives/registry.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+
+#ifndef WRHT_FUZZ_ITERATIONS
+#define WRHT_FUZZ_ITERATIONS 50
+#endif
+
+namespace wrht {
+namespace {
+
+using verify::FuzzOptions;
+using verify::FuzzReport;
+
+// The CI-facing sweep: WRHT_FUZZ_ITERATIONS random configurations across
+// every registered algorithm must produce zero findings. Dial the CMake
+// cache variable up for local soak runs.
+TEST(VerifyFuzz, RandomConfigurationSweepIsClean) {
+  FuzzOptions options;
+  options.iterations = WRHT_FUZZ_ITERATIONS;
+  const FuzzReport report = verify::run_fuzz(options);
+
+  EXPECT_EQ(report.iterations_run, options.iterations);
+  ASSERT_TRUE(report.ok())
+      << report.failures.size() << " failing configuration(s); first: "
+      << report.failures.front().config.to_string() << "\n"
+      << report.failures.front().result.summary()
+      << (report.minimal_failure
+              ? "\nminimal: " + report.minimal_failure->config.to_string()
+              : std::string{});
+
+  std::size_t total = 0;
+  for (const auto& [name, count] : report.cases_per_algorithm) {
+    EXPECT_TRUE(coll::Registry::instance().contains(name)) << name;
+    total += count;
+  }
+  EXPECT_EQ(total, report.iterations_run);
+  // WRHT itself must be exercised (deterministic for the default seed).
+  EXPECT_GT(report.cases_per_algorithm.count("wrht"), 0u);
+}
+
+TEST(VerifyFuzz, DeterministicInSeed) {
+  FuzzOptions options;
+  options.iterations = 20;
+  options.seed = 1234;
+  const FuzzReport a = verify::run_fuzz(options);
+  const FuzzReport b = verify::run_fuzz(options);
+  EXPECT_EQ(a.cases_per_algorithm, b.cases_per_algorithm);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(VerifyFuzz, SingleAlgorithmFilterIsHonoured) {
+  FuzzOptions options;
+  options.iterations = 10;
+  options.algorithms = {"wrht"};
+  const FuzzReport report = verify::run_fuzz(options);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.cases_per_algorithm.size(), 1u);
+  EXPECT_EQ(report.cases_per_algorithm.begin()->first, "wrht");
+  EXPECT_EQ(report.cases_per_algorithm.begin()->second, 10u);
+}
+
+// A deliberately broken builder must be caught by the oracle and shrunk to
+// the smallest configuration that still fails.
+TEST(VerifyFuzz, BrokenBuilderIsCaughtAndShrunk) {
+  coll::Registry::instance().register_algorithm(
+      "broken_for_test", [](const coll::AllreduceParams& p) {
+        // A Ring All-reduce with one extra reduce delivery: some node
+        // double-counts a neighbour's contribution.
+        const coll::Schedule good =
+            coll::ring_allreduce(p.num_nodes,
+                                 std::max<std::size_t>(p.elements, p.num_nodes));
+        coll::Schedule bad(good.algorithm(), good.num_nodes(),
+                           good.elements());
+        for (const coll::Step& step : good.steps()) {
+          coll::Step& copy = bad.add_step(step.label);
+          copy.transfers = step.transfers;
+        }
+        coll::Step& extra = bad.add_step("duplicate");
+        extra.transfers.push_back(good.steps().front().transfers.front());
+        return bad;
+      });
+
+  FuzzOptions options;
+  options.iterations = 5;
+  options.algorithms = {"broken_for_test"};
+  const FuzzReport report = verify::run_fuzz(options);
+
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(report.minimal_failure.has_value());
+  const verify::FuzzCase& minimal = report.minimal_failure->config;
+  // The defect is independent of every dimension, so shrinking must reach
+  // the floor of the search space.
+  EXPECT_EQ(minimal.num_nodes, 2u);
+  EXPECT_FALSE(report.minimal_failure->result.ok());
+  EXPECT_LE(minimal.num_nodes, report.failures.front().config.num_nodes);
+  EXPECT_LE(minimal.elements, report.failures.front().config.elements);
+}
+
+}  // namespace
+}  // namespace wrht

@@ -1,0 +1,158 @@
+#include "wrht/verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "wrht/collectives/registry.hpp"
+#include "wrht/common/error.hpp"
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+
+namespace wrht {
+namespace {
+
+using verify::OracleOptions;
+using verify::OracleReport;
+
+coll::AllreduceParams params_for(const std::string& algorithm,
+                                 std::uint32_t n, std::size_t elements) {
+  coll::AllreduceParams p;
+  p.num_nodes = n;
+  p.elements = elements;
+  p.group_size = 4;
+  p.wavelengths = 64;
+  if (algorithm == "ring" || algorithm == "hring" ||
+      algorithm == "halving_doubling") {
+    p.elements = std::max<std::size_t>(p.elements, n);
+  }
+  return p;
+}
+
+// --------------------------------------- every registered builder passes
+
+TEST(VerifyOracle, ProvesEveryRegisteredAlgorithm) {
+  core::register_wrht_algorithm();
+  auto& registry = coll::Registry::instance();
+  for (const std::string& name : registry.names()) {
+    for (const std::uint32_t n : {2u, 8u, 13u, 32u}) {
+      const coll::Schedule sched =
+          registry.build(name, params_for(name, n, 96));
+      const OracleReport report = verify::check_allreduce(sched);
+      EXPECT_TRUE(report.ok())
+          << name << " N=" << n << ":\n" << report.result.summary();
+      EXPECT_TRUE(report.provenance_checked) << name << " N=" << n;
+    }
+  }
+}
+
+// ------------------------------------------------- corruption detection
+
+/// Copies `src` with a hook that may edit each step's transfer list.
+template <typename EditFn>
+coll::Schedule mutate(const coll::Schedule& src, EditFn edit) {
+  coll::Schedule out(src.algorithm(), src.num_nodes(), src.elements());
+  for (std::size_t s = 0; s < src.num_steps(); ++s) {
+    coll::Step& step = out.add_step(src.steps()[s].label);
+    step.transfers = src.steps()[s].transfers;
+    edit(s, step.transfers);
+  }
+  return out;
+}
+
+TEST(VerifyOracle, CatchesDroppedTransfer) {
+  const coll::Schedule good = coll::ring_allreduce(8, 64);
+  const coll::Schedule bad =
+      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+        if (s == 2) ts.pop_back();
+      });
+  const OracleReport report = verify::check_allreduce(bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.max_abs_error, 1e-9);
+}
+
+TEST(VerifyOracle, CatchesDuplicatedReduce) {
+  const coll::Schedule good = coll::ring_allreduce(8, 64);
+  const coll::Schedule bad =
+      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+        // Re-delivering a reduce double-counts its contributions; with
+        // snapshot semantics the duplicate lands in the same step.
+        if (s == 0) ts.push_back(ts.front());
+      });
+  const OracleReport report = verify::check_allreduce(bad);
+  EXPECT_FALSE(report.ok());
+  // The exact provenance proof names the over-counted contribution.
+  bool provenance_finding = false;
+  for (const verify::Finding& f : report.result.findings()) {
+    provenance_finding |= f.check == "oracle.allreduce.provenance";
+  }
+  EXPECT_TRUE(provenance_finding) << report.result.summary();
+}
+
+TEST(VerifyOracle, CatchesReduceTurnedIntoCopy) {
+  const coll::Schedule good = coll::ring_allreduce(8, 64);
+  const coll::Schedule bad =
+      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+        if (s == 0) ts.front().kind = coll::TransferKind::kCopy;
+      });
+  EXPECT_FALSE(verify::check_allreduce(bad).ok());
+}
+
+// ------------------------------------- reduce / broadcast discrimination
+
+TEST(VerifyOracle, ReduceScheduleIsNotAnAllreduce) {
+  const core::WrhtRootedSchedule reduce =
+      core::wrht_reduce(16, 64, core::WrhtOptions{4, 64});
+  EXPECT_FALSE(verify::check_allreduce(reduce.schedule).ok());
+  EXPECT_TRUE(
+      verify::check_reduce(reduce.schedule, reduce.root).ok());
+  // Only the hierarchy root holds the sum.
+  for (std::uint32_t node = 0; node < 16; ++node) {
+    if (node == reduce.root) continue;
+    EXPECT_FALSE(verify::check_reduce(reduce.schedule, node).ok())
+        << "node " << node << " should not hold the global sum";
+  }
+}
+
+TEST(VerifyOracle, BroadcastScheduleProvesBroadcast) {
+  const core::WrhtRootedSchedule bcast =
+      core::wrht_broadcast(16, 64, core::WrhtOptions{4, 64});
+  EXPECT_TRUE(verify::check_broadcast(bcast.schedule, bcast.root).ok());
+  EXPECT_FALSE(verify::check_allreduce(bcast.schedule).ok());
+}
+
+TEST(VerifyOracle, RootOutOfRangeThrows) {
+  const core::WrhtRootedSchedule reduce =
+      core::wrht_reduce(8, 16, core::WrhtOptions{2, 64});
+  EXPECT_THROW(static_cast<void>(verify::check_reduce(reduce.schedule, 8)),
+               InvalidArgument);
+}
+
+// -------------------------------------------------- provenance gating
+
+TEST(VerifyOracle, CellLimitDisablesProvenanceButKeepsNumeric) {
+  const coll::Schedule sched = coll::ring_allreduce(8, 64);
+  OracleOptions options;
+  options.provenance_cell_limit = 8;  // 8 * 8 * 64 cells blow way past this
+  const OracleReport report = verify::check_allreduce(sched, options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.provenance_checked);
+}
+
+TEST(VerifyOracle, DeterministicInSeed) {
+  const coll::Schedule good = coll::ring_allreduce(8, 64);
+  const coll::Schedule bad =
+      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+        if (s == 1) ts.pop_back();
+      });
+  const OracleReport a = verify::check_allreduce(bad);
+  const OracleReport b = verify::check_allreduce(bad);
+  EXPECT_EQ(a.max_abs_error, b.max_abs_error);
+  EXPECT_EQ(a.worst_node, b.worst_node);
+  EXPECT_EQ(a.worst_element, b.worst_element);
+}
+
+}  // namespace
+}  // namespace wrht
