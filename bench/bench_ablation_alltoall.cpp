@@ -2,23 +2,58 @@
 // reduce stage either with an all-to-all among the surviving
 // representatives (theta = 2L-1) or by collapsing to a single root
 // (theta = 2L). This bench quantifies the step and time saving of the
-// all-to-all ending across node counts and wavelength budgets.
+// all-to-all ending across node counts and wavelength budgets. The on/off
+// variants are custom-builder series (the registry's "wrht" always keeps
+// the all-to-all ending on).
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "wrht/core/analysis.hpp"
-#include "wrht/core/grouping.hpp"
-#include "wrht/optical/ring_network.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+
+namespace {
+
+using namespace wrht;
+
+exp::Series wrht_series(std::uint32_t m, bool all_to_all) {
+  exp::Series s;
+  s.name = (all_to_all ? "on_m" : "off_m") + std::to_string(m);
+  s.builder = [m, all_to_all](const exp::SweepPoint& p) {
+    return core::wrht_allreduce(
+        p.nodes, p.workload.elements,
+        core::WrhtOptions{m, p.wavelengths, all_to_all});
+  };
+  return s;
+}
+
+}  // namespace
 
 int main() {
   using namespace wrht;
   constexpr std::uint32_t kWavelengths = 64;
-  const std::size_t kElements = dnn::resnet50().parameter_count();
+  const std::vector<std::uint32_t> group_sizes =
+      bench::tiny() ? std::vector<std::uint32_t>{3, 5}
+                    : std::vector<std::uint32_t>{17u, 65u, 129u};
 
   std::printf(
       "=== Ablation: final all-to-all exchange on vs off ===\n"
       "(ResNet50 payload; \"off\" collapses the hierarchy to a single root\n"
       " and pays a full extra broadcast level)\n\n");
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::tiny()
+                       ? std::vector<exp::Workload>{{"tiny", 4096}}
+                       : std::vector<exp::Workload>{
+                             {"ResNet50",
+                              dnn::resnet50().parameter_count()}};
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16}
+                             : std::vector<std::uint32_t>{256, 1024, 4096};
+  spec.wavelengths = {kWavelengths};
+  for (const std::uint32_t m : group_sizes) {
+    spec.series.push_back(wrht_series(m, true));
+    spec.series.push_back(wrht_series(m, false));
+  }
+  const auto rows = bench::run_sweep(spec);
+  const std::string workload = spec.workloads.front().name;
 
   Table table({"N", "m", "steps (a2a on)", "steps (a2a off)", "time on (ms)",
                "time off (ms)", "saving"});
@@ -26,33 +61,28 @@ int main() {
                 {"nodes", "group_size", "steps_on", "steps_off", "time_on_s",
                  "time_off_s"});
 
-  for (const std::uint32_t n : {256u, 1024u, 4096u}) {
-    for (const std::uint32_t m : {17u, 65u, 129u}) {
-      const optics::RingNetwork net(
-          n, optics::OpticalConfig{}.with_wavelengths(kWavelengths));
-
-      const auto on = core::wrht_allreduce(
-          n, kElements, core::WrhtOptions{m, kWavelengths, true});
-      const auto off = core::wrht_allreduce(
-          n, kElements, core::WrhtOptions{m, kWavelengths, false});
-      const obs::Probe probe{nullptr, &bench::metrics()};
-      const auto res_on = net.execute(on, probe);
-      const auto res_off = net.execute(off, probe);
+  for (const std::uint32_t n : spec.nodes) {
+    for (const std::uint32_t m : group_sizes) {
+      const RunReport& on =
+          bench::find_row(rows, workload, n, kWavelengths,
+                          "on_m" + std::to_string(m))
+              .report;
+      const RunReport& off =
+          bench::find_row(rows, workload, n, kWavelengths,
+                          "off_m" + std::to_string(m))
+              .report;
 
       const double saving =
-          (1.0 - res_on.total_time.count() / res_off.total_time.count()) *
-          100.0;
+          (1.0 - on.total_time.count() / off.total_time.count()) * 100.0;
       table.add_row({std::to_string(n), std::to_string(m),
-                     std::to_string(on.num_steps()),
-                     std::to_string(off.num_steps()),
-                     Table::num(res_on.total_time.millis(), 2),
-                     Table::num(res_off.total_time.millis(), 2),
+                     std::to_string(on.steps), std::to_string(off.steps),
+                     Table::num(on.total_time.millis(), 2),
+                     Table::num(off.total_time.millis(), 2),
                      Table::num(saving, 1) + " %"});
       csv.add_row({std::to_string(n), std::to_string(m),
-                   std::to_string(on.num_steps()),
-                   std::to_string(off.num_steps()),
-                   Table::num(res_on.total_time.count(), 6),
-                   Table::num(res_off.total_time.count(), 6)});
+                   std::to_string(on.steps), std::to_string(off.steps),
+                   Table::num(on.total_time.count(), 6),
+                   Table::num(off.total_time.count(), 6)});
     }
   }
   std::cout << table << "\n";

@@ -3,61 +3,73 @@
 // serialization is 8x slower per transfer. This bench re-runs the Fig. 6
 // comparison under both conventions and shows that the *byte* convention
 // is the one that reproduces the paper's "WRHT lowest everywhere" claim —
-// under strict bits, Ring overtakes WRHT for the largest model.
+// under strict bits, Ring overtakes WRHT for the largest model. The
+// conventions are per-series backend-config overrides on one sweep.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "wrht/collectives/ring_allreduce.hpp"
-#include "wrht/core/planner.hpp"
-#include "wrht/core/wrht_schedule.hpp"
 
 namespace {
 
 using namespace wrht;
 
-double timed(const coll::Schedule& sched, std::uint32_t n,
-             optics::OpticalConfig::RateConvention convention) {
-  const optics::RingNetwork net(
-      n, optics::OpticalConfig{}.with_convention(convention));
-  return net.execute(sched, obs::Probe{nullptr, &bench::metrics()})
-      .total_time.count();
+exp::Series conv_series(const std::string& algorithm,
+                        net::RateConvention convention,
+                        const char* conv_name) {
+  exp::Series s;
+  s.name = algorithm + "_" + conv_name;
+  s.algorithm = algorithm;
+  s.configure = [convention](const exp::SweepPoint&,
+                             net::BackendConfig& config) {
+    config.convention = convention;
+  };
+  return s;
 }
 
 }  // namespace
 
 int main() {
   using namespace wrht;
-  constexpr std::uint32_t kNodes = 1024;
   constexpr std::uint32_t kWavelengths = 64;
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::paper_or_tiny_workloads();
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16}
+                             : std::vector<std::uint32_t>{1024};
+  spec.wavelengths = {kWavelengths};
+  const std::pair<net::RateConvention, const char*> conventions[] = {
+      {net::RateConvention::kPaperConvention, "paper"},
+      {net::RateConvention::kStrictBits, "bits"}};
+  for (const auto& [conv, conv_name] : conventions) {
+    spec.series.push_back(conv_series("ring", conv, conv_name));
+    spec.series.push_back(conv_series("wrht", conv, conv_name));
+  }
+  const std::uint32_t nodes = spec.nodes.front();
 
   std::printf(
       "=== Ablation: Eq.(6) rate convention (paper bytes vs strict bits) "
       "===\n(N = %u, w = %u; winner flips for the largest models under\n"
       " strict bit serialization — the calibration evidence of DESIGN.md)\n\n",
-      kNodes, kWavelengths);
+      nodes, kWavelengths);
+
+  const auto rows = bench::run_sweep(spec);
 
   Table table({"Workload", "conv", "Ring (s)", "WRHT (s)", "winner"});
   CsvWriter csv(bench::csv_path("ablation_convention"),
                 {"workload", "convention", "ring_s", "wrht_s"});
 
-  const std::uint32_t m = core::plan_wrht(kNodes, kWavelengths).group_size;
-  for (const auto& model : dnn::paper_workloads()) {
-    const std::size_t elements = model.parameter_count();
-    const auto ring_sched = coll::ring_allreduce(kNodes, elements);
-    const auto wrht_sched = core::wrht_allreduce(
-        kNodes, elements, core::WrhtOptions{m, kWavelengths});
-    const std::pair<optics::OpticalConfig::RateConvention, const char*>
-        conventions[] = {
-            {optics::OpticalConfig::RateConvention::kPaperConvention,
-             "paper"},
-            {optics::OpticalConfig::RateConvention::kStrictBits, "bits"}};
-    for (const auto& [conv, name] : conventions) {
-      const double t_ring = timed(ring_sched, kNodes, conv);
-      const double t_wrht = timed(wrht_sched, kNodes, conv);
-      table.add_row({model.name(), name, Table::num(t_ring, 4),
+  for (const exp::Workload& workload : spec.workloads) {
+    for (const auto& [conv, conv_name] : conventions) {
+      const double t_ring =
+          bench::row_time(rows, workload.name, nodes, kWavelengths,
+                          std::string("ring_") + conv_name);
+      const double t_wrht =
+          bench::row_time(rows, workload.name, nodes, kWavelengths,
+                          std::string("wrht_") + conv_name);
+      table.add_row({workload.name, conv_name, Table::num(t_ring, 4),
                      Table::num(t_wrht, 4),
                      t_wrht <= t_ring ? "WRHT" : "Ring"});
-      csv.add_row({model.name(), name, Table::num(t_ring, 6),
+      csv.add_row({workload.name, conv_name, Table::num(t_ring, 6),
                    Table::num(t_wrht, 6)});
     }
   }

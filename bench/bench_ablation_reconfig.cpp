@@ -5,50 +5,62 @@
 // step, so retune-aware accounting collapses its overhead — while WRHT
 // retunes on almost every step by construction. This bench quantifies how
 // the algorithm ranking responds (an explicit robustness check on the
-// paper's core assumption that steps dominate cost).
+// paper's core assumption that steps dominate cost). The two accounting
+// modes are per-series backend-config overrides; the paid-reconfiguration
+// count comes from each run's optical.reconfig_charges counter.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "wrht/collectives/btree_allreduce.hpp"
-#include "wrht/collectives/ring_allreduce.hpp"
-#include "wrht/core/planner.hpp"
-#include "wrht/core/wrht_schedule.hpp"
 
 namespace {
 
 using namespace wrht;
 
-struct Priced {
-  double every_round;
-  double on_retune;
-  std::uint64_t reconfigs_on_retune;
-};
-
-Priced price(const coll::Schedule& sched, std::uint32_t n,
-             std::uint32_t wavelengths) {
-  const auto cfg = optics::OpticalConfig{}.with_wavelengths(wavelengths);
-  const optics::RingNetwork every(n, cfg);
-  const optics::RingNetwork retune(
-      n, optics::OpticalConfig{cfg}.with_reconfig_accounting(
-             optics::OpticalConfig::ReconfigAccounting::kOnRetune));
-  const obs::Probe probe{nullptr, &bench::metrics()};
-  const auto a = every.execute(sched, probe);
-  const auto b = retune.execute(sched, probe);
-  return Priced{a.total_time.count(), b.total_time.count(),
-                b.reconfigurations};
+exp::Series priced_series(const std::string& algorithm, bool on_retune) {
+  exp::Series s;
+  s.name = algorithm + (on_retune ? "_retune" : "_every");
+  s.algorithm = algorithm;
+  if (on_retune) {
+    s.configure = [](const exp::SweepPoint&, net::BackendConfig& config) {
+      config.reconfig_on_retune = true;
+    };
+  }
+  return s;
 }
 
 }  // namespace
 
 int main() {
   using namespace wrht;
-  constexpr std::uint32_t kNodes = 1024;
   constexpr std::uint32_t kWavelengths = 64;
+
+  exp::SweepSpec spec;
+  if (bench::tiny()) {
+    spec.workloads = {exp::Workload{"tiny", 4096}};
+    spec.nodes = {16};
+  } else {
+    const auto models = dnn::paper_workloads();
+    // ResNet50 and AlexNet, in the paper's discussion order.
+    spec.workloads = {
+        exp::Workload{models[3].name(), models[3].parameter_count()},
+        exp::Workload{models[2].name(), models[2].parameter_count()}};
+    spec.nodes = {1024};
+  }
+  spec.wavelengths = {kWavelengths};
+  const std::pair<const char*, const char*> algorithms[] = {
+      {"Ring", "ring"}, {"BT", "btree"}, {"WRHT", "wrht"}};
+  for (const auto& [label, algorithm] : algorithms) {
+    spec.series.push_back(priced_series(algorithm, false));
+    spec.series.push_back(priced_series(algorithm, true));
+  }
+  const std::uint32_t nodes = spec.nodes.front();
 
   std::printf(
       "=== Ablation: reconfiguration accounting (every-step vs on-retune) "
       "===\n(N = %u, w = %u, ResNet50 and AlexNet payloads)\n\n",
-      kNodes, kWavelengths);
+      nodes, kWavelengths);
+
+  const auto rows = bench::run_sweep(spec);
 
   Table table({"Workload", "Algorithm", "Eq.6 time (ms)", "retune-aware (ms)",
                "paid reconfigs", "speedup"});
@@ -56,28 +68,25 @@ int main() {
                 {"workload", "algorithm", "every_round_s", "on_retune_s",
                  "reconfigs"});
 
-  const std::uint32_t m = core::plan_wrht(kNodes, kWavelengths).group_size;
-  const auto models = dnn::paper_workloads();
-  for (const auto& model : {models[3], models[2]}) {  // ResNet50, AlexNet
-    const std::size_t elements = model.parameter_count();
-    struct Entry {
-      const char* name;
-      coll::Schedule sched;
-    };
-    const Entry entries[] = {
-        {"Ring", coll::ring_allreduce(kNodes, elements)},
-        {"BT", coll::btree_allreduce(kNodes, elements)},
-        {"WRHT", core::wrht_allreduce(kNodes, elements,
-                                      core::WrhtOptions{m, kWavelengths})}};
-    for (const auto& e : entries) {
-      const Priced p = price(e.sched, kNodes, kWavelengths);
-      table.add_row({model.name(), e.name, Table::num(p.every_round * 1e3, 2),
-                     Table::num(p.on_retune * 1e3, 2),
-                     std::to_string(p.reconfigs_on_retune),
-                     Table::num(p.every_round / p.on_retune, 2) + "x"});
-      csv.add_row({model.name(), e.name, Table::num(p.every_round, 6),
-                   Table::num(p.on_retune, 6),
-                   std::to_string(p.reconfigs_on_retune)});
+  for (const exp::Workload& workload : spec.workloads) {
+    for (const auto& [label, algorithm] : algorithms) {
+      const RunReport& every =
+          bench::find_row(rows, workload.name, nodes, kWavelengths,
+                          std::string(algorithm) + "_every")
+              .report;
+      const RunReport& retune =
+          bench::find_row(rows, workload.name, nodes, kWavelengths,
+                          std::string(algorithm) + "_retune")
+              .report;
+      const double every_s = every.total_time.count();
+      const double retune_s = retune.total_time.count();
+      const std::uint64_t reconfigs =
+          retune.counters.at("optical.reconfig_charges");
+      table.add_row({workload.name, label, Table::num(every_s * 1e3, 2),
+                     Table::num(retune_s * 1e3, 2), std::to_string(reconfigs),
+                     Table::num(every_s / retune_s, 2) + "x"});
+      csv.add_row({workload.name, label, Table::num(every_s, 6),
+                   Table::num(retune_s, 6), std::to_string(reconfigs)});
     }
   }
   std::cout << table << "\n";

@@ -1,89 +1,96 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 //
 // Each bench binary regenerates one table or figure of the WRHT paper
-// (ICPP 2023): it sweeps the paper's parameters, runs the real simulators,
-// prints the series as an ASCII table (normalized exactly as the paper's
-// figures are), writes a CSV next to the binary, and reports the headline
-// "average reduction" aggregates the paper quotes in its text.
+// (ICPP 2023): it declares the paper's parameter grid as an
+// exp::SweepSpec, runs it through exp::SweepRunner (parallel across grid
+// points, WRHT_SWEEP_THREADS controls the pool), prints the series as an
+// ASCII table (normalized exactly as the paper's figures are), writes a
+// CSV next to the binary, and reports the headline "average reduction"
+// aggregates the paper quotes in its text.
+//
+// WRHT_BENCH_TINY=1 shrinks every grid (small N, synthetic payload) so CI
+// smoke jobs can validate the CSV schemas in seconds; the schema and the
+// row structure are identical to the full run.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "wrht/collectives/registry.hpp"
 #include "wrht/common/csv.hpp"
+#include "wrht/common/error.hpp"
 #include "wrht/common/stats.hpp"
 #include "wrht/common/table.hpp"
-#include "wrht/core/planner.hpp"
-#include "wrht/core/wrht_schedule.hpp"
 #include "wrht/dnn/zoo.hpp"
-#include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/exp/sweep.hpp"
 #include "wrht/obs/counters.hpp"
 #include "wrht/obs/run_report.hpp"
-#include "wrht/optical/ring_network.hpp"
 
 namespace wrht::bench {
 
-/// Process-wide counter registry. Every simulator run launched through the
-/// helpers below feeds it (rounds, reconfiguration charges, fair-share
-/// bottlenecks, events fired, ...); write_metrics_csv() dumps it next to
-/// the figure CSV at the end of the bench.
+/// Process-wide counter registry. Every sweep launched through run_sweep()
+/// merges its per-run counters here (rounds, reconfiguration charges,
+/// fair-share bottlenecks, events fired, ...); write_metrics_csv() dumps
+/// it next to the figure CSV at the end of the bench. Thread-safe, so the
+/// parallel sweep workers feed it directly.
 inline obs::Counters& metrics() {
   static obs::Counters counters;
   return counters;
 }
 
-/// Optical run of `algorithm` for a payload of `elements` float32
-/// gradients on an N-node ring with w wavelengths, as a RunReport.
-inline RunReport optical_report(const std::string& algorithm, std::uint32_t n,
-                                std::size_t elements,
-                                std::uint32_t wavelengths,
-                                std::uint32_t group_size = 0) {
-  core::register_wrht_algorithm();
-  // The paper's sweeps "assume there is no constraint of optical
-  // communication" (§5.4): WRHT with m = 2*256+1 legitimately exceeds the
-  // per-node MRR budget, which the TeraRack hardware model would reject.
-  const auto cfg = optics::OpticalConfig{}
-                       .with_wavelengths(wavelengths)
-                       .with_validate_node_capacity(false);
-  const optics::RingNetwork net(n, cfg);
-  coll::AllreduceParams p;
-  p.num_nodes = n;
-  p.elements = elements;
-  p.group_size = group_size;
-  p.wavelengths = wavelengths;
-  const coll::Schedule sched =
-      coll::Registry::instance().build(algorithm, p);
-  return net.execute(sched, obs::Probe{nullptr, &metrics()}).to_report();
+/// True when WRHT_BENCH_TINY is set: benches swap the paper's grids for
+/// seconds-scale ones with the same CSV schema.
+inline bool tiny() {
+  const char* env = std::getenv("WRHT_BENCH_TINY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-/// Electrical (fat-tree) run under the same conventions, as a RunReport.
-inline RunReport electrical_report(const std::string& algorithm,
-                                   std::uint32_t n, std::size_t elements) {
-  const elec::FatTreeNetwork net(n, elec::ElectricalConfig{});
-  coll::AllreduceParams p;
-  p.num_nodes = n;
-  p.elements = elements;
-  const coll::Schedule sched =
-      coll::Registry::instance().build(algorithm, p);
-  return net.execute(sched, obs::Probe{nullptr, &metrics()}).to_report();
+/// Runs `spec` through a SweepRunner with the process-wide metrics()
+/// registry attached.
+inline std::vector<exp::SweepRow> run_sweep(exp::SweepSpec spec) {
+  spec.counters = &metrics();
+  return exp::SweepRunner().run(spec);
 }
 
-/// Optical communication time in seconds (RunReport shortcut).
-inline double optical_time(const std::string& algorithm, std::uint32_t n,
-                           std::size_t elements, std::uint32_t wavelengths,
-                           std::uint32_t group_size = 0) {
-  return optical_report(algorithm, n, elements, wavelengths, group_size)
-      .total_time.count();
+/// The row at (workload, nodes, wavelengths, series); throws when the
+/// sweep did not produce it.
+inline const exp::SweepRow& find_row(const std::vector<exp::SweepRow>& rows,
+                                     const std::string& workload,
+                                     std::uint32_t nodes,
+                                     std::uint32_t wavelengths,
+                                     const std::string& series) {
+  for (const exp::SweepRow& row : rows) {
+    if (row.point.workload.name == workload && row.point.nodes == nodes &&
+        row.point.wavelengths == wavelengths && row.point.series == series) {
+      return row;
+    }
+  }
+  throw InvalidArgument("bench: no sweep row for " + workload + "/N=" +
+                        std::to_string(nodes) + "/w=" +
+                        std::to_string(wavelengths) + "/" + series);
 }
 
-/// Electrical communication time in seconds (RunReport shortcut).
-inline double electrical_time(const std::string& algorithm, std::uint32_t n,
-                              std::size_t elements) {
-  return electrical_report(algorithm, n, elements).total_time.count();
+/// Communication time (s) of the row at (workload, nodes, wavelengths,
+/// series).
+inline double row_time(const std::vector<exp::SweepRow>& rows,
+                       const std::string& workload, std::uint32_t nodes,
+                       std::uint32_t wavelengths, const std::string& series) {
+  return find_row(rows, workload, nodes, wavelengths, series)
+      .report.total_time.count();
+}
+
+/// The paper's four DNN workloads (Table 3), or one synthetic payload in
+/// tiny mode.
+inline std::vector<exp::Workload> paper_or_tiny_workloads() {
+  if (tiny()) return {exp::Workload{"tiny", 4096}};
+  std::vector<exp::Workload> out;
+  for (const auto& model : dnn::paper_workloads()) {
+    out.push_back(exp::Workload{model.name(), model.parameter_count()});
+  }
+  return out;
 }
 
 /// Prints the paper-text aggregate: "X reduces communication time by P% on

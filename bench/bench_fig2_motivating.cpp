@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 #include "wrht/collectives/btree_allreduce.hpp"
 #include "wrht/collectives/executor.hpp"
+#include "wrht/core/wrht_schedule.hpp"
 #include "wrht/optical/timeline.hpp"
 
 int main() {
@@ -21,16 +22,9 @@ int main() {
       "=== Figure 2: motivating example — %u nodes, %u wavelengths ===\n\n",
       kNodes, kWavelengths);
 
-  const optics::RingNetwork net(
-      kNodes, optics::OpticalConfig{}.with_wavelengths(kWavelengths));
-  Rng rng;
-
-  const auto bt = coll::btree_allreduce(kNodes, kElements);
-  const auto wrht = core::wrht_allreduce(
-      kNodes, kElements, core::WrhtOptions{kGroup, kWavelengths});
-
   // Both schedules are semantically verified All-reduces.
   {
+    Rng rng;
     const auto bt_small = coll::btree_allreduce(kNodes, 64);
     const auto wrht_small = core::wrht_allreduce(
         kNodes, 64, core::WrhtOptions{kGroup, kWavelengths});
@@ -38,9 +32,16 @@ int main() {
     coll::Executor::verify_allreduce(wrht_small, rng);
   }
 
-  const obs::Probe probe{nullptr, &bench::metrics()};
-  const auto bt_run = net.execute(bt, probe);
-  const auto wrht_run = net.execute(wrht, probe);
+  exp::SweepSpec spec;
+  spec.workloads = {exp::Workload{"fig2", kElements}};
+  spec.nodes = {kNodes};
+  spec.wavelengths = {kWavelengths};
+  spec.series = {exp::Series{.name = "btree", .algorithm = "btree"},
+                 exp::Series{.name = "wrht", .algorithm = "wrht",
+                             .group_size = kGroup}};
+  const auto rows = bench::run_sweep(spec);
+  const RunReport& bt_run = rows[0].report;
+  const RunReport& wrht_run = rows[1].report;
 
   std::printf("Binary tree (paper Fig. 2a: 8 steps):\n");
   optics::print_timeline(bt_run, std::cout);
@@ -49,10 +50,10 @@ int main() {
 
   Table table({"Algorithm", "Steps", "Paper", "Lambdas used", "Time"});
   table.add_row({"Binary tree", std::to_string(bt_run.steps), "8",
-                 std::to_string(bt_run.max_wavelengths_used),
+                 std::to_string(bt_run.max_wavelengths_used()),
                  to_string(bt_run.total_time)});
   table.add_row({"WRHT (m=5)", std::to_string(wrht_run.steps), "3",
-                 std::to_string(wrht_run.max_wavelengths_used),
+                 std::to_string(wrht_run.max_wavelengths_used()),
                  to_string(wrht_run.total_time)});
   std::printf("\n");
   std::cout << table;

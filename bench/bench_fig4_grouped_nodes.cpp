@@ -1,7 +1,7 @@
 // Reproduces Figure 4: WRHT communication time on a 1024-node optical ring
 // for grouped-node counts m in {17, 33, 65, 129} across the four DNN
 // workloads; all values normalized by WRHT_3 (m = 129) per workload, as in
-// the paper.
+// the paper. The group sizes are one sweep series each.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -9,38 +9,56 @@
 
 int main() {
   using namespace wrht;
-  constexpr std::uint32_t kNodes = 1024;
   constexpr std::uint32_t kWavelengths = 64;
-  const std::uint32_t kGroupSizes[] = {17, 33, 65, 129};
+  const std::vector<std::uint32_t> group_sizes =
+      bench::tiny() ? std::vector<std::uint32_t>{3, 5}
+                    : std::vector<std::uint32_t>{17, 33, 65, 129};
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::paper_or_tiny_workloads();
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16}
+                             : std::vector<std::uint32_t>{1024};
+  spec.wavelengths = {kWavelengths};
+  for (const std::uint32_t m : group_sizes) {
+    spec.series.push_back(exp::Series{.name = "m" + std::to_string(m),
+                                      .algorithm = "wrht", .group_size = m});
+  }
+  spec.config.validate_node_capacity = false;
+  const std::uint32_t nodes = spec.nodes.front();
 
   std::printf(
       "=== Figure 4: WRHT vs number of grouped nodes (N = %u, w = %u) ===\n"
       "(normalized per workload by WRHT_3 (m=129); paper: time decreases\n"
       " with m then flattens, WRHT_2/WRHT_3 fastest)\n\n",
-      kNodes, kWavelengths);
+      nodes, kWavelengths);
 
-  const auto models = dnn::paper_workloads();
+  const auto rows = bench::run_sweep(spec);
 
-  Table table({"Workload", "WRHT_0 (m=17)", "WRHT_1 (m=33)", "WRHT_2 (m=65)",
-               "WRHT_3 (m=129)"});
+  // Header follows the swept group sizes (tiny mode uses a shorter list).
+  std::vector<std::string> header{"Workload"};
+  for (std::size_t i = 0; i < group_sizes.size(); ++i) {
+    header.push_back("WRHT_" + std::to_string(i) + " (m=" +
+                     std::to_string(group_sizes[i]) + ")");
+  }
+  Table table(header);
   CsvWriter csv(bench::csv_path("fig4_grouped_nodes"),
                 {"workload", "group_size", "steps", "time_s", "normalized"});
 
-  for (const auto& model : models) {
-    const std::size_t elements = model.parameter_count();
+  for (const exp::Workload& workload : spec.workloads) {
     std::vector<double> times;
     std::vector<std::uint32_t> steps;
-    for (const std::uint32_t m : kGroupSizes) {
-      times.push_back(
-          bench::optical_time("wrht", kNodes, elements, kWavelengths, m));
-      steps.push_back(core::wrht_plan(kNodes, m, kWavelengths).total_steps);
+    for (const std::uint32_t m : group_sizes) {
+      times.push_back(bench::row_time(rows, workload.name, nodes,
+                                      kWavelengths,
+                                      "m" + std::to_string(m)));
+      steps.push_back(core::wrht_plan(nodes, m, kWavelengths).total_steps);
     }
     const double base = times.back();
-    std::vector<std::string> row{model.name()};
+    std::vector<std::string> row{workload.name};
     for (std::size_t i = 0; i < times.size(); ++i) {
       row.push_back(Table::num(times[i] / base, 3) + " (" +
                     std::to_string(steps[i]) + " steps)");
-      csv.add_row({model.name(), std::to_string(kGroupSizes[i]),
+      csv.add_row({workload.name, std::to_string(group_sizes[i]),
                    std::to_string(steps[i]), Table::num(times[i], 6),
                    Table::num(times[i] / base, 4)});
     }

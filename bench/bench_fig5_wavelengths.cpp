@@ -5,27 +5,37 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "wrht/core/planner.hpp"
 
 int main() {
   using namespace wrht;
-  constexpr std::uint32_t kNodes = 1024;
-  const std::uint32_t kWavelengths[] = {4, 16, 64, 256};
-  const char* kAlgos[] = {"ring", "hring", "btree", "wrht"};
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::paper_or_tiny_workloads();
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16}
+                             : std::vector<std::uint32_t>{1024};
+  spec.wavelengths = bench::tiny()
+                         ? std::vector<std::uint32_t>{2, 4}
+                         : std::vector<std::uint32_t>{4, 16, 64, 256};
+  spec.series = {exp::Series{.name = "ring", .algorithm = "ring"},
+                 exp::Series{.name = "hring", .algorithm = "hring",
+                             .group_size = 5},
+                 exp::Series{.name = "btree", .algorithm = "btree"},
+                 exp::Series{.name = "wrht", .algorithm = "wrht"}};
+  spec.config.validate_node_capacity = false;
+  const std::uint32_t nodes = spec.nodes.front();
 
   std::printf(
       "=== Figure 5: impact of the number of wavelengths (N = %u) ===\n"
       "(normalized by WRHT @ ResNet50, w = 256; paper: WRHT improves with\n"
       " w then flattens; Ring/BT flat; WRHT loses to Ring/H-Ring at w=4 on\n"
       " BEiT and VGG16)\n\n",
-      kNodes);
+      nodes);
 
-  const auto models = dnn::paper_workloads();
+  const auto rows = bench::run_sweep(spec);
 
   // Normalization base: WRHT on ResNet50 at w = 256.
-  const double base = bench::optical_time(
-      "wrht", kNodes, models.back().parameter_count(), 256,
-      core::plan_wrht(kNodes, 256).group_size);
+  const double base = bench::row_time(rows, spec.workloads.back().name, nodes,
+                                      spec.wavelengths.back(), "wrht");
 
   CsvWriter csv(bench::csv_path("fig5_wavelengths"),
                 {"workload", "wavelengths", "algorithm", "time_s",
@@ -34,23 +44,19 @@ int main() {
   // Per-algorithm series across the whole sweep for the paper aggregates.
   std::map<std::string, std::vector<double>> series;
 
-  for (const auto& model : models) {
-    std::printf("--- %s (%.1fM parameters) ---\n", model.name().c_str(),
-                model.parameter_count() / 1e6);
+  for (const exp::Workload& workload : spec.workloads) {
+    std::printf("--- %s (%.1fM parameters) ---\n", workload.name.c_str(),
+                static_cast<double>(workload.elements) / 1e6);
     Table table({"w", "Ring", "H-Ring (m=5)", "BT", "WRHT (m=2w+1)"});
-    const std::size_t elements = model.parameter_count();
-    for (const std::uint32_t w : kWavelengths) {
+    for (const std::uint32_t w : spec.wavelengths) {
       std::vector<std::string> row{std::to_string(w)};
-      for (const std::string algo : kAlgos) {
-        const std::uint32_t group =
-            algo == "hring" ? 5u
-            : algo == "wrht" ? core::plan_wrht(kNodes, w).group_size
-                             : 0u;
-        const double t = bench::optical_time(algo, kNodes, elements, w, group);
+      for (const exp::Series& s : spec.series) {
+        const double t = bench::row_time(rows, workload.name, nodes, w,
+                                         s.name);
         row.push_back(Table::num(t / base, 3));
-        csv.add_row({model.name(), std::to_string(w), algo,
+        csv.add_row({workload.name, std::to_string(w), s.name,
                      Table::num(t, 6), Table::num(t / base, 4)});
-        series[algo].push_back(t);
+        series[s.name].push_back(t);
       }
       table.add_row(row);
     }

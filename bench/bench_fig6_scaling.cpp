@@ -7,13 +7,27 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "wrht/core/planner.hpp"
 
 int main() {
   using namespace wrht;
   constexpr std::uint32_t kWavelengths = 64;
-  const std::uint32_t kNodes[] = {1024, 2048, 3072, 4096};
-  const char* kAlgos[] = {"ring", "hring", "btree", "wrht"};
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::paper_or_tiny_workloads();
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16, 32}
+                             : std::vector<std::uint32_t>{1024, 2048, 3072,
+                                                          4096};
+  spec.wavelengths = {kWavelengths};
+  // WRHT's group size is auto-planned per (N, w) by the registry builder.
+  spec.series = {exp::Series{.name = "ring", .algorithm = "ring"},
+                 exp::Series{.name = "hring", .algorithm = "hring",
+                             .group_size = 5},
+                 exp::Series{.name = "btree", .algorithm = "btree"},
+                 exp::Series{.name = "wrht", .algorithm = "wrht"}};
+  // The paper's sweeps "assume there is no constraint of optical
+  // communication" (§5.4): WRHT with m = 2*256+1 legitimately exceeds the
+  // per-node MRR budget, which the TeraRack hardware model would reject.
+  spec.config.validate_node_capacity = false;
 
   std::printf(
       "=== Figure 6: scaling with node count (w = %u) ===\n"
@@ -21,33 +35,28 @@ int main() {
       " ~flat; Ring linear in N; BT worst for BEiT/VGG16; H-Ring between)\n\n",
       kWavelengths);
 
-  const auto models = dnn::paper_workloads();
-  const double base = bench::optical_time(
-      "wrht", 1024, models.back().parameter_count(), kWavelengths,
-      core::plan_wrht(1024, kWavelengths).group_size);
+  const auto rows = bench::run_sweep(spec);
+  const double base =
+      bench::row_time(rows, spec.workloads.back().name, spec.nodes.front(),
+                      kWavelengths, "wrht");
 
   CsvWriter csv(bench::csv_path("fig6_scaling"),
                 {"workload", "nodes", "algorithm", "time_s", "normalized"});
   std::map<std::string, std::vector<double>> series;
 
-  for (const auto& model : models) {
-    std::printf("--- %s (%.1fM parameters) ---\n", model.name().c_str(),
-                model.parameter_count() / 1e6);
+  for (const exp::Workload& workload : spec.workloads) {
+    std::printf("--- %s (%.1fM parameters) ---\n", workload.name.c_str(),
+                static_cast<double>(workload.elements) / 1e6);
     Table table({"N", "Ring", "H-Ring (m=5)", "BT", "WRHT"});
-    const std::size_t elements = model.parameter_count();
-    for (const std::uint32_t n : kNodes) {
+    for (const std::uint32_t n : spec.nodes) {
       std::vector<std::string> row{std::to_string(n)};
-      for (const std::string algo : kAlgos) {
-        const std::uint32_t group =
-            algo == "hring" ? 5u
-            : algo == "wrht" ? core::plan_wrht(n, kWavelengths).group_size
-                             : 0u;
+      for (const exp::Series& s : spec.series) {
         const double t =
-            bench::optical_time(algo, n, elements, kWavelengths, group);
+            bench::row_time(rows, workload.name, n, kWavelengths, s.name);
         row.push_back(Table::num(t / base, 3));
-        csv.add_row({model.name(), std::to_string(n), algo, Table::num(t, 6),
-                     Table::num(t / base, 4)});
-        series[algo].push_back(t);
+        csv.add_row({workload.name, std::to_string(n), s.name,
+                     Table::num(t, 6), Table::num(t / base, 4)});
+        series[s.name].push_back(t);
       }
       table.add_row(row);
     }

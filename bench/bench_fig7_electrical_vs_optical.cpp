@@ -4,15 +4,34 @@
 // Values are normalized by WRHT on ResNet50 (N = 128), as in the paper.
 // Also prints the paper's headline aggregates: O-Ring reduces E-Ring by
 // 48.74%; WRHT reduces E-Ring / E-RD by 61.23% / 55.51% on average.
+//
+// The four "systems" are (backend, algorithm) series on one sweep: the
+// electrical rows run through the fat-tree flow simulator and the optical
+// rows through the WDM ring simulator, all via net::BackendRegistry.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "wrht/core/planner.hpp"
 
 int main() {
   using namespace wrht;
   constexpr std::uint32_t kWavelengths = 64;
-  const std::uint32_t kNodes[] = {128, 256, 512, 1024};
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::paper_or_tiny_workloads();
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16, 32}
+                             : std::vector<std::uint32_t>{128, 256, 512,
+                                                          1024};
+  spec.wavelengths = {kWavelengths};
+  spec.series = {
+      exp::Series{.name = "e_ring", .algorithm = "ring",
+                  .backend = "electrical-flow"},
+      exp::Series{.name = "e_rd", .algorithm = "recursive_doubling",
+                  .backend = "electrical-flow"},
+      exp::Series{.name = "o_ring", .algorithm = "ring",
+                  .backend = "optical-ring"},
+      exp::Series{.name = "wrht", .algorithm = "wrht",
+                  .backend = "optical-ring"}};
+  spec.config.validate_node_capacity = false;
 
   std::printf(
       "=== Figure 7: electrical fat-tree vs optical ring (w = %u) ===\n"
@@ -20,39 +39,28 @@ int main() {
       " E-RD slightly lower, O-Ring well below both, WRHT lowest)\n\n",
       kWavelengths);
 
-  const auto models = dnn::paper_workloads();
-  const double base = bench::optical_time(
-      "wrht", 128, models.back().parameter_count(), kWavelengths,
-      core::plan_wrht(128, kWavelengths).group_size);
+  const auto rows = bench::run_sweep(spec);
+  const double base =
+      bench::row_time(rows, spec.workloads.back().name, spec.nodes.front(),
+                      kWavelengths, "wrht");
 
   CsvWriter csv(bench::csv_path("fig7_electrical_vs_optical"),
                 {"workload", "nodes", "system", "time_s", "normalized"});
   std::map<std::string, std::vector<double>> series;
 
-  for (const auto& model : models) {
-    std::printf("--- %s (%.1fM parameters) ---\n", model.name().c_str(),
-                model.parameter_count() / 1e6);
+  for (const exp::Workload& workload : spec.workloads) {
+    std::printf("--- %s (%.1fM parameters) ---\n", workload.name.c_str(),
+                static_cast<double>(workload.elements) / 1e6);
     Table table({"N", "E-Ring", "E-RD", "O-Ring", "WRHT"});
-    const std::size_t elements = model.parameter_count();
-    for (const std::uint32_t n : kNodes) {
-      // All four systems report through the unified RunReport shape.
-      const std::pair<const char*, RunReport> rows[] = {
-          {"e_ring", bench::electrical_report("ring", n, elements)},
-          {"e_rd", bench::electrical_report("recursive_doubling", n,
-                                            elements)},
-          {"o_ring", bench::optical_report("ring", n, elements,
-                                           kWavelengths)},
-          {"wrht", bench::optical_report(
-                       "wrht", n, elements, kWavelengths,
-                       core::plan_wrht(n, kWavelengths).group_size)}};
-
+    for (const std::uint32_t n : spec.nodes) {
       std::vector<std::string> cells{std::to_string(n)};
-      for (const auto& [name, report] : rows) {
-        const double t = report.total_time.count();
+      for (const exp::Series& s : spec.series) {
+        const double t =
+            bench::row_time(rows, workload.name, n, kWavelengths, s.name);
         cells.push_back(Table::num(t / base, 3));
-        csv.add_row({model.name(), std::to_string(n), name, Table::num(t, 6),
-                     Table::num(t / base, 4)});
-        series[name].push_back(t);
+        csv.add_row({workload.name, std::to_string(n), s.name,
+                     Table::num(t, 6), Table::num(t / base, 4)});
+        series[s.name].push_back(t);
       }
       table.add_row(cells);
     }

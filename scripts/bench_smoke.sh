@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench smoke run: builds every figure/table bench, runs each once in tiny
+# mode (WRHT_BENCH_TINY=1 shrinks the grids to seconds-scale runs with the
+# same CSV schema), and checks that the header of every emitted CSV is
+# byte-identical to the checked-in reference CSV at the repo root. Catches
+# a bench that crashes, stops writing its CSV, or silently changes schema.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+# Bench name == CSV name; the binary is bench_<name>.
+BENCHES=(
+  table1_steps
+  fig2_motivating
+  fig4_grouped_nodes
+  fig5_wavelengths
+  fig6_scaling
+  fig7_electrical_vs_optical
+  ablation_rwa
+  ablation_alltoall
+  ablation_convention
+  ablation_reconfig
+)
+
+targets=()
+for b in "${BENCHES[@]}"; do targets+=("bench_$b"); done
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${targets[@]}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail=0
+for b in "${BENCHES[@]}"; do
+  echo "--- bench_$b (tiny)"
+  if ! WRHT_BENCH_TINY=1 "$BUILD_DIR/bench/bench_$b" > "bench_$b.log" 2>&1; then
+    echo "FAIL: bench_$b exited non-zero; last lines:"
+    tail -n 20 "bench_$b.log"
+    fail=1
+    continue
+  fi
+  if [[ ! -f "$b.csv" ]]; then
+    echo "FAIL: bench_$b did not write $b.csv"
+    fail=1
+    continue
+  fi
+  expected="$(head -n 1 "$ROOT/$b.csv")"
+  actual="$(head -n 1 "$b.csv")"
+  if [[ "$actual" != "$expected" ]]; then
+    echo "FAIL: $b.csv header drifted"
+    echo "  checked-in: $expected"
+    echo "  emitted   : $actual"
+    fail=1
+    continue
+  fi
+  rows=$(($(wc -l < "$b.csv") - 1))
+  echo "OK: $b.csv ($rows rows, header matches)"
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "bench smoke FAILED"
+  exit 1
+fi
+echo "bench smoke passed: ${#BENCHES[@]} benches, all CSV headers match"

@@ -35,14 +35,17 @@ Registry& Registry::instance() {
 
 void Registry::register_algorithm(const std::string& name, BuilderFn builder) {
   require(static_cast<bool>(builder), "Registry: null builder");
+  const std::lock_guard<std::mutex> lock(mutex_);
   builders_[name] = std::move(builder);
 }
 
 bool Registry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return builders_.count(name) != 0;
 }
 
 std::vector<std::string> Registry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(builders_.size());
   for (const auto& [name, fn] : builders_) out.push_back(name);
@@ -53,17 +56,24 @@ Schedule Registry::build(const std::string& name,
                          const AllreduceParams& params) const {
   require(params.num_nodes > 0, "Registry::build: num_nodes must be > 0");
   require(params.elements > 0, "Registry::build: elements must be > 0");
-  const auto it = builders_.find(name);
-  if (it == builders_.end()) {
-    std::string known;
-    for (const auto& [registered, fn] : builders_) {
-      if (!known.empty()) known += ", ";
-      known += registered;
+  // Copy the builder out so schedule construction runs unlocked:
+  // builders may be slow (WRHT planning) and may re-enter the registry.
+  BuilderFn builder;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = builders_.find(name);
+    if (it == builders_.end()) {
+      std::string known;
+      for (const auto& [registered, fn] : builders_) {
+        if (!known.empty()) known += ", ";
+        known += registered;
+      }
+      throw InvalidArgument("Registry: unknown algorithm '" + name +
+                            "' (registered: " + known + ")");
     }
-    throw InvalidArgument("Registry: unknown algorithm '" + name +
-                          "' (registered: " + known + ")");
+    builder = it->second;
   }
-  return it->second(params);
+  return builder(params);
 }
 
 }  // namespace wrht::coll

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@ struct AllreduceParams {
 
 using BuilderFn = std::function<Schedule(const AllreduceParams&)>;
 
+/// Thread-safe: lookups and registrations lock internally, so concurrent
+/// sweep workers can build schedules while a late module registers.
 class Registry {
  public:
   /// Global registry with the built-in baselines pre-registered:
@@ -50,6 +53,7 @@ class Registry {
 
  private:
   Registry();
+  mutable std::mutex mutex_;
   std::map<std::string, BuilderFn> builders_;
 };
 

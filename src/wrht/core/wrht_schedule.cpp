@@ -1,5 +1,6 @@
 #include "wrht/core/wrht_schedule.hpp"
 
+#include <mutex>
 #include <numeric>
 #include <string>
 
@@ -156,16 +157,19 @@ WrhtRootedSchedule wrht_broadcast(std::uint32_t num_nodes,
 }
 
 void register_wrht_algorithm() {
-  coll::Registry::instance().register_algorithm(
-      "wrht", [](const coll::AllreduceParams& p) {
-        WrhtOptions options;
-        options.wavelengths = p.wavelengths;
-        options.group_size = p.group_size >= 2
-                                 ? p.group_size
-                                 : plan_wrht(p.num_nodes, p.wavelengths)
-                                       .group_size;
-        return wrht_allreduce(p.num_nodes, p.elements, options);
-      });
+  static std::once_flag once;
+  std::call_once(once, [] {
+    coll::Registry::instance().register_algorithm(
+        "wrht", [](const coll::AllreduceParams& p) {
+          WrhtOptions options;
+          options.wavelengths = p.wavelengths;
+          options.group_size = p.group_size >= 2
+                                   ? p.group_size
+                                   : plan_wrht(p.num_nodes, p.wavelengths)
+                                         .group_size;
+          return wrht_allreduce(p.num_nodes, p.elements, options);
+        });
+  });
 }
 
 }  // namespace wrht::core

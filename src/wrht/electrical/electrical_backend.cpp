@@ -1,0 +1,64 @@
+#include "wrht/electrical/electrical_backend.hpp"
+
+namespace wrht::elec {
+
+FlowBackend::FlowBackend(std::uint32_t num_hosts, ElectricalConfig config)
+    : network_(num_hosts, config) {}
+
+std::string FlowBackend::describe() const {
+  return "fat-tree flow-level simulator (max-min fair sharing, barrier "
+         "steps)";
+}
+
+net::BackendCapabilities FlowBackend::capabilities() const {
+  return net::BackendCapabilities{};  // no hints, no RWA, no wavelengths
+}
+
+RunReport FlowBackend::execute(const coll::Schedule& schedule,
+                               const obs::Probe& probe) const {
+  net::count_schedule(probe, schedule);
+  return network_.execute(schedule, probe).to_report();
+}
+
+PacketBackend::PacketBackend(std::uint32_t num_hosts, ElectricalConfig config)
+    : network_(num_hosts, config) {}
+
+std::string PacketBackend::describe() const {
+  return "fat-tree store-and-forward packet simulator (validation-scale "
+         "ground truth)";
+}
+
+net::BackendCapabilities PacketBackend::capabilities() const {
+  return net::BackendCapabilities{};
+}
+
+RunReport PacketBackend::execute(const coll::Schedule& schedule,
+                                 const obs::Probe& probe) const {
+  net::count_schedule(probe, schedule);
+  return network_.execute(schedule, probe).to_report();
+}
+
+ElectricalConfig electrical_config_from(const net::BackendConfig& config) {
+  ElectricalConfig out;
+  out.convention = config.convention;
+  return out;
+}
+
+void register_electrical_backends(net::BackendRegistry& registry) {
+  registry.register_backend(
+      "electrical-flow",
+      "fat-tree flow-level simulator (max-min fair sharing)",
+      [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
+        return std::make_unique<FlowBackend>(config.num_nodes,
+                                             electrical_config_from(config));
+      });
+  registry.register_backend(
+      "electrical-packet",
+      "fat-tree packet-level simulator (store-and-forward ground truth)",
+      [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
+        return std::make_unique<PacketBackend>(
+            config.num_nodes, electrical_config_from(config));
+      });
+}
+
+}  // namespace wrht::elec

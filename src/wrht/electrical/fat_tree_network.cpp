@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "wrht/common/error.hpp"
+#include "wrht/net/backend.hpp"
+#include "wrht/net/pattern_key.hpp"
 
 namespace wrht::elec {
 
@@ -22,30 +24,6 @@ FatTreeNetwork::FatTreeNetwork(std::uint32_t num_hosts,
       flow_sim_(link_capacities(tree_, config_)) {
   require(config.bytes_per_element >= 1,
           "FatTreeNetwork: bytes_per_element must be >= 1");
-}
-
-std::uint64_t FatTreeNetwork::step_signature(const coll::Step& step) const {
-  // Same convention as the optical pattern cache: the (src, dst) pattern
-  // determines routing and contention; only the largest payload matters for
-  // the step duration, so per-transfer counts are excluded.
-  std::vector<std::uint64_t> keys;
-  keys.reserve(step.transfers.size() + 1);
-  std::size_t max_count = 0;
-  for (const auto& t : step.transfers) {
-    keys.push_back((static_cast<std::uint64_t>(t.src) << 32) ^
-                   static_cast<std::uint64_t>(t.dst));
-    max_count = std::max(max_count, t.count);
-  }
-  keys.push_back(0x8000'0000'0000'0000ull | max_count);
-  std::sort(keys.begin(), keys.end());
-  std::uint64_t h = 1469598103934665603ull;
-  for (const std::uint64_t k : keys) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (k >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
 }
 
 FatTreeNetwork::StepTiming FatTreeNetwork::evaluate_step(
@@ -94,7 +72,9 @@ ElectricalRunResult FatTreeNetwork::execute(const coll::Schedule& schedule,
       ++step_index;
       continue;
     }
-    const std::uint64_t sig = step_signature(step);
+    // Direction hints are optical-only; hint-variants of one (src, dst)
+    // pattern share a cache entry here.
+    const std::uint64_t sig = net::step_signature(step, false);
     StepTiming timing{};
     if (const auto it = pattern_cache_.find(sig); it != pattern_cache_.end()) {
       timing = it->second;
@@ -136,16 +116,7 @@ RunReport ElectricalRunResult::to_report() const {
   report.total_time = total_time;
   report.steps = steps;
   report.rounds = step_times.size();  // one fair-sharing round per step
-  report.step_reports.reserve(step_times.size());
-  Seconds cursor(0.0);
-  for (std::size_t i = 0; i < step_times.size(); ++i) {
-    StepReport step;
-    step.label = "step " + std::to_string(i);
-    step.start = cursor;
-    step.duration = step_times[i];
-    report.step_reports.push_back(std::move(step));
-    cursor += step_times[i];
-  }
+  report.step_reports = net::uniform_step_reports(step_times);
   return report;
 }
 

@@ -15,6 +15,7 @@
 #include "wrht/collectives/schedule.hpp"
 #include "wrht/common/units.hpp"
 #include "wrht/electrical/flow_sim.hpp"
+#include "wrht/net/rate_convention.hpp"
 #include "wrht/obs/run_report.hpp"
 #include "wrht/obs/trace.hpp"
 #include "wrht/topo/fat_tree.hpp"
@@ -28,13 +29,21 @@ struct ElectricalConfig {
   std::uint32_t bytes_per_element = 4;
   std::uint32_t router_ports = 32;
 
-  /// Matches optics::OpticalConfig::RateConvention — the paper's numerics
-  /// drain d bytes against B = 40e9; keep both simulators on the same
-  /// convention for a fair optical/electrical comparison.
-  bool paper_rate_convention = true;
+  /// The same net::RateConvention knob as optics::OpticalConfig — the
+  /// paper's numerics drain d bytes against B = 40e9; keep both simulators
+  /// on the same convention for a fair optical/electrical comparison.
+  /// (Replaces the old `paper_rate_convention` bool, which could drift
+  /// from the optical enum; the deprecated accessors below keep historical
+  /// call sites compiling.)
+  net::RateConvention convention = net::RateConvention::kPaperConvention;
 
   [[nodiscard]] double bytes_per_second() const {
-    return paper_rate_convention ? link_rate.count() : link_rate.count() / 8.0;
+    return net::effective_bytes_per_second(link_rate.count(), convention);
+  }
+
+  /// Deprecated alias for `convention == kPaperConvention`.
+  [[nodiscard]] bool paper_rate_convention() const {
+    return convention == net::RateConvention::kPaperConvention;
   }
 
   // Fluent builders mirroring optics::OpticalConfig; aggregate
@@ -59,8 +68,15 @@ struct ElectricalConfig {
     router_ports = v;
     return *this;
   }
+  ElectricalConfig& with_convention(net::RateConvention v) {
+    convention = v;
+    return *this;
+  }
+  /// Deprecated alias of with_convention(), kept so pre-unification call
+  /// sites compile unchanged.
   ElectricalConfig& with_paper_rate_convention(bool v) {
-    paper_rate_convention = v;
+    convention = v ? net::RateConvention::kPaperConvention
+                   : net::RateConvention::kStrictBits;
     return *this;
   }
 };
@@ -100,7 +116,6 @@ class FatTreeNetwork {
     std::uint64_t rate_recomputations = 0;
   };
   [[nodiscard]] StepTiming evaluate_step(const coll::Step& step) const;
-  [[nodiscard]] std::uint64_t step_signature(const coll::Step& step) const;
 
   topo::FatTree tree_;
   ElectricalConfig config_;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "wrht/common/error.hpp"
+#include "wrht/net/backend.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace wrht::elec {
@@ -129,16 +130,7 @@ RunReport PacketRunResult::to_report() const {
   report.steps = steps;
   report.rounds = step_times.size();
   report.events_fired = events_fired;
-  report.step_reports.reserve(step_times.size());
-  Seconds cursor(0.0);
-  for (std::size_t i = 0; i < step_times.size(); ++i) {
-    StepReport step;
-    step.label = "step " + std::to_string(i);
-    step.start = cursor;
-    step.duration = step_times[i];
-    report.step_reports.push_back(std::move(step));
-    cursor += step_times[i];
-  }
+  report.step_reports = net::uniform_step_reports(step_times);
   return report;
 }
 

@@ -1,0 +1,236 @@
+#include "wrht/exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "wrht/collectives/registry.hpp"
+#include "wrht/common/error.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/obs/trace.hpp"
+
+namespace wrht::exp {
+
+namespace {
+
+using SchedulePtr = std::shared_ptr<const coll::Schedule>;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffU;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv_mix(std::uint64_t hash, const std::string& value) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (const char c : value) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+/// Deterministic per-point seed: a pure function of the point's
+/// coordinates and the spec's base seed, so random-fit RWA draws the same
+/// wavelengths no matter which worker runs the point or in what order.
+std::uint64_t point_seed(std::uint64_t base, const SweepPoint& point) {
+  std::uint64_t hash = fnv_mix(14695981039346656037ULL, base);
+  hash = fnv_mix(hash, point.workload.name);
+  hash = fnv_mix(hash, point.workload.elements);
+  hash = fnv_mix(hash, point.nodes);
+  hash = fnv_mix(hash, point.wavelengths);
+  hash = fnv_mix(hash, point.series);
+  hash = fnv_mix(hash, point.series_index);
+  return hash;
+}
+
+/// Memo key: every input that can change the built schedule. Custom
+/// builders key on the series name (they are required to be pure
+/// functions of the point).
+std::string schedule_key(const Series& series, const SweepPoint& point) {
+  std::string key = series.builder ? "builder:" + series.name
+                                   : "alg:" + series.algorithm;
+  key += "|wl=" + point.workload.name;
+  key += "|e=" + std::to_string(point.workload.elements);
+  key += "|n=" + std::to_string(point.nodes);
+  key += "|m=" + std::to_string(point.group_size);
+  key += "|w=" + std::to_string(point.wavelengths);
+  return key;
+}
+
+coll::Schedule build_schedule(const Series& series, const SweepPoint& point) {
+  if (series.builder) return series.builder(point);
+  coll::AllreduceParams params;
+  params.num_nodes = point.nodes;
+  params.elements = point.workload.elements;
+  params.group_size = point.group_size;
+  params.wavelengths = point.wavelengths;
+  return coll::Registry::instance().build(series.algorithm, params);
+}
+
+/// Schedules shared by several grid points (same algorithm, N, elements,
+/// m, w — e.g. one curve swept over wavelengths it does not depend on)
+/// are built once; concurrent requesters wait on the first builder's
+/// future, and build failures propagate to every waiter.
+class ScheduleMemo {
+ public:
+  SchedulePtr get_or_build(const std::string& key, const Series& series,
+                           const SweepPoint& point) {
+    std::promise<SchedulePtr> promise;
+    std::shared_future<SchedulePtr> future;
+    bool build_here = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = memo_.find(key);
+      if (it == memo_.end()) {
+        future = promise.get_future().share();
+        memo_.emplace(key, future);
+        build_here = true;
+      } else {
+        future = it->second;
+      }
+    }
+    if (build_here) {
+      try {
+        promise.set_value(
+            std::make_shared<const coll::Schedule>(build_schedule(series,
+                                                                  point)));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_future<SchedulePtr>> memo_;
+};
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("WRHT_SWEEP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {
+  std::vector<SweepPoint> points;
+  points.reserve(spec.workloads.size() * spec.nodes.size() *
+                 spec.wavelengths.size() * spec.series.size());
+  for (const Workload& workload : spec.workloads) {
+    for (const std::uint32_t nodes : spec.nodes) {
+      for (const std::uint32_t wavelengths : spec.wavelengths) {
+        for (std::size_t s = 0; s < spec.series.size(); ++s) {
+          const Series& series = spec.series[s];
+          SweepPoint point;
+          point.workload = workload;
+          point.nodes = nodes;
+          point.wavelengths = wavelengths;
+          point.series_index = s;
+          point.series = series.name;
+          point.group_size = series.group_size_fn ? series.group_size_fn(point)
+                                                  : series.group_size;
+          points.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepRow run_point(const SweepSpec& spec, const SweepPoint& point,
+                   ScheduleMemo& memo) {
+  const Series& series = spec.series[point.series_index];
+  const SchedulePtr schedule =
+      memo.get_or_build(schedule_key(series, point), series, point);
+
+  net::BackendConfig config = spec.config;
+  config.num_nodes = point.nodes;
+  config.wavelengths = point.wavelengths;
+  config.rng_seed = point_seed(spec.config.rng_seed, point);
+  if (series.configure) series.configure(point, config);
+
+  const std::unique_ptr<net::Backend> backend =
+      net::BackendRegistry::instance().create(series.backend, config);
+
+  obs::Counters local;
+  obs::Probe probe;
+  probe.counters = &local;
+  SweepRow row;
+  row.point = point;
+  row.report = backend->execute(*schedule, probe);
+  row.report.add_counters(local);
+  if (spec.counters != nullptr) spec.counters->merge(local);
+  return row;
+}
+
+}  // namespace
+
+void ensure_initialized() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    core::register_wrht_algorithm();
+    net::register_builtin_backends();
+  });
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(resolve_threads(threads)) {}
+
+std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
+  ensure_initialized();
+  require(!spec.workloads.empty(), "SweepRunner: no workloads");
+  require(!spec.nodes.empty(), "SweepRunner: no node counts");
+  require(!spec.wavelengths.empty(), "SweepRunner: no wavelength budgets");
+  require(!spec.series.empty(), "SweepRunner: no series");
+
+  const std::vector<SweepPoint> points = expand_grid(spec);
+  std::vector<SweepRow> rows(points.size());
+  ScheduleMemo memo;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, points.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      rows[i] = run_point(spec, points[i], memo);
+    }
+    return rows;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      try {
+        rows[i] = run_point(spec, points[i], memo);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return rows;
+}
+
+}  // namespace wrht::exp

@@ -1,0 +1,30 @@
+#include "wrht/net/backend.hpp"
+
+namespace wrht::net {
+
+Backend::~Backend() = default;
+
+void count_schedule(const obs::Probe& probe, const coll::Schedule& schedule) {
+  if (probe.counters == nullptr) return;
+  probe.count("net.executions");
+  probe.count("net.steps", schedule.num_steps());
+  probe.count("net.traffic_elements", schedule.total_traffic_elements());
+}
+
+std::vector<StepReport> uniform_step_reports(
+    const std::vector<Seconds>& step_times) {
+  std::vector<StepReport> out;
+  out.reserve(step_times.size());
+  Seconds cursor(0.0);
+  for (std::size_t i = 0; i < step_times.size(); ++i) {
+    StepReport step;
+    step.label = "step " + std::to_string(i);
+    step.start = cursor;
+    step.duration = step_times[i];
+    out.push_back(std::move(step));
+    cursor += step_times[i];
+  }
+  return out;
+}
+
+}  // namespace wrht::net

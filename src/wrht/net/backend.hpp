@@ -1,0 +1,81 @@
+// Polymorphic execution-backend interface.
+//
+// Every engine that can price a coll::Schedule — the optical ring, the
+// optical torus, the electrical flow-level fat tree, the packet-level fat
+// tree, and the schedule-only step counter — implements Backend. The
+// concrete engine classes (optics::RingNetwork & co.) keep their full
+// native APIs; a Backend adapter wraps one engine instance and exposes the
+// one seam everything above the engines needs:
+//
+//     Schedule IR  ->  Backend::execute()  ->  RunReport
+//
+// Sweeps (exp::SweepRunner), the differential oracle (verify::) and the
+// conformance suite are written once against this interface, so adding a
+// backend means implementing one class and registering one factory.
+//
+// Thread-safety: a Backend instance is NOT safe for concurrent execute()
+// calls (pattern caches are per-instance); create one instance per worker
+// (exp::SweepRunner does).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/obs/run_report.hpp"
+#include "wrht/obs/trace.hpp"
+
+namespace wrht::net {
+
+/// What a backend can and cannot do; the conformance suite and sweep
+/// engine branch on these instead of on backend names.
+struct BackendCapabilities {
+  /// Honours coll::Transfer::direction routing hints (optical rings).
+  bool supports_direction_hints = false;
+  /// Performs routing-and-wavelength assignment and can reject schedules
+  /// that exhaust the wavelength budget.
+  bool validates_rwa = false;
+  /// Reports per-step wavelength usage in its StepReports.
+  bool reports_wavelengths = false;
+  /// Accepts only transfers that stay within one torus row or column.
+  bool dimension_local_transfers_only = false;
+  /// Produces real durations (false for the schedule-only step counter).
+  bool prices_time = true;
+};
+
+class Backend {
+ public:
+  virtual ~Backend();
+
+  /// Stable registry name, e.g. "optical-ring" (also stamped into
+  /// RunReport::backend).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One-line human description for listings and --help output.
+  [[nodiscard]] virtual std::string describe() const = 0;
+  [[nodiscard]] virtual BackendCapabilities capabilities() const = 0;
+
+  /// Prices `schedule` and returns the backend-neutral report. Throws
+  /// InfeasibleSchedule when the schedule cannot be carried.
+  /// Implementations re-expose the unobserved overload below with
+  /// `using net::Backend::execute;`.
+  [[nodiscard]] virtual RunReport execute(const coll::Schedule& schedule,
+                                          const obs::Probe& probe) const = 0;
+
+  /// Unobserved convenience overload.
+  [[nodiscard]] RunReport execute(const coll::Schedule& schedule) const {
+    return execute(schedule, obs::Probe{});
+  }
+};
+
+/// Emits the backend-neutral "net.*" counters every adapter shares:
+/// net.executions, net.steps and net.traffic_elements. Gives the
+/// conformance suite one uniform traffic-accounting surface per backend.
+void count_schedule(const obs::Probe& probe, const coll::Schedule& schedule);
+
+/// Assembles the uniform per-step reports used by barrier-style backends
+/// (one duration per step, labels taken from the schedule when available):
+/// cumulative starts, "step <i>" fallback labels, rounds left at 1.
+[[nodiscard]] std::vector<StepReport> uniform_step_reports(
+    const std::vector<Seconds>& step_times);
+
+}  // namespace wrht::net

@@ -1,0 +1,33 @@
+#include "wrht/net/pattern_key.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace wrht::net {
+
+std::uint64_t step_signature(const coll::Step& step, bool include_direction) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(step.transfers.size() + 1);
+  std::size_t max_count = 0;
+  for (const auto& t : step.transfers) {
+    std::uint64_t dir_bits = 0;
+    if (include_direction && t.direction) {
+      dir_bits = *t.direction == topo::Direction::kClockwise ? 1 : 2;
+    }
+    keys.push_back((static_cast<std::uint64_t>(t.src) << 34) ^
+                   (static_cast<std::uint64_t>(t.dst) << 4) ^ dir_bits);
+    max_count = std::max(max_count, t.count);
+  }
+  keys.push_back(0x8000'0000'0000'0000ull | max_count);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t k : keys) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (k >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace wrht::net

@@ -1,0 +1,27 @@
+// The Eq. (6) rate convention, shared by every backend.
+//
+// The paper's numerics evaluate d/B with d in *bytes* against B = 40e9,
+// i.e. an effective lane throughput of 8x the nominal line rate.
+// kPaperConvention reproduces the paper's reported ratios; kStrictBits
+// serializes bits physically (rate/8 bytes per second). Both the optical
+// and the electrical simulators used to carry their own copy of this knob
+// (a nested enum and a bool that could silently drift apart); this is the
+// single definition both configs now use.
+#pragma once
+
+namespace wrht::net {
+
+enum class RateConvention {
+  kPaperConvention,  ///< drain d bytes against B bits/s (the paper's Eq. 6)
+  kStrictBits,       ///< physical serialization: B/8 bytes per second
+};
+
+/// Effective serialization rate in bytes per second for a nominal line rate
+/// of `bits_per_second` under `convention`.
+[[nodiscard]] inline double effective_bytes_per_second(
+    double bits_per_second, RateConvention convention) {
+  return convention == RateConvention::kPaperConvention ? bits_per_second
+                                                        : bits_per_second / 8.0;
+}
+
+}  // namespace wrht::net

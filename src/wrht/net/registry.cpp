@@ -1,0 +1,63 @@
+#include "wrht/net/registry.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::net {
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       std::string description,
+                                       BackendFactory factory) {
+  require(static_cast<bool>(factory), "BackendRegistry: null factory");
+  require(!name.empty(), "BackendRegistry: empty backend name");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_[name] = Entry{std::move(description), std::move(factory)};
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string BackendRegistry::describe(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? std::string{} : it->second.description;
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(
+    const std::string& name, const BackendConfig& config) const {
+  require(config.num_nodes > 0,
+          "BackendRegistry::create: config.num_nodes must be > 0");
+  BackendFactory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string known;
+      for (const auto& [registered, entry] : entries_) {
+        if (!known.empty()) known += ", ";
+        known += registered;
+      }
+      throw InvalidArgument("BackendRegistry: unknown backend '" + name +
+                            "' (registered: " + known + ")");
+    }
+    factory = it->second.factory;
+  }
+  // Factories run outside the lock: they may construct whole topologies.
+  return factory(config);
+}
+
+}  // namespace wrht::net

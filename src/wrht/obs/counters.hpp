@@ -6,16 +6,29 @@
 // rounds per step, reconfiguration charges under either accounting mode,
 // multi-round splits, fair-share bottleneck links, events fired. Counters
 // are ordered (std::map) so snapshots and CSV dumps are deterministic.
+//
+// Thread-safe: every method takes an internal mutex, so concurrent
+// simulator runs (exp::SweepRunner workers, the process-wide
+// bench::metrics() registry) may share one instance. Each counter
+// remembers whether it accumulates (add) or high-watermarks
+// (observe_max), and merge() honours that: additive counters sum,
+// watermark counters take the max — merging per-run registries is
+// equivalent to having observed one combined run.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace wrht::obs {
 
 class Counters {
  public:
+  Counters() = default;
+  Counters(const Counters&) = delete;
+  Counters& operator=(const Counters&) = delete;
+
   /// Adds `delta` to `name`, creating the counter at zero first.
   void add(const std::string& name, std::uint64_t delta = 1);
 
@@ -26,23 +39,30 @@ class Counters {
   /// Current value; absent counters read as zero.
   [[nodiscard]] std::uint64_t value(const std::string& name) const;
   [[nodiscard]] bool contains(const std::string& name) const;
-  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
-  /// Name-ordered view of every counter.
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& snapshot() const {
-    return values_;
-  }
+  /// Name-ordered copy of every counter (a copy, so iteration needs no
+  /// lock against concurrent writers).
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
 
-  /// Adds every counter of `other` into this registry.
+  /// Folds `other` into this registry: additive counters sum, watermark
+  /// counters take the max.
   void merge(const Counters& other);
 
-  void clear() { values_.clear(); }
+  void clear();
 
   /// Writes `counter,value` rows (header included) to `path`.
   void write_csv(const std::string& path) const;
 
  private:
-  std::map<std::string, std::uint64_t> values_;
+  enum class Kind : std::uint8_t { kAdd, kMax };
+  struct Entry {
+    std::uint64_t value = 0;
+    Kind kind = Kind::kAdd;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> values_;
 };
 
 }  // namespace wrht::obs

@@ -1,0 +1,128 @@
+#include "wrht/optical/optical_backend.hpp"
+
+#include <utility>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::optics {
+
+namespace {
+
+/// Most even rows x cols factorization of `n` (rows <= cols).
+std::pair<std::uint32_t, std::uint32_t> near_square(std::uint32_t n) {
+  std::uint32_t rows = 1;
+  for (std::uint32_t r = 1; static_cast<std::uint64_t>(r) * r <= n; ++r) {
+    if (n % r == 0) rows = r;
+  }
+  return {rows, n / rows};
+}
+
+}  // namespace
+
+RingBackend::RingBackend(std::uint32_t num_nodes, OpticalConfig config,
+                         std::uint64_t rng_seed)
+    : network_(num_nodes, config), rng_seed_(rng_seed) {}
+
+std::string RingBackend::describe() const {
+  return "WDM double-ring discrete-event simulator (RWA + multi-round "
+         "splitting, Eq. 6 pricing)";
+}
+
+net::BackendCapabilities RingBackend::capabilities() const {
+  net::BackendCapabilities caps;
+  caps.supports_direction_hints = true;
+  caps.validates_rwa = true;
+  caps.reports_wavelengths = true;
+  return caps;
+}
+
+RunReport RingBackend::execute(const coll::Schedule& schedule,
+                               const obs::Probe& probe) const {
+  net::count_schedule(probe, schedule);
+  OpticalRunResult run;
+  if (network_.config().rwa_policy == RwaPolicy::kRandomFit) {
+    Rng rng(rng_seed_);
+    run = network_.execute(schedule, probe, &rng);
+  } else {
+    run = network_.execute(schedule, probe);
+  }
+  return run.to_report();
+}
+
+TorusBackend::TorusBackend(const topo::Torus& torus, OpticalConfig config,
+                           std::uint64_t rng_seed)
+    : network_(torus, config), rng_seed_(rng_seed) {}
+
+std::string TorusBackend::describe() const {
+  return "optical torus: every row/column is a WDM ring; steps last as "
+         "long as their slowest ring";
+}
+
+net::BackendCapabilities TorusBackend::capabilities() const {
+  net::BackendCapabilities caps;
+  caps.supports_direction_hints = false;  // hints are flat-ring specific
+  caps.validates_rwa = true;
+  caps.reports_wavelengths = true;
+  caps.dimension_local_transfers_only = true;
+  return caps;
+}
+
+RunReport TorusBackend::execute(const coll::Schedule& schedule,
+                                const obs::Probe& probe) const {
+  net::count_schedule(probe, schedule);
+  OpticalRunResult run;
+  if (network_.config().rwa_policy == RwaPolicy::kRandomFit) {
+    Rng rng(rng_seed_);
+    run = network_.execute(schedule, probe, &rng);
+  } else {
+    run = network_.execute(schedule, probe);
+  }
+  RunReport report = run.to_report();
+  report.backend = name();
+  return report;
+}
+
+OpticalConfig optical_config_from(const net::BackendConfig& config) {
+  OpticalConfig out;
+  out.wavelengths = config.wavelengths;
+  out.convention = config.convention;
+  out.validate_node_capacity = config.validate_node_capacity;
+  out.reconfig_accounting =
+      config.reconfig_on_retune
+          ? OpticalConfig::ReconfigAccounting::kOnRetune
+          : OpticalConfig::ReconfigAccounting::kEveryRound;
+  out.rwa_policy =
+      config.random_fit_rwa ? RwaPolicy::kRandomFit : RwaPolicy::kFirstFit;
+  return out;
+}
+
+void register_optical_backends(net::BackendRegistry& registry) {
+  registry.register_backend(
+      "optical-ring",
+      "WDM double-ring simulator (RWA, multi-round splitting, Eq. 6)",
+      [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
+        return std::make_unique<RingBackend>(config.num_nodes,
+                                             optical_config_from(config),
+                                             config.rng_seed);
+      });
+  registry.register_backend(
+      "optical-torus",
+      "optical torus of WDM row/column rings (dimension-local transfers)",
+      [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
+        std::uint32_t rows = config.torus_rows;
+        std::uint32_t cols = config.torus_cols;
+        if (rows == 0 && cols == 0) {
+          std::tie(rows, cols) = near_square(config.num_nodes);
+        }
+        require(rows >= 1 && cols >= 1 &&
+                    static_cast<std::uint64_t>(rows) * cols ==
+                        config.num_nodes,
+                "optical-torus factory: torus_rows * torus_cols must equal "
+                "num_nodes");
+        return std::make_unique<TorusBackend>(topo::Torus(rows, cols),
+                                              optical_config_from(config),
+                                              config.rng_seed);
+      });
+}
+
+}  // namespace wrht::optics

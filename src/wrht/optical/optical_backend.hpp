@@ -1,0 +1,67 @@
+// net::Backend adapters for the optical engines.
+//
+// RingBackend and TorusBackend wrap one RingNetwork / TorusNetwork
+// instance behind the polymorphic Backend seam; the engines' native APIs
+// stay intact for callers that need round_time(), single_round_estimate()
+// or explicit Rng control. register_optical_backends() publishes the
+// "optical-ring" and "optical-torus" factories.
+#pragma once
+
+#include <cstdint>
+
+#include "wrht/net/backend.hpp"
+#include "wrht/net/registry.hpp"
+#include "wrht/optical/ring_network.hpp"
+#include "wrht/optical/torus_network.hpp"
+
+namespace wrht::optics {
+
+class RingBackend final : public net::Backend {
+ public:
+  /// `rng_seed` feeds random-fit RWA only; first-fit runs never draw.
+  RingBackend(std::uint32_t num_nodes, OpticalConfig config,
+              std::uint64_t rng_seed = 2023);
+
+  [[nodiscard]] std::string name() const override { return "optical-ring"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] net::BackendCapabilities capabilities() const override;
+  using net::Backend::execute;
+  [[nodiscard]] RunReport execute(const coll::Schedule& schedule,
+                                  const obs::Probe& probe) const override;
+
+  [[nodiscard]] const RingNetwork& network() const { return network_; }
+
+ private:
+  RingNetwork network_;
+  std::uint64_t rng_seed_;
+};
+
+class TorusBackend final : public net::Backend {
+ public:
+  TorusBackend(const topo::Torus& torus, OpticalConfig config,
+               std::uint64_t rng_seed = 2023);
+
+  [[nodiscard]] std::string name() const override { return "optical-torus"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] net::BackendCapabilities capabilities() const override;
+  using net::Backend::execute;
+  [[nodiscard]] RunReport execute(const coll::Schedule& schedule,
+                                  const obs::Probe& probe) const override;
+
+  [[nodiscard]] const TorusNetwork& network() const { return network_; }
+
+ private:
+  TorusNetwork network_;
+  std::uint64_t rng_seed_;
+};
+
+/// Maps the portable config onto an OpticalConfig (wavelengths, rate
+/// convention, node-capacity validation, reconfiguration accounting,
+/// random-fit policy); everything else keeps Table 2 defaults.
+[[nodiscard]] OpticalConfig optical_config_from(
+    const net::BackendConfig& config);
+
+/// Registers "optical-ring" and "optical-torus" in `registry`.
+void register_optical_backends(net::BackendRegistry& registry);
+
+}  // namespace wrht::optics

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "wrht/common/error.hpp"
+#include "wrht/net/pattern_key.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace wrht::optics {
@@ -35,36 +36,6 @@ Seconds RingNetwork::single_round_estimate(
     total += round_time(schedule.max_transfer_elements(s));
   }
   return total;
-}
-
-std::uint64_t RingNetwork::step_signature(const coll::Step& step) const {
-  // Order-insensitive FNV-1a over the sorted (src, dst, direction) tuples
-  // plus the step's largest transfer: structurally identical steps (all
-  // 2(N-1) Ring All-reduce steps, the repeated H-Ring stages, ...) share
-  // one RWA evaluation. Per-transfer counts are deliberately excluded —
-  // chunk sizes rotate by +/-1 element between ring steps without changing
-  // routing or the dominating payload.
-  std::vector<std::uint64_t> keys;
-  keys.reserve(step.transfers.size() + 1);
-  std::size_t max_count = 0;
-  for (const auto& t : step.transfers) {
-    const std::uint64_t dir_bits =
-        t.direction ? (*t.direction == topo::Direction::kClockwise ? 1 : 2)
-                    : 0;
-    keys.push_back((static_cast<std::uint64_t>(t.src) << 34) ^
-                   (static_cast<std::uint64_t>(t.dst) << 4) ^ dir_bits);
-    max_count = std::max(max_count, t.count);
-  }
-  keys.push_back(0x8000'0000'0000'0000ull | max_count);
-  std::sort(keys.begin(), keys.end());
-  std::uint64_t h = 1469598103934665603ull;
-  for (const std::uint64_t k : keys) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (k >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
 }
 
 RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
@@ -157,7 +128,9 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
 
     PatternCost pattern;
     if (!step.transfers.empty()) {
-      const std::uint64_t sig = step_signature(step);
+      // Direction hints participate in the key: pinned-direction variants
+      // of the same (src, dst) pattern route differently.
+      const std::uint64_t sig = net::step_signature(step, true);
       // Random-fit assignments differ run to run; never cache them.
       const bool cacheable = config_.rwa_policy == RwaPolicy::kFirstFit;
       const auto it =

@@ -21,6 +21,7 @@
 #include "wrht/collectives/schedule.hpp"
 #include "wrht/common/rng.hpp"
 #include "wrht/common/units.hpp"
+#include "wrht/net/rate_convention.hpp"
 #include "wrht/obs/run_report.hpp"
 #include "wrht/obs/trace.hpp"
 #include "wrht/optical/node.hpp"
@@ -38,11 +39,9 @@ struct OpticalConfig {
   Bytes packet_size{72};
   std::uint32_t bytes_per_element = 4;     ///< float32 gradients
 
-  /// The paper's Eq. (6) numerics evaluate d/B with d in *bytes* against
-  /// B = 40e9, i.e. an effective lane throughput of 8x the nominal line
-  /// rate. kPaperConvention reproduces the paper's reported ratios;
-  /// kStrictBits serializes bits physically (rate/8 bytes per second).
-  enum class RateConvention { kPaperConvention, kStrictBits };
+  /// The Eq. (6) rate convention (see net/rate_convention.hpp); the alias
+  /// keeps the historical OpticalConfig::RateConvention spelling working.
+  using RateConvention = net::RateConvention;
   RateConvention convention = RateConvention::kPaperConvention;
 
   RwaPolicy rwa_policy = RwaPolicy::kFirstFit;
@@ -65,9 +64,8 @@ struct OpticalConfig {
 
   /// Effective serialization rate in bytes per second.
   [[nodiscard]] double bytes_per_second() const {
-    return convention == RateConvention::kPaperConvention
-               ? wavelength_rate.count()
-               : wavelength_rate.count() / 8.0;
+    return net::effective_bytes_per_second(wavelength_rate.count(),
+                                           convention);
   }
 
   // Fluent builders so call sites can assemble a config in one expression
@@ -201,7 +199,6 @@ class RingNetwork {
 
   [[nodiscard]] PatternCost evaluate_step(const coll::Step& step,
                                           Rng* rng) const;
-  [[nodiscard]] std::uint64_t step_signature(const coll::Step& step) const;
 
   topo::Ring ring_;
   OpticalConfig config_;

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "wrht/obs/run_report.hpp"
 #include "wrht/optical/ring_network.hpp"
 
 namespace wrht::optics {
@@ -18,6 +19,12 @@ void write_timeline_csv(const OpticalRunResult& result,
 /// Renders a proportional ASCII timeline (one row per step, bar length
 /// proportional to duration), at most `width` columns.
 void print_timeline(const OpticalRunResult& result, std::ostream& os,
+                    std::size_t width = 60);
+
+/// Same ASCII timeline from the backend-neutral report shape (StepReport
+/// carries start/duration/rounds/wavelengths), so net::Backend callers
+/// need not keep the engine-specific result around.
+void print_timeline(const RunReport& report, std::ostream& os,
                     std::size_t width = 60);
 
 }  // namespace wrht::optics

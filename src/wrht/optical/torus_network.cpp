@@ -19,6 +19,12 @@ TorusNetwork::TorusNetwork(const topo::Torus& torus, OpticalConfig config)
 
 OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
                                        Rng* rng) const {
+  return execute(schedule, obs::Probe{}, rng);
+}
+
+OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
+                                       const obs::Probe& probe,
+                                       Rng* rng) const {
   require(schedule.num_nodes() <= torus_.size(),
           "TorusNetwork: schedule spans more nodes than the torus");
   schedule.validate();
@@ -31,6 +37,7 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
   result.step_costs.reserve(schedule.num_steps());
 
   double now = 0.0;
+  std::size_t step_index = 0;
   for (const auto& step : schedule.steps()) {
     // Partition the step's transfers onto their row/column rings,
     // remapping node ids to ring-local positions.
@@ -90,6 +97,7 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
       slowest = std::max(slowest, ring_time);
     }
 
+    cost.label = step.label;
     cost.rounds = max_rounds;
     cost.duration = Seconds(slowest);
     result.total_rounds += max_rounds;
@@ -97,7 +105,26 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     result.max_wavelengths_used =
         std::max(result.max_wavelengths_used, cost.wavelengths_used);
     result.step_costs.push_back(cost);
+
+    probe.count("optical.steps");
+    probe.count("optical.rounds", max_rounds);
+    probe.count("optical.reconfig_charges", max_rounds);
+    if (max_rounds > 1) probe.count("optical.multi_round_steps");
+    probe.count_max("optical.max_wavelengths_used", cost.wavelengths_used);
+    if (probe.trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = step.label.empty() ? "step " + std::to_string(step_index)
+                                     : step.label;
+      span.category = "torus-step";
+      span.start = cost.start;
+      span.duration = cost.duration;
+      span.args = {{"rounds", std::to_string(cost.rounds)},
+                   {"wavelengths", std::to_string(cost.wavelengths_used)},
+                   {"rings", std::to_string(shares.size())}};
+      probe.span(span);
+    }
     now += slowest;
+    ++step_index;
   }
   result.total_time = Seconds(now);
   return result;

@@ -32,6 +32,13 @@ class TorusNetwork {
   [[nodiscard]] OpticalRunResult execute(const coll::Schedule& schedule,
                                          Rng* rng = nullptr) const;
 
+  /// Observed variant, mirroring RingNetwork: one "torus-step" trace span
+  /// per step plus "optical.*" counters. An empty probe makes this
+  /// identical to the unobserved overload.
+  [[nodiscard]] OpticalRunResult execute(const coll::Schedule& schedule,
+                                         const obs::Probe& probe,
+                                         Rng* rng = nullptr) const;
+
  private:
   struct RingShare {
     /// Transfers remapped to ring-local node positions.

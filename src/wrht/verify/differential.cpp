@@ -6,6 +6,7 @@
 
 #include "wrht/common/error.hpp"
 #include "wrht/core/analysis.hpp"
+#include "wrht/optical/optical_backend.hpp"
 
 namespace wrht::verify {
 
@@ -14,10 +15,14 @@ DifferentialReport check_differential(const coll::Schedule& schedule,
   DifferentialReport report;
   const optics::OpticalConfig& cfg = options.config;
 
-  optics::OpticalRunResult run;
+  RunReport run;
   try {
-    const optics::RingNetwork net(schedule.num_nodes(), cfg);
-    run = net.execute(schedule);
+    if (options.backend != nullptr) {
+      run = options.backend->execute(schedule);
+    } else {
+      const optics::RingBackend backend(schedule.num_nodes(), cfg);
+      run = backend.execute(schedule);
+    }
   } catch (const Error& e) {
     report.result.add("differential.infeasible",
                       std::string("simulator rejected the schedule: ") +
@@ -25,7 +30,7 @@ DifferentialReport check_differential(const coll::Schedule& schedule,
     return report;
   }
   report.simulated_seconds = run.total_time.count();
-  report.single_round = run.total_rounds == run.steps;
+  report.single_round = run.rounds == run.steps;
 
   // Eq. (6) from the analysis module: per step, overhead a plus the
   // serialization of the step's widest transfer.

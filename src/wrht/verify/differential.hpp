@@ -15,6 +15,7 @@
 #pragma once
 
 #include "wrht/collectives/schedule.hpp"
+#include "wrht/net/backend.hpp"
 #include "wrht/optical/ring_network.hpp"
 #include "wrht/verify/report.hpp"
 
@@ -24,6 +25,12 @@ struct DifferentialOptions {
   optics::OpticalConfig config{};
   /// Maximum |simulated - analytical| / analytical when single-round.
   double rel_tolerance = 0.01;
+  /// Backend to price the simulated side with; nullptr builds an
+  /// optics::RingBackend from `config`. Any net::Backend works — the
+  /// Eq. (6) bound applies to every engine that prices the paper's
+  /// convention — but `config` must then describe the same pricing
+  /// (rates, overheads) for the analytical side to be comparable.
+  const net::Backend* backend = nullptr;
 };
 
 struct DifferentialReport {

@@ -43,8 +43,8 @@ TEST(FatTreeNetwork, InterRackPaysThreeRouterDelays) {
 }
 
 TEST(FatTreeNetwork, StrictBitsConventionIsEightTimesSlower) {
-  ElectricalConfig strict = test_config();
-  strict.paper_rate_convention = false;
+  const ElectricalConfig strict =
+      test_config().with_convention(net::RateConvention::kStrictBits);
   const FatTreeNetwork paper(64, test_config());
   const FatTreeNetwork bits(64, strict);
   const Schedule s = one_transfer(64, 0, 1, 10'000'000);

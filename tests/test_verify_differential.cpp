@@ -8,6 +8,7 @@
 #include "wrht/collectives/ring_allreduce.hpp"
 #include "wrht/core/planner.hpp"
 #include "wrht/core/wrht_schedule.hpp"
+#include "wrht/optical/optical_backend.hpp"
 
 namespace wrht {
 namespace {
@@ -111,6 +112,27 @@ TEST(VerifyDifferential, ReportCarriesBothPrices) {
       coll::ring_allreduce(16, 160), paper_options(64));
   EXPECT_GT(report.simulated_seconds, 0.0);
   EXPECT_GT(report.analytical_seconds, 0.0);
+}
+
+// ------------------------------------------- explicit backend injection
+
+TEST(VerifyDifferential, InjectedBackendMatchesDefaultPath) {
+  // Passing an optics::RingBackend built from the same config must price
+  // identically to the nullptr default (which constructs one internally).
+  const coll::Schedule sched = coll::ring_allreduce(16, 160);
+  DifferentialOptions options = paper_options(64);
+  const DifferentialReport via_default =
+      verify::check_differential(sched, options);
+
+  const optics::RingBackend backend(
+      sched.num_nodes(), options.config);
+  options.backend = &backend;
+  const DifferentialReport via_backend =
+      verify::check_differential(sched, options);
+
+  EXPECT_TRUE(via_backend.ok()) << via_backend.result.summary();
+  EXPECT_EQ(via_backend.simulated_seconds, via_default.simulated_seconds);
+  EXPECT_EQ(via_backend.single_round, via_default.single_round);
 }
 
 }  // namespace
