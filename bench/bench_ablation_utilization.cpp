@@ -1,0 +1,123 @@
+// Ablation: resource-level utilization. Fig. 5 compares the algorithms by
+// total communication time; this bench asks *where that time goes* on the
+// optical ring. Every run is executed with occupancy collection enabled
+// (BackendConfig::collect_utilization), so each SweepRow's RunReport
+// carries the per-(wavelength, direction) time breakdown — payload
+// transmission, MRR reconfiguration, O/E/O conversion, straggler wait —
+// and the mean channel utilization. The per-row CSV exposes all of it;
+// the printed tables give the per-algorithm utilization distribution
+// (median / p90 across the grid) and the breakdown shares, which explain
+// the Fig. 5 ranking: WRHT keeps more wavelengths busy per step but pays
+// a larger reconfiguration share than Ring's static circuits.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wrht;
+
+  exp::SweepSpec spec;
+  spec.workloads = bench::paper_or_tiny_workloads();
+  spec.nodes = bench::tiny() ? std::vector<std::uint32_t>{16}
+                             : std::vector<std::uint32_t>{512};
+  spec.wavelengths = bench::tiny() ? std::vector<std::uint32_t>{2, 4}
+                                   : std::vector<std::uint32_t>{4, 16, 64};
+  spec.series = {exp::Series{.name = "ring", .algorithm = "ring"},
+                 exp::Series{.name = "hring", .algorithm = "hring",
+                             .group_size = 5},
+                 exp::Series{.name = "btree", .algorithm = "btree"},
+                 exp::Series{.name = "wrht", .algorithm = "wrht"}};
+  spec.config.validate_node_capacity = false;
+  spec.config.collect_utilization = true;
+  const std::uint32_t nodes = spec.nodes.front();
+
+  std::printf(
+      "=== Ablation: channel utilization and time attribution (N = %u) ===\n"
+      "(optical ring, w in {%u..%u}; every run sampled per wavelength x\n"
+      " direction; utilization = mean fraction of the run a channel spends\n"
+      " transmitting payload)\n\n",
+      nodes, spec.wavelengths.front(), spec.wavelengths.back());
+
+  const auto rows = bench::run_sweep(spec);
+
+  CsvWriter csv(bench::csv_path("ablation_utilization"),
+                {"workload", "wavelengths", "algorithm", "time_s",
+                 "utilization", "resources", "transmission_s",
+                 "reconfiguration_s", "conversion_s", "processing_s",
+                 "straggler_wait_s", "idle_s"});
+
+  // Per-algorithm samples across the whole grid for the quantile table.
+  std::map<std::string, std::vector<double>> util_series;
+  std::map<std::string, TimeBreakdown> breakdown_series;
+
+  for (const exp::Workload& workload : spec.workloads) {
+    std::printf("--- %s (%.1fM parameters) ---\n", workload.name.c_str(),
+                static_cast<double>(workload.elements) / 1e6);
+    Table table({"w", "algorithm", "time (ms)", "util %", "reconfig %",
+                 "straggler %", "idle %"});
+    for (const std::uint32_t w : spec.wavelengths) {
+      for (const exp::Series& s : spec.series) {
+        const RunReport& report =
+            bench::find_row(rows, workload.name, nodes, w, s.name).report;
+        const double total = report.total_time.count();
+        const TimeBreakdown& b = report.breakdown;
+        const auto share = [&](Seconds part) {
+          return total > 0.0 ? 100.0 * part.count() / total : 0.0;
+        };
+        table.add_row({std::to_string(w), s.name, Table::num(total * 1e3, 3),
+                       Table::num(100.0 * report.utilization, 1),
+                       Table::num(share(b.reconfiguration), 1),
+                       Table::num(share(b.straggler_wait), 1),
+                       Table::num(share(b.idle), 1)});
+        csv.add_row({workload.name, std::to_string(w), s.name,
+                     Table::num(total, 6),
+                     Table::num(report.utilization, 4),
+                     std::to_string(report.resources_observed),
+                     Table::num(b.transmission.count(), 6),
+                     Table::num(b.reconfiguration.count(), 6),
+                     Table::num(b.conversion.count(), 6),
+                     Table::num(b.processing.count(), 6),
+                     Table::num(b.straggler_wait.count(), 6),
+                     Table::num(b.idle.count(), 6)});
+        util_series[s.name].push_back(report.utilization);
+        breakdown_series[s.name] += b;
+      }
+    }
+    std::cout << table << "\n";
+  }
+
+  // Sweep-level utilization distribution per algorithm: median and tail
+  // quantiles across every (workload, w) grid point.
+  std::printf("Utilization distribution across the grid (%% of run spent\n"
+              "transmitting, per algorithm):\n");
+  Table quant({"algorithm", "min", "p25", "median", "p90", "max"});
+  for (const exp::Series& s : spec.series) {
+    const std::vector<double>& u = util_series[s.name];
+    quant.add_row({s.name, Table::num(100.0 * percentile(u, 0.0), 1),
+                   Table::num(100.0 * percentile(u, 0.25), 1),
+                   Table::num(100.0 * percentile(u, 0.5), 1),
+                   Table::num(100.0 * percentile(u, 0.9), 1),
+                   Table::num(100.0 * percentile(u, 1.0), 1)});
+  }
+  std::cout << quant << "\n";
+
+  std::printf("Aggregate time attribution (summed over the grid, %% of\n"
+              "accumulated wall time per algorithm):\n");
+  Table attr({"algorithm", "transmission", "reconfig", "o/e/o", "straggler",
+              "idle"});
+  for (const exp::Series& s : spec.series) {
+    const TimeBreakdown& b = breakdown_series[s.name];
+    const double total = b.total().count();
+    const auto pct = [&](Seconds part) {
+      return Table::num(total > 0.0 ? 100.0 * part.count() / total : 0.0, 1);
+    };
+    attr.add_row({s.name, pct(b.transmission), pct(b.reconfiguration),
+                  pct(b.conversion), pct(b.straggler_wait), pct(b.idle)});
+  }
+  std::cout << attr << "\n";
+
+  std::printf("CSV written to %s\n",
+              bench::csv_path("ablation_utilization").c_str());
+  bench::write_metrics_csv("ablation_utilization");
+  return 0;
+}

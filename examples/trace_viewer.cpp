@@ -7,8 +7,12 @@
 // https://ui.perfetto.dev ("Open trace file"). Each simulator gets its own
 // track: the optical ring shows one span per communication step with child
 // spans per RWA round, the electrical fat tree one span per fair-sharing
-// step, and the data-level executor a logical-time lane. A counter summary
-// and a per-step cost table (from the unified RunReport) print to stdout.
+// step, and the data-level executor a logical-time lane. The engines also
+// emit Perfetto counter tracks ("C" events) under each lane — wavelengths
+// in use on the optical rings, active flows / max link load on the fat
+// tree, packets per step on the packet model — so utilization dips line up
+// visually with the spans that caused them. A counter summary and a
+// per-step cost table (from the unified RunReport) print to stdout.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -112,7 +116,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(value));
   }
 
-  std::printf("\n%zu spans -> %s (load in chrome://tracing or Perfetto)\n",
-              trace.size(), trace_path.c_str());
+  std::printf(
+      "\n%zu spans + %zu counter samples -> %s\n"
+      "(load in chrome://tracing or Perfetto; counter tracks render as\n"
+      " per-lane line charts under the spans)\n",
+      trace.size(), trace.counter_count(), trace_path.c_str());
   return 0;
 }

@@ -2,16 +2,24 @@
 # Bench smoke run: builds every figure/table bench, runs each once in tiny
 # mode (WRHT_BENCH_TINY=1 shrinks the grids to seconds-scale runs with the
 # same CSV schema), and checks that the header of every emitted CSV is
-# byte-identical to the checked-in reference CSV at the repo root. Catches
-# a bench that crashes, stops writing its CSV, or silently changes schema.
+# byte-identical to the checked-in reference CSV at the repo root AND that
+# the tiny grid produced exactly the expected number of data rows. Catches
+# a bench that crashes, stops writing its CSV, silently changes schema, or
+# truncates its sweep. Finishes with a 1-repetition bench_micro pass so the
+# microbenchmarks cannot rot either.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: ./build)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
+# Absolutize: the smoke runs from a temp directory so CSVs never clobber
+# the checked-in references, which breaks a relative [build-dir].
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
 
-# Bench name == CSV name; the binary is bench_<name>.
+# Bench name == CSV name; the binary is bench_<name>. The row count is the
+# size of the bench's tiny grid (workloads x nodes x wavelengths x series,
+# or the bench's own table shape) — update it when a grid changes shape.
 BENCHES=(
   table1_steps
   fig2_motivating
@@ -23,10 +31,25 @@ BENCHES=(
   ablation_alltoall
   ablation_convention
   ablation_reconfig
+  ablation_utilization
+)
+declare -A EXPECTED_ROWS=(
+  [table1_steps]=4
+  [fig2_motivating]=2
+  [fig4_grouped_nodes]=2
+  [fig5_wavelengths]=8
+  [fig6_scaling]=8
+  [fig7_electrical_vs_optical]=8
+  [ablation_rwa]=16
+  [ablation_alltoall]=2
+  [ablation_convention]=2
+  [ablation_reconfig]=3
+  [ablation_utilization]=8
 )
 
 targets=()
 for b in "${BENCHES[@]}"; do targets+=("bench_$b"); done
+targets+=(bench_micro)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${targets[@]}"
 
 WORK="$(mktemp -d)"
@@ -57,11 +80,28 @@ for b in "${BENCHES[@]}"; do
     continue
   fi
   rows=$(($(wc -l < "$b.csv") - 1))
+  if [[ "$rows" -ne "${EXPECTED_ROWS[$b]}" ]]; then
+    echo "FAIL: $b.csv has $rows rows, expected ${EXPECTED_ROWS[$b]}"
+    fail=1
+    continue
+  fi
   echo "OK: $b.csv ($rows rows, header matches)"
 done
+
+# Microbenchmark smoke: one repetition at minimal min_time just proves every
+# registered benchmark still runs to completion.
+echo "--- bench_micro (1 repetition)"
+if ! "$BUILD_DIR/bench/bench_micro" --benchmark_min_time=0.01 \
+    --benchmark_repetitions=1 > bench_micro.log 2>&1; then
+  echo "FAIL: bench_micro exited non-zero; last lines:"
+  tail -n 20 bench_micro.log
+  fail=1
+else
+  echo "OK: bench_micro ($(grep -c '^BM_' bench_micro.log || true) benchmark lines)"
+fi
 
 if [[ $fail -ne 0 ]]; then
   echo "bench smoke FAILED"
   exit 1
 fi
-echo "bench smoke passed: ${#BENCHES[@]} benches, all CSV headers match"
+echo "bench smoke passed: ${#BENCHES[@]} benches + bench_micro, all CSVs match"

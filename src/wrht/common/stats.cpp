@@ -71,4 +71,16 @@ double mean_reduction_percent(const std::vector<double>& ours,
   return sum / static_cast<double>(ours.size());
 }
 
+double percentile(const std::vector<double>& values, double q) {
+  require(!values.empty(), "percentile: empty input");
+  require(q >= 0.0 && q <= 1.0, "percentile: q must be in [0, 1]");
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 }  // namespace wrht

@@ -39,4 +39,10 @@ class RunningStats {
 [[nodiscard]] double mean_reduction_percent(const std::vector<double>& ours,
                                             const std::vector<double>& baseline);
 
+/// The `q`-quantile (q in [0, 1]) of a non-empty sample, using linear
+/// interpolation between closest ranks (R-7, the numpy/Excel default):
+/// rank h = q * (n - 1), result = v[floor(h)] + frac(h) * (v[ceil(h)] -
+/// v[floor(h)]) over the sorted values. `values` is copied, not mutated.
+[[nodiscard]] double percentile(const std::vector<double>& values, double q);
+
 }  // namespace wrht

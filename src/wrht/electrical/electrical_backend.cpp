@@ -2,8 +2,10 @@
 
 namespace wrht::elec {
 
-FlowBackend::FlowBackend(std::uint32_t num_hosts, ElectricalConfig config)
-    : network_(num_hosts, config) {}
+FlowBackend::FlowBackend(std::uint32_t num_hosts, ElectricalConfig config,
+                         bool collect_utilization)
+    : network_(num_hosts, config),
+      collect_utilization_(collect_utilization) {}
 
 std::string FlowBackend::describe() const {
   return "fat-tree flow-level simulator (max-min fair sharing, barrier "
@@ -11,17 +13,25 @@ std::string FlowBackend::describe() const {
 }
 
 net::BackendCapabilities FlowBackend::capabilities() const {
-  return net::BackendCapabilities{};  // no hints, no RWA, no wavelengths
+  net::BackendCapabilities caps;  // no hints, no RWA, no wavelengths
+  caps.reports_utilization = true;
+  return caps;
 }
 
 RunReport FlowBackend::execute(const coll::Schedule& schedule,
                                const obs::Probe& probe) const {
   net::count_schedule(probe, schedule);
-  return network_.execute(schedule, probe).to_report();
+  const net::ScopedUtilization util(probe, collect_utilization_);
+  RunReport report = network_.execute(schedule, util.probe()).to_report();
+  util.finish(report);
+  return report;
 }
 
-PacketBackend::PacketBackend(std::uint32_t num_hosts, ElectricalConfig config)
-    : network_(num_hosts, config) {}
+PacketBackend::PacketBackend(std::uint32_t num_hosts,
+                             ElectricalConfig config,
+                             bool collect_utilization)
+    : network_(num_hosts, config),
+      collect_utilization_(collect_utilization) {}
 
 std::string PacketBackend::describe() const {
   return "fat-tree store-and-forward packet simulator (validation-scale "
@@ -29,13 +39,18 @@ std::string PacketBackend::describe() const {
 }
 
 net::BackendCapabilities PacketBackend::capabilities() const {
-  return net::BackendCapabilities{};
+  net::BackendCapabilities caps;
+  caps.reports_utilization = true;
+  return caps;
 }
 
 RunReport PacketBackend::execute(const coll::Schedule& schedule,
                                  const obs::Probe& probe) const {
   net::count_schedule(probe, schedule);
-  return network_.execute(schedule, probe).to_report();
+  const net::ScopedUtilization util(probe, collect_utilization_);
+  RunReport report = network_.execute(schedule, util.probe()).to_report();
+  util.finish(report);
+  return report;
 }
 
 ElectricalConfig electrical_config_from(const net::BackendConfig& config) {
@@ -50,14 +65,16 @@ void register_electrical_backends(net::BackendRegistry& registry) {
       "fat-tree flow-level simulator (max-min fair sharing)",
       [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
         return std::make_unique<FlowBackend>(config.num_nodes,
-                                             electrical_config_from(config));
+                                             electrical_config_from(config),
+                                             config.collect_utilization);
       });
   registry.register_backend(
       "electrical-packet",
       "fat-tree packet-level simulator (store-and-forward ground truth)",
       [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
         return std::make_unique<PacketBackend>(
-            config.num_nodes, electrical_config_from(config));
+            config.num_nodes, electrical_config_from(config),
+            config.collect_utilization);
       });
 }
 

@@ -17,7 +17,10 @@ namespace wrht::elec {
 
 class FlowBackend final : public net::Backend {
  public:
-  FlowBackend(std::uint32_t num_hosts, ElectricalConfig config);
+  /// `collect_utilization` makes every execute() sample per-link occupancy
+  /// and fill the report's utilization fields.
+  FlowBackend(std::uint32_t num_hosts, ElectricalConfig config,
+              bool collect_utilization = false);
 
   [[nodiscard]] std::string name() const override {
     return "electrical-flow";
@@ -32,11 +35,13 @@ class FlowBackend final : public net::Backend {
 
  private:
   FatTreeNetwork network_;
+  bool collect_utilization_;
 };
 
 class PacketBackend final : public net::Backend {
  public:
-  PacketBackend(std::uint32_t num_hosts, ElectricalConfig config);
+  PacketBackend(std::uint32_t num_hosts, ElectricalConfig config,
+                bool collect_utilization = false);
 
   [[nodiscard]] std::string name() const override {
     return "electrical-packet";
@@ -51,6 +56,7 @@ class PacketBackend final : public net::Backend {
 
  private:
   PacketLevelNetwork network_;
+  bool collect_utilization_;
 };
 
 /// Maps the portable config onto an ElectricalConfig (rate convention;

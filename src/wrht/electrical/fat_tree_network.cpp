@@ -5,6 +5,7 @@
 #include "wrht/common/error.hpp"
 #include "wrht/net/backend.hpp"
 #include "wrht/net/pattern_key.hpp"
+#include "wrht/obs/occupancy.hpp"
 
 namespace wrht::elec {
 
@@ -44,8 +45,25 @@ FatTreeNetwork::StepTiming FatTreeNetwork::evaluate_step(
   for (const auto l : load) max_load = std::max(max_load, l);
 
   const FlowResult res = flow_sim_.run(flows);
-  return StepTiming{res.makespan, max_load, res.bottleneck_links,
-                    res.rate_recomputations};
+
+  StepTiming timing{res.makespan, max_load, res.bottleneck_links,
+                    res.rate_recomputations, {}};
+  // Per-link occupancy: a link transmits until its slowest flow drains,
+  // then its flows are in router processing until their completions.
+  std::vector<double> busy(tree_.num_links(), 0.0);
+  std::vector<double> chain(tree_.num_links(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double drain = res.completion[i] - flows[i].extra_latency;
+    for (const LinkId l : flows[i].links) {
+      busy[l] = std::max(busy[l], drain);
+      chain[l] = std::max(chain[l], res.completion[i]);
+    }
+  }
+  for (LinkId l = 0; l < tree_.num_links(); ++l) {
+    if (load[l] == 0) continue;
+    timing.link_occ.push_back(LinkOcc{l, busy[l], chain[l], load[l]});
+  }
+  return timing;
 }
 
 ElectricalRunResult FatTreeNetwork::execute(
@@ -102,11 +120,35 @@ ElectricalRunResult FatTreeNetwork::execute(const coll::Schedule& schedule,
                    {"bottleneck_links",
                     std::to_string(timing.bottleneck_links)}};
       probe.span(span);
+      probe.counter_sample("active flows", Seconds(now),
+                           static_cast<double>(step.transfers.size()));
+      probe.counter_sample("max link load", Seconds(now),
+                           static_cast<double>(timing.max_link_load));
+    }
+    if (probe.occupancy != nullptr) {
+      const auto step_id = static_cast<std::uint32_t>(step_index);
+      for (const LinkOcc& occ : timing.link_occ) {
+        const auto ref =
+            probe.occupancy->resource("link" + std::to_string(occ.link));
+        probe.occupancy->record(ref, step_id, Seconds(now),
+                                Seconds(occ.busy_s),
+                                obs::OccCategory::kTransmission, occ.load);
+        probe.occupancy->record(ref, step_id, Seconds(now + occ.busy_s),
+                                Seconds(occ.chain_end_s - occ.busy_s),
+                                obs::OccCategory::kProcessing);
+        probe.occupancy->record(ref, step_id, Seconds(now + occ.chain_end_s),
+                                Seconds(timing.seconds - occ.chain_end_s),
+                                obs::OccCategory::kStragglerWait);
+      }
     }
     now += timing.seconds;
     ++step_index;
   }
   result.total_time = Seconds(now);
+  if (probe.trace != nullptr && result.total_flows > 0) {
+    probe.counter_sample("active flows", result.total_time, 0.0);
+    probe.counter_sample("max link load", result.total_time, 0.0);
+  }
   return result;
 }
 

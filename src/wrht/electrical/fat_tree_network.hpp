@@ -109,11 +109,24 @@ class FatTreeNetwork {
                                             const obs::Probe& probe) const;
 
  private:
+  /// One directed link's account within a step: it transmits until its
+  /// slowest flow drains, then the flow chain is in router processing
+  /// until the last completion it feeds.
+  struct LinkOcc {
+    LinkId link = 0;
+    double busy_s = 0.0;       ///< max drain time over the link's flows
+    double chain_end_s = 0.0;  ///< max completion (drain + router latency)
+    std::uint32_t load = 0;    ///< flows sharing the link
+  };
+
   struct StepTiming {
     double seconds = 0.0;
     std::uint32_t max_link_load = 0;
     std::uint32_t bottleneck_links = 0;
     std::uint64_t rate_recomputations = 0;
+    /// Per-loaded-link occupancy, link-id order (pattern-cached with the
+    /// rest of the timing; only links with traffic appear).
+    std::vector<LinkOcc> link_occ;
   };
   [[nodiscard]] StepTiming evaluate_step(const coll::Step& step) const;
 

@@ -5,6 +5,7 @@
 
 #include "wrht/common/error.hpp"
 #include "wrht/net/backend.hpp"
+#include "wrht/obs/occupancy.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace wrht::elec {
@@ -29,7 +30,9 @@ struct Packet {
 double PacketLevelNetwork::simulate_step(const coll::Step& step,
                                          std::uint64_t& packets,
                                          std::uint64_t& events,
-                                         const obs::Probe& probe) const {
+                                         const obs::Probe& probe,
+                                         double step_start,
+                                         std::uint32_t step_index) const {
   sim::Simulator simulator;
   simulator.set_counters(probe.counters);
   std::vector<double> next_free(tree_.num_links(), 0.0);
@@ -39,14 +42,34 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
       static_cast<double>(config_.packet_size.count());
   double makespan = 0.0;
 
+  // Dense link -> sampler handle map, resolved lazily; the sampler
+  // coalesces the back-to-back per-packet slices a busy link produces.
+  std::vector<obs::OccupancySampler::ResourceRef> link_refs;
+  if (probe.occupancy != nullptr) {
+    link_refs.assign(tree_.num_links(), UINT32_MAX);
+  }
+  const auto link_ref = [&](topo::LinkId link) {
+    if (link_refs[link] == UINT32_MAX) {
+      link_refs[link] =
+          probe.occupancy->resource("link" + std::to_string(link));
+    }
+    return link_refs[link];
+  };
+
   // Arrival of `packet` at the input queue of its next link. Shared
   // ownership keeps the packet alive across its chain of events.
   std::function<void(std::shared_ptr<Packet>)> arrive =
       [&](std::shared_ptr<Packet> packet) {
         const topo::LinkId link = packet->route[packet->hop];
         const double now = simulator.now().count();
-        const double depart =
-            std::max(now, next_free[link]) + packet->bytes / rate;
+        const double tx_start = std::max(now, next_free[link]);
+        const double depart = tx_start + packet->bytes / rate;
+        if (probe.occupancy != nullptr) {
+          probe.occupancy->record(link_ref(link), step_index,
+                                  Seconds(step_start + tx_start),
+                                  Seconds(depart - tx_start),
+                                  obs::OccCategory::kTransmission);
+        }
         next_free[link] = depart;
         ++packet->hop;
         if (packet->hop < packet->route.size()) {
@@ -76,6 +99,17 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
 
   simulator.run();
   events += simulator.events_fired();
+  // Links that went quiet before the step's last packet drained are in
+  // straggler wait; untouched links remain unaccounted (idle).
+  if (probe.occupancy != nullptr) {
+    for (topo::LinkId l = 0; l < tree_.num_links(); ++l) {
+      if (next_free[l] <= 0.0) continue;
+      probe.occupancy->record(link_ref(l), step_index,
+                              Seconds(step_start + next_free[l]),
+                              Seconds(makespan - next_free[l]),
+                              obs::OccCategory::kStragglerWait);
+    }
+  }
   return makespan;
 }
 
@@ -98,10 +132,12 @@ PacketRunResult PacketLevelNetwork::execute(const coll::Schedule& schedule,
   for (const auto& step : schedule.steps()) {
     probe.count("packet.steps");
     const std::uint64_t packets_before = result.total_packets;
-    const double t = step.transfers.empty()
-                         ? 0.0
-                         : simulate_step(step, result.total_packets,
-                                         result.events_fired, probe);
+    const double t =
+        step.transfers.empty()
+            ? 0.0
+            : simulate_step(step, result.total_packets, result.events_fired,
+                            probe, total,
+                            static_cast<std::uint32_t>(step_index));
     probe.count("packet.packets", result.total_packets - packets_before);
     if (probe.trace != nullptr && !step.transfers.empty()) {
       obs::TraceSpan span;
@@ -114,12 +150,18 @@ PacketRunResult PacketLevelNetwork::execute(const coll::Schedule& schedule,
           {"transfers", std::to_string(step.transfers.size())},
           {"packets", std::to_string(result.total_packets - packets_before)}};
       probe.span(span);
+      probe.counter_sample(
+          "packets per step", Seconds(total),
+          static_cast<double>(result.total_packets - packets_before));
     }
     result.step_times.emplace_back(t);
     total += t;
     ++step_index;
   }
   result.total_time = Seconds(total);
+  if (probe.trace != nullptr && result.total_packets > 0) {
+    probe.counter_sample("packets per step", result.total_time, 0.0);
+  }
   return result;
 }
 

@@ -48,10 +48,14 @@ class PacketLevelNetwork {
                                         const obs::Probe& probe) const;
 
  private:
+  /// `step_start`/`step_index` place this step's occupancy intervals on
+  /// the run timeline (the internal event clock restarts at 0 per step).
   [[nodiscard]] double simulate_step(const coll::Step& step,
                                      std::uint64_t& packets,
                                      std::uint64_t& events,
-                                     const obs::Probe& probe) const;
+                                     const obs::Probe& probe,
+                                     double step_start,
+                                     std::uint32_t step_index) const;
 
   topo::FatTree tree_;
   ElectricalConfig config_;

@@ -1,8 +1,20 @@
 #include "wrht/net/backend.hpp"
 
+#include "wrht/obs/analysis.hpp"
+
 namespace wrht::net {
 
 Backend::~Backend() = default;
+
+ScopedUtilization::ScopedUtilization(const obs::Probe& probe, bool collect)
+    : probe_(probe) {
+  if (collect && probe_.occupancy == nullptr) probe_.occupancy = &sampler_;
+}
+
+void ScopedUtilization::finish(RunReport& report) const {
+  if (probe_.occupancy == nullptr) return;
+  obs::attach_utilization(report, *probe_.occupancy);
+}
 
 void count_schedule(const obs::Probe& probe, const coll::Schedule& schedule) {
   if (probe.counters == nullptr) return;

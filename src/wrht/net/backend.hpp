@@ -22,6 +22,7 @@
 #include <string>
 
 #include "wrht/collectives/schedule.hpp"
+#include "wrht/obs/occupancy.hpp"
 #include "wrht/obs/run_report.hpp"
 #include "wrht/obs/trace.hpp"
 
@@ -41,6 +42,10 @@ struct BackendCapabilities {
   bool dimension_local_transfers_only = false;
   /// Produces real durations (false for the schedule-only step counter).
   bool prices_time = true;
+  /// Can fill RunReport::{breakdown, utilization, resources_observed} when
+  /// asked (BackendConfig::collect_utilization or a caller-supplied
+  /// obs::Probe::occupancy sampler).
+  bool reports_utilization = false;
 };
 
 class Backend {
@@ -71,6 +76,26 @@ class Backend {
 /// net.executions, net.steps and net.traffic_elements. Gives the
 /// conformance suite one uniform traffic-accounting surface per backend.
 void count_schedule(const obs::Probe& probe, const coll::Schedule& schedule);
+
+/// Shared adapter plumbing for utilization collection. Construct with the
+/// caller's probe and the adapter's collect_utilization switch; run the
+/// engine with probe() — it carries a backend-owned occupancy sampler when
+/// collection is on and the caller did not bring their own — then call
+/// finish() to fold the samples into the report (breakdown, utilization,
+/// resources_observed, per-step breakdowns). When neither the switch nor a
+/// caller sampler is present this is all pass-through and costs nothing.
+class ScopedUtilization {
+ public:
+  ScopedUtilization(const obs::Probe& probe, bool collect);
+
+  [[nodiscard]] const obs::Probe& probe() const { return probe_; }
+  /// Attaches the analysis to `report` if sampling was active.
+  void finish(RunReport& report) const;
+
+ private:
+  obs::OccupancySampler sampler_;
+  obs::Probe probe_;
+};
 
 /// Assembles the uniform per-step reports used by barrier-style backends
 /// (one duration per step, labels taken from the schedule when available):

@@ -46,6 +46,10 @@ struct BackendConfig {
   /// factorization of num_nodes.
   std::uint32_t torus_rows = 0;
   std::uint32_t torus_cols = 0;
+  /// Sample per-resource occupancy during execute() and fill the report's
+  /// breakdown/utilization fields (backends whose capabilities() report
+  /// reports_utilization). Off by default: unobserved runs stay free.
+  bool collect_utilization = false;
 };
 
 using BackendFactory =

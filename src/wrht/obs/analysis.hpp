@@ -1,0 +1,87 @@
+// Utilization analysis on top of occupancy samples.
+//
+// The occupancy sampler (obs/occupancy.hpp) is a raw interval log; this
+// layer turns it into the numbers the paper's efficiency argument is made
+// of: per-resource and run-level utilization (fraction of wall clock spent
+// transmitting payload), an idle-time breakdown attributing the rest to
+// MRR reconfiguration / O/E/O conversion / router processing / straggler
+// wait / idle, and the critical path through the step timeline — for each
+// step, the resource whose accounted time bounds it, so the chain's length
+// equals RunReport::total_time by construction and its slack-free fraction
+// says how much of the bound is payload rather than overhead.
+//
+// Accounting identity (relied on by the acceptance tests): per step, the
+// averaged-over-resources category times plus the derived idle complement
+// sum to the step duration; summed over steps they equal total_time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+#include "wrht/obs/occupancy.hpp"
+#include "wrht/obs/run_report.hpp"
+
+namespace wrht::obs {
+
+/// One resource's account over the whole run. `breakdown.total()` equals
+/// the run's total_time (idle is the derived complement).
+struct ResourceUtilization {
+  std::string name;
+  TimeBreakdown breakdown;
+  /// transmission / total_time, in [0, 1].
+  double utilization = 0.0;
+};
+
+/// One step on the critical path: the resource whose accounted time is the
+/// largest within the step, i.e. the one that bounds it.
+struct CriticalPathEntry {
+  std::uint32_t step = 0;
+  std::string label;
+  std::string resource;     ///< "(unobserved)" if no resource was sampled
+  Seconds duration{0.0};    ///< the step's duration (path edges tile the run)
+  Seconds transmission{0.0};  ///< slack-free (payload) part of the edge
+};
+
+struct UtilizationAnalysis {
+  /// Run-level attribution, averaged over resources; total() == total_time.
+  TimeBreakdown breakdown;
+  /// Mean fraction of total_time the resources spent transmitting.
+  double utilization = 0.0;
+  /// Per-step attribution, parallel to RunReport::step_reports.
+  std::vector<TimeBreakdown> step_breakdowns;
+  /// Per-resource accounts, in sampler registration order.
+  std::vector<ResourceUtilization> resources;
+  /// Bounding resource chain, one entry per step.
+  std::vector<CriticalPathEntry> critical_path;
+  /// Sum of critical-path edge durations; equals total_time.
+  Seconds critical_path_length{0.0};
+  /// Fraction of the critical path that is payload transmission.
+  double slack_free_fraction = 0.0;
+};
+
+/// Computes the full analysis for a run. `report` supplies the step
+/// timeline and total_time; `sampler` the occupancy intervals recorded
+/// while that same run executed.
+[[nodiscard]] UtilizationAnalysis analyze_utilization(
+    const RunReport& report, const OccupancySampler& sampler);
+
+/// Runs analyze_utilization and folds the results into `report`: run and
+/// per-step breakdowns, `utilization`, `resources_observed`. Returns the
+/// analysis for callers that also want resources / critical path.
+UtilizationAnalysis attach_utilization(RunReport& report,
+                                       const OccupancySampler& sampler);
+
+/// The `k` resources with the most idle time, most idle first.
+[[nodiscard]] std::vector<ResourceUtilization> top_idle(
+    const UtilizationAnalysis& analysis, std::size_t k);
+
+/// Human-readable bottleneck report: totals, breakdown table, critical
+/// path, and the top-`k` idle resources.
+void print_bottleneck_report(std::ostream& out, const RunReport& report,
+                             const UtilizationAnalysis& analysis,
+                             std::size_t k = 5);
+
+}  // namespace wrht::obs

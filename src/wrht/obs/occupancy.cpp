@@ -1,0 +1,85 @@
+#include "wrht/obs/occupancy.hpp"
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::obs {
+
+const char* to_string(OccCategory category) {
+  switch (category) {
+    case OccCategory::kTransmission: return "transmission";
+    case OccCategory::kReconfiguration: return "reconfiguration";
+    case OccCategory::kConversion: return "conversion";
+    case OccCategory::kProcessing: return "processing";
+    case OccCategory::kStragglerWait: return "straggler-wait";
+  }
+  return "unknown";
+}
+
+OccupancySampler::ResourceRef OccupancySampler::resource(
+    const std::string& name) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    return it->second;
+  }
+  const ResourceRef ref = static_cast<ResourceRef>(names_.size());
+  names_.push_back(name);
+  intervals_.emplace_back();
+  index_.emplace(name, ref);
+  return ref;
+}
+
+void OccupancySampler::record(ResourceRef ref, std::uint32_t step,
+                              Seconds start, Seconds duration,
+                              OccCategory category,
+                              std::uint32_t concurrency) {
+  require(ref < intervals_.size(), "OccupancySampler: unknown resource ref");
+  if (duration.count() <= 0.0) return;
+  std::vector<OccInterval>& timeline = intervals_[ref];
+  if (!timeline.empty()) {
+    OccInterval& last = timeline.back();
+    const double last_end = last.start.count() + last.duration.count();
+    // Coalesce back-to-back slices of the same kind (tolerance scaled to
+    // the magnitude so femtosecond-scale runs still merge).
+    const double eps = 1e-12 * (1.0 + last_end);
+    if (last.step == step && last.category == category &&
+        last.concurrency == concurrency &&
+        start.count() >= last_end - eps && start.count() <= last_end + eps) {
+      last.duration += duration;
+      return;
+    }
+  }
+  timeline.push_back(OccInterval{start, duration, category, step, concurrency});
+}
+
+const std::string& OccupancySampler::name(ResourceRef ref) const {
+  require(ref < names_.size(), "OccupancySampler: unknown resource ref");
+  return names_[ref];
+}
+
+const std::vector<OccInterval>& OccupancySampler::intervals(
+    ResourceRef ref) const {
+  require(ref < intervals_.size(), "OccupancySampler: unknown resource ref");
+  return intervals_[ref];
+}
+
+Seconds OccupancySampler::recorded(ResourceRef ref,
+                                   OccCategory category) const {
+  Seconds total(0.0);
+  for (const OccInterval& i : intervals(ref)) {
+    if (i.category == category) total += i.duration;
+  }
+  return total;
+}
+
+Seconds OccupancySampler::recorded(ResourceRef ref) const {
+  Seconds total(0.0);
+  for (const OccInterval& i : intervals(ref)) total += i.duration;
+  return total;
+}
+
+void OccupancySampler::clear() {
+  names_.clear();
+  intervals_.clear();
+  index_.clear();
+}
+
+}  // namespace wrht::obs

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <ostream>
 
 #include "wrht/common/csv.hpp"
+#include "wrht/common/error.hpp"
+#include "wrht/obs/trace_json.hpp"
 
 namespace wrht {
 
@@ -15,7 +19,32 @@ std::string format_seconds(Seconds s) {
   return buf;
 }
 
+std::string format_fraction(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_breakdown_json(std::ostream& out, const TimeBreakdown& b) {
+  out << "{\"transmission_s\":" << format_seconds(b.transmission)
+      << ",\"reconfiguration_s\":" << format_seconds(b.reconfiguration)
+      << ",\"conversion_s\":" << format_seconds(b.conversion)
+      << ",\"processing_s\":" << format_seconds(b.processing)
+      << ",\"straggler_wait_s\":" << format_seconds(b.straggler_wait)
+      << ",\"idle_s\":" << format_seconds(b.idle) << "}";
+}
+
 }  // namespace
+
+TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& o) {
+  transmission += o.transmission;
+  reconfiguration += o.reconfiguration;
+  conversion += o.conversion;
+  processing += o.processing;
+  straggler_wait += o.straggler_wait;
+  idle += o.idle;
+  return *this;
+}
 
 Seconds RunReport::max_step_duration() const {
   Seconds out{0.0};
@@ -44,6 +73,47 @@ void RunReport::write_step_csv(const std::string& path) const {
                  format_seconds(s.duration), std::to_string(s.rounds),
                  std::to_string(s.wavelengths_used)});
   }
+}
+
+void RunReport::write_json(std::ostream& out) const {
+  const auto esc = &obs::ChromeTraceSink::escape;
+  out << "{\n";
+  out << "  \"backend\": \"" << esc(backend) << "\",\n";
+  out << "  \"total_time_s\": " << format_seconds(total_time) << ",\n";
+  out << "  \"steps\": " << steps << ",\n";
+  out << "  \"rounds\": " << rounds << ",\n";
+  out << "  \"events_fired\": " << events_fired << ",\n";
+  out << "  \"utilization\": " << format_fraction(utilization) << ",\n";
+  out << "  \"resources_observed\": " << resources_observed << ",\n";
+  out << "  \"breakdown\": ";
+  write_breakdown_json(out, breakdown);
+  out << ",\n  \"step_reports\": [";
+  for (std::size_t i = 0; i < step_reports.size(); ++i) {
+    const StepReport& s = step_reports[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"step\":" << i << ",\"label\":\""
+        << esc(s.label) << "\",\"start_s\":" << format_seconds(s.start)
+        << ",\"duration_s\":" << format_seconds(s.duration)
+        << ",\"rounds\":" << s.rounds
+        << ",\"wavelengths_used\":" << s.wavelengths_used
+        << ",\"breakdown\":";
+    write_breakdown_json(out, s.breakdown);
+    out << "}";
+  }
+  out << (step_reports.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << "\n    \"" << esc(name) << "\": " << value;
+    first = false;
+  }
+  out << (counters.empty() ? "" : "\n  ") << "}\n";
+  out << "}\n";
+}
+
+void RunReport::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("RunReport: cannot open '" + path + "'");
+  write_json(out);
 }
 
 }  // namespace wrht

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -16,6 +17,28 @@
 #include "wrht/obs/counters.hpp"
 
 namespace wrht {
+
+/// Where the wall clock went, averaged over the resources a run was
+/// observed on. The five accounted categories mirror obs::OccCategory;
+/// `idle` is the unaccounted complement, so the six fields sum to the
+/// interval the breakdown describes (a step's duration, or total_time).
+/// All-zero when the run was executed without utilization collection.
+struct TimeBreakdown {
+  Seconds transmission{0.0};
+  Seconds reconfiguration{0.0};
+  Seconds conversion{0.0};
+  Seconds processing{0.0};
+  Seconds straggler_wait{0.0};
+  Seconds idle{0.0};
+
+  [[nodiscard]] Seconds accounted() const {
+    return transmission + reconfiguration + conversion + processing +
+           straggler_wait;
+  }
+  [[nodiscard]] Seconds total() const { return accounted() + idle; }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& o);
+};
 
 /// One communication step as priced by some backend. Fields a backend
 /// cannot know stay at their defaults (electrical steps have one "round"
@@ -26,6 +49,8 @@ struct StepReport {
   Seconds duration{0.0};
   std::uint32_t rounds = 1;
   std::uint32_t wavelengths_used = 0;
+  /// Per-step time attribution; all-zero unless utilization was collected.
+  TimeBreakdown breakdown;
 };
 
 struct RunReport {
@@ -39,6 +64,15 @@ struct RunReport {
   /// Counter snapshot attached via add_counters(); empty when the run was
   /// not observed.
   std::map<std::string, std::uint64_t> counters;
+  /// Run-level time attribution across total_time (obs::attach_utilization
+  /// fills this); all-zero unless utilization was collected.
+  TimeBreakdown breakdown;
+  /// Mean fraction of total_time the observed resources spent transmitting
+  /// payload, in [0, 1]. Zero unless utilization was collected.
+  double utilization = 0.0;
+  /// Number of distinct resources the occupancy sampler saw (wavelength ×
+  /// direction pairs, links). Zero unless utilization was collected.
+  std::size_t resources_observed = 0;
 
   [[nodiscard]] Seconds max_step_duration() const;
   [[nodiscard]] std::uint32_t max_wavelengths_used() const;
@@ -47,6 +81,12 @@ struct RunReport {
   /// Writes one row per step: step,label,start_s,duration_s,rounds,
   /// wavelengths_used.
   void write_step_csv(const std::string& path) const;
+  /// Serializes the full report — run fields, breakdown, every step with
+  /// its breakdown, and the counters map — as deterministic JSON (keys in
+  /// fixed order, %.9g seconds). Unlike write_step_csv this loses nothing.
+  void write_json(std::ostream& out) const;
+  /// write_json() to `path`; throws wrht::Error if the file cannot open.
+  void write_json_file(const std::string& path) const;
 };
 
 }  // namespace wrht

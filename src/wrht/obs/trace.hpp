@@ -19,6 +19,8 @@
 
 namespace wrht::obs {
 
+class OccupancySampler;  // obs/occupancy.hpp
+
 /// One complete span on the run timeline. `track` separates concurrent
 /// timelines (e.g. several network executions in one trace file); spans on
 /// the same track nest by time containment, so a step span naturally
@@ -33,6 +35,16 @@ struct TraceSpan {
   std::vector<std::pair<std::string, std::string>> args;
 };
 
+/// One sample on a numeric counter track (wavelengths in use, link load,
+/// active flows, ...). Renders as a Perfetto "C"-phase event: the value
+/// holds from `time` until the track's next sample.
+struct CounterSample {
+  std::string name;  ///< counter track name, e.g. "wavelengths in use"
+  Seconds time{0.0};
+  double value = 0.0;
+  std::uint32_t track = 0;
+};
+
 /// Receiver of trace spans. Implementations must tolerate spans arriving
 /// out of global time order across tracks (each simulator emits its own
 /// track in order).
@@ -40,17 +52,28 @@ class TraceSink {
  public:
   virtual ~TraceSink();
   virtual void span(const TraceSpan& span) = 0;
+  /// Counter samples are optional for sinks; the default discards them so
+  /// span-only sinks (and the pre-counter tests) stay unchanged.
+  virtual void counter(const CounterSample& sample) { (void)sample; }
 };
 
 /// Collects spans in memory; the unit tests' sink of choice.
 class MemoryTraceSink final : public TraceSink {
  public:
   void span(const TraceSpan& s) override { spans_.push_back(s); }
+  void counter(const CounterSample& s) override { counters_.push_back(s); }
   [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  [[nodiscard]] const std::vector<CounterSample>& counter_samples() const {
+    return counters_;
+  }
+  void clear() {
+    spans_.clear();
+    counters_.clear();
+  }
 
  private:
   std::vector<TraceSpan> spans_;
+  std::vector<CounterSample> counters_;
 };
 
 /// The observation bundle instrumented code carries: both members optional,
@@ -60,14 +83,25 @@ struct Probe {
   TraceSink* trace = nullptr;
   Counters* counters = nullptr;
   std::uint32_t track = 0;
+  /// Resource-occupancy sampler (obs/occupancy.hpp); null by default like
+  /// the other members. Appended last so existing aggregate initializers
+  /// (`Probe{&trace, &counters, 2}`) keep compiling unchanged.
+  OccupancySampler* occupancy = nullptr;
 
-  [[nodiscard]] bool active() const { return trace || counters; }
+  [[nodiscard]] bool active() const { return trace || counters || occupancy; }
 
   /// Emits `s` (stamped with this probe's track) if a sink is attached.
   void span(TraceSpan s) const {
     if (trace == nullptr) return;
     s.track = track;
     trace->span(s);
+  }
+
+  /// Emits one counter-track sample if a sink is attached.
+  void counter_sample(const std::string& name, Seconds time,
+                      double value) const {
+    if (trace == nullptr) return;
+    trace->counter(CounterSample{name, time, value, track});
   }
 
   void count(const std::string& name, std::uint64_t delta = 1) const {

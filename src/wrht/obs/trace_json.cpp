@@ -17,12 +17,28 @@ std::string format_us(Seconds t) {
   return buf;
 }
 
+/// Counter values: integers print exactly ("6"), everything else with %g
+/// so the common whole-valued tracks stay clean in the JSON.
+std::string format_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
 }  // namespace
 
 ChromeTraceSink::ChromeTraceSink(std::string process_name)
     : process_name_(std::move(process_name)) {}
 
 void ChromeTraceSink::span(const TraceSpan& s) { spans_.push_back(s); }
+
+void ChromeTraceSink::counter(const CounterSample& s) {
+  counters_.push_back(s);
+}
 
 void ChromeTraceSink::set_track_name(std::uint32_t track,
                                      const std::string& name) {
@@ -85,6 +101,15 @@ void ChromeTraceSink::write(std::ostream& out) const {
       out << "\"" << escape(key) << "\":\"" << escape(value) << "\"";
     }
     out << "}}";
+  }
+
+  // Counter tracks after the spans: "C" events keyed by name within a tid;
+  // Perfetto draws each as a step function holding until the next sample.
+  for (const CounterSample& c : counters_) {
+    sep();
+    out << "{\"name\":\"" << escape(c.name) << "\",\"ph\":\"C\",\"ts\":"
+        << format_us(c.time) << ",\"pid\":0,\"tid\":" << c.track
+        << ",\"args\":{\"value\":" << format_value(c.value) << "}}";
   }
   out << "\n]}\n";
 }

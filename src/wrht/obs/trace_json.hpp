@@ -1,11 +1,13 @@
 // Chrome trace-event JSON exporter.
 //
-// ChromeTraceSink accumulates spans and serializes them in the Trace Event
-// Format ("X" complete events) that chrome://tracing and Perfetto's legacy
-// importer load directly. Field order inside every event object is fixed
+// ChromeTraceSink accumulates spans and counter samples and serializes
+// them in the Trace Event Format that chrome://tracing and Perfetto's
+// legacy importer load directly: spans as "X" complete events, counter
+// samples as "C" counter events (Perfetto renders those as numeric tracks
+// under the same process). Field order inside every event object is fixed
 // (name, cat, ph, ts, dur, pid, tid, args) and events are emitted in
-// arrival order, so output is byte-stable for a deterministic run — the
-// golden test relies on that.
+// arrival order — all spans first, then all counter samples — so output is
+// byte-stable for a deterministic run; the golden test relies on that.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +25,13 @@ class ChromeTraceSink final : public TraceSink {
   explicit ChromeTraceSink(std::string process_name = "wrht");
 
   void span(const TraceSpan& s) override;
+  void counter(const CounterSample& s) override;
 
   /// Labels `track` in the viewer (emitted as thread_name metadata).
   void set_track_name(std::uint32_t track, const std::string& name);
 
   [[nodiscard]] std::size_t size() const { return spans_.size(); }
+  [[nodiscard]] std::size_t counter_count() const { return counters_.size(); }
 
   /// Serializes the whole trace; `ts`/`dur` are microseconds with fixed
   /// 6-digit precision.
@@ -42,6 +46,7 @@ class ChromeTraceSink final : public TraceSink {
  private:
   std::string process_name_;
   std::vector<TraceSpan> spans_;
+  std::vector<CounterSample> counters_;
   std::map<std::uint32_t, std::string> track_names_;
 };
 

@@ -20,8 +20,10 @@ std::pair<std::uint32_t, std::uint32_t> near_square(std::uint32_t n) {
 }  // namespace
 
 RingBackend::RingBackend(std::uint32_t num_nodes, OpticalConfig config,
-                         std::uint64_t rng_seed)
-    : network_(num_nodes, config), rng_seed_(rng_seed) {}
+                         std::uint64_t rng_seed, bool collect_utilization)
+    : network_(num_nodes, config),
+      rng_seed_(rng_seed),
+      collect_utilization_(collect_utilization) {}
 
 std::string RingBackend::describe() const {
   return "WDM double-ring discrete-event simulator (RWA + multi-round "
@@ -33,25 +35,31 @@ net::BackendCapabilities RingBackend::capabilities() const {
   caps.supports_direction_hints = true;
   caps.validates_rwa = true;
   caps.reports_wavelengths = true;
+  caps.reports_utilization = true;
   return caps;
 }
 
 RunReport RingBackend::execute(const coll::Schedule& schedule,
                                const obs::Probe& probe) const {
   net::count_schedule(probe, schedule);
+  const net::ScopedUtilization util(probe, collect_utilization_);
   OpticalRunResult run;
   if (network_.config().rwa_policy == RwaPolicy::kRandomFit) {
     Rng rng(rng_seed_);
-    run = network_.execute(schedule, probe, &rng);
+    run = network_.execute(schedule, util.probe(), &rng);
   } else {
-    run = network_.execute(schedule, probe);
+    run = network_.execute(schedule, util.probe());
   }
-  return run.to_report();
+  RunReport report = run.to_report();
+  util.finish(report);
+  return report;
 }
 
 TorusBackend::TorusBackend(const topo::Torus& torus, OpticalConfig config,
-                           std::uint64_t rng_seed)
-    : network_(torus, config), rng_seed_(rng_seed) {}
+                           std::uint64_t rng_seed, bool collect_utilization)
+    : network_(torus, config),
+      rng_seed_(rng_seed),
+      collect_utilization_(collect_utilization) {}
 
 std::string TorusBackend::describe() const {
   return "optical torus: every row/column is a WDM ring; steps last as "
@@ -64,21 +72,24 @@ net::BackendCapabilities TorusBackend::capabilities() const {
   caps.validates_rwa = true;
   caps.reports_wavelengths = true;
   caps.dimension_local_transfers_only = true;
+  caps.reports_utilization = true;
   return caps;
 }
 
 RunReport TorusBackend::execute(const coll::Schedule& schedule,
                                 const obs::Probe& probe) const {
   net::count_schedule(probe, schedule);
+  const net::ScopedUtilization util(probe, collect_utilization_);
   OpticalRunResult run;
   if (network_.config().rwa_policy == RwaPolicy::kRandomFit) {
     Rng rng(rng_seed_);
-    run = network_.execute(schedule, probe, &rng);
+    run = network_.execute(schedule, util.probe(), &rng);
   } else {
-    run = network_.execute(schedule, probe);
+    run = network_.execute(schedule, util.probe());
   }
   RunReport report = run.to_report();
   report.backend = name();
+  util.finish(report);
   return report;
 }
 
@@ -101,9 +112,9 @@ void register_optical_backends(net::BackendRegistry& registry) {
       "optical-ring",
       "WDM double-ring simulator (RWA, multi-round splitting, Eq. 6)",
       [](const net::BackendConfig& config) -> std::unique_ptr<net::Backend> {
-        return std::make_unique<RingBackend>(config.num_nodes,
-                                             optical_config_from(config),
-                                             config.rng_seed);
+        return std::make_unique<RingBackend>(
+            config.num_nodes, optical_config_from(config), config.rng_seed,
+            config.collect_utilization);
       });
   registry.register_backend(
       "optical-torus",
@@ -119,9 +130,9 @@ void register_optical_backends(net::BackendRegistry& registry) {
                         config.num_nodes,
                 "optical-torus factory: torus_rows * torus_cols must equal "
                 "num_nodes");
-        return std::make_unique<TorusBackend>(topo::Torus(rows, cols),
-                                              optical_config_from(config),
-                                              config.rng_seed);
+        return std::make_unique<TorusBackend>(
+            topo::Torus(rows, cols), optical_config_from(config),
+            config.rng_seed, config.collect_utilization);
       });
 }
 

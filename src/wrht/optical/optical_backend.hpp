@@ -19,8 +19,11 @@ namespace wrht::optics {
 class RingBackend final : public net::Backend {
  public:
   /// `rng_seed` feeds random-fit RWA only; first-fit runs never draw.
+  /// `collect_utilization` makes every execute() sample occupancy into a
+  /// backend-owned sampler and fill the report's utilization fields.
   RingBackend(std::uint32_t num_nodes, OpticalConfig config,
-              std::uint64_t rng_seed = 2023);
+              std::uint64_t rng_seed = 2023,
+              bool collect_utilization = false);
 
   [[nodiscard]] std::string name() const override { return "optical-ring"; }
   [[nodiscard]] std::string describe() const override;
@@ -34,12 +37,14 @@ class RingBackend final : public net::Backend {
  private:
   RingNetwork network_;
   std::uint64_t rng_seed_;
+  bool collect_utilization_;
 };
 
 class TorusBackend final : public net::Backend {
  public:
   TorusBackend(const topo::Torus& torus, OpticalConfig config,
-               std::uint64_t rng_seed = 2023);
+               std::uint64_t rng_seed = 2023,
+               bool collect_utilization = false);
 
   [[nodiscard]] std::string name() const override { return "optical-torus"; }
   [[nodiscard]] std::string describe() const override;
@@ -53,6 +58,7 @@ class TorusBackend final : public net::Backend {
  private:
   TorusNetwork network_;
   std::uint64_t rng_seed_;
+  bool collect_utilization_;
 };
 
 /// Maps the portable config onto an OpticalConfig (wavelengths, rate

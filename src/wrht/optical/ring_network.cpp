@@ -1,12 +1,30 @@
 #include "wrht/optical/ring_network.hpp"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
 
 #include "wrht/common/error.hpp"
 #include "wrht/net/pattern_key.hpp"
+#include "wrht/obs/occupancy.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace wrht::optics {
+
+namespace {
+
+/// Occupancy resource name for one WDM channel; the fiber index only
+/// appears in multi-fiber configurations to keep the common case short.
+std::string channel_name(std::uint8_t direction, std::uint32_t fiber,
+                         std::uint32_t wavelength, std::uint32_t num_fibers) {
+  std::string name = direction == 0 ? "cw" : "ccw";
+  if (num_fibers > 1) name += "/f" + std::to_string(fiber);
+  name += "/w" + std::to_string(wavelength);
+  return name;
+}
+
+}  // namespace
 
 RingNetwork::RingNetwork(std::uint32_t num_nodes, OpticalConfig config)
     : ring_(num_nodes), config_(config) {
@@ -76,10 +94,30 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
       max_elements = std::max(max_elements, step.transfers[idx].count);
     }
     std::uint32_t round_lambda = 0;
-    for (const auto& path : round_paths[r]) {
+    // Aggregate the round's lightpaths per WDM channel: spatial reuse puts
+    // several paths on one (direction, fiber, wavelength) over disjoint
+    // segments, and occupancy accounting needs the channel, not the path.
+    // std::map keys keep the resulting use list deterministically ordered.
+    std::map<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>, RoundUse>
+        uses;
+    for (std::size_t j = 0; j < round_paths[r].size(); ++j) {
+      const Lightpath& path = round_paths[r][j];
       out.longest_hops = std::max(out.longest_hops, path.hops);
       round_lambda = std::max(round_lambda, path.wavelength + 1);
+      const auto dir = static_cast<std::uint8_t>(
+          path.direction == topo::Direction::kClockwise ? 0 : 1);
+      RoundUse& use = uses[{dir, path.fiber, path.wavelength}];
+      use.direction = dir;
+      use.fiber = path.fiber;
+      use.wavelength = path.wavelength;
+      use.serialization = std::max(
+          use.serialization,
+          serialization_time(step.transfers[round_members[r][j]].count));
+      ++use.concurrency;
     }
+    out.round_uses.emplace_back();
+    out.round_uses.back().reserve(uses.size());
+    for (auto& [key, use] : uses) out.round_uses.back().push_back(use);
     out.round_wavelengths.push_back(round_lambda);
     out.cost.max_transfer_elements =
         std::max(out.cost.max_transfer_elements, max_elements);
@@ -144,8 +182,10 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
     }
 
     // Per-round durations; filled only when someone will look at them
-    // (retune re-pricing always needs the walk, tracing needs the spans).
+    // (retune re-pricing always needs the walk; tracing and occupancy
+    // sampling need the per-round timeline).
     std::vector<Seconds> round_durations;
+    std::vector<bool> round_reconfig;  // did the round pay the MRR delay?
     if (retune_mode) {
       // Re-price the step: a round pays the reconfiguration delay only if
       // some micro-ring has to change state relative to the previous round.
@@ -163,6 +203,7 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
         }
         round += config_.oeo_delay + pattern.round_serialization[r];
         round_durations.push_back(round);
+        round_reconfig.push_back(retuned > 0);
         duration += round;
         previous_tuning = pattern.round_tunings[r];
       }
@@ -170,10 +211,11 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
     } else {
       result.reconfigurations += pattern.cost.rounds;
       probe.count("optical.reconfig_charges", pattern.cost.rounds);
-      if (probe.trace != nullptr) {
+      if (probe.trace != nullptr || probe.occupancy != nullptr) {
         for (const Seconds ser : pattern.round_serialization) {
           round_durations.push_back(config_.mrr_reconfig_delay +
                                     config_.oeo_delay + ser);
+          round_reconfig.push_back(true);
         }
       }
     }
@@ -220,7 +262,51 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
                                 ? pattern.round_wavelengths[r]
                                 : 0)}};
         probe.span(round);
+        // Counter track: distinct wavelengths carrying traffic this round
+        // (holds until the next round's sample).
+        std::set<std::uint32_t> lambdas;
+        for (const auto& use : pattern.round_uses[r]) {
+          lambdas.insert(use.wavelength);
+        }
+        probe.counter_sample("wavelengths in use", cursor,
+                             static_cast<double>(lambdas.size()));
         cursor += round_durations[r];
+      }
+    }
+
+    // Occupancy: per WDM channel, each round decomposes into MRR
+    // reconfiguration (when charged), O/E/O conversion, payload
+    // transmission, then straggler wait until the round's slowest channel
+    // finishes. Unused channels simply stay unaccounted (idle).
+    if (probe.occupancy != nullptr) {
+      Seconds cursor = pattern.cost.start;
+      for (std::size_t r = 0; r < round_durations.size(); ++r) {
+        const Seconds round_end = cursor + round_durations[r];
+        const Seconds reconfig =
+            round_reconfig[r] ? config_.mrr_reconfig_delay : Seconds(0.0);
+        for (const auto& use : pattern.round_uses[r]) {
+          const auto ref = probe.occupancy->resource(
+              channel_name(use.direction, use.fiber, use.wavelength,
+                           config_.fibers_per_direction));
+          Seconds at = cursor;
+          probe.occupancy->record(ref, static_cast<std::uint32_t>(step_index),
+                                  at, reconfig,
+                                  obs::OccCategory::kReconfiguration);
+          at += reconfig;
+          probe.occupancy->record(ref, static_cast<std::uint32_t>(step_index),
+                                  at, config_.oeo_delay,
+                                  obs::OccCategory::kConversion);
+          at += config_.oeo_delay;
+          probe.occupancy->record(ref, static_cast<std::uint32_t>(step_index),
+                                  at, use.serialization,
+                                  obs::OccCategory::kTransmission,
+                                  use.concurrency);
+          at += use.serialization;
+          probe.occupancy->record(ref, static_cast<std::uint32_t>(step_index),
+                                  at, round_end - at,
+                                  obs::OccCategory::kStragglerWait);
+        }
+        cursor = round_end;
       }
     }
     simulator.schedule_in(pattern.cost.duration, launch);
@@ -231,6 +317,11 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
 
   result.total_time = simulator.now();
   result.events_fired = simulator.events_fired();
+  // Close the counter track so the last round's value does not hold past
+  // the end of the run in the viewer.
+  if (probe.trace != nullptr && result.total_rounds > 0) {
+    probe.counter_sample("wavelengths in use", result.total_time, 0.0);
+  }
   return result;
 }
 

@@ -187,6 +187,18 @@ class RingNetwork {
       const coll::Schedule& schedule) const;
 
  private:
+  /// One (direction, fiber, wavelength) channel's use within a round,
+  /// aggregated over the lightpaths sharing it on disjoint ring segments.
+  struct RoundUse {
+    std::uint8_t direction = 0;  ///< 0 = clockwise, 1 = counter-clockwise
+    std::uint32_t fiber = 0;
+    std::uint32_t wavelength = 0;
+    /// Longest serialization among the sharers (the channel transmits
+    /// until its slowest lightpath finishes).
+    Seconds serialization{0.0};
+    std::uint32_t concurrency = 0;  ///< lightpaths sharing the channel
+  };
+
   struct PatternCost {
     StepCost cost;
     std::uint32_t longest_hops = 0;
@@ -195,6 +207,9 @@ class RingNetwork {
     std::vector<TuningState> round_tunings;
     /// Per-round wavelength high-water marks, for round trace spans.
     std::vector<std::uint32_t> round_wavelengths;
+    /// Per-round channel uses (sorted by direction/fiber/wavelength), for
+    /// occupancy sampling and the wavelengths-in-use counter track.
+    std::vector<std::vector<RoundUse>> round_uses;
   };
 
   [[nodiscard]] PatternCost evaluate_step(const coll::Step& step,

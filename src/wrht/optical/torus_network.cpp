@@ -3,11 +3,45 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "wrht/common/error.hpp"
+#include "wrht/obs/occupancy.hpp"
 #include "wrht/optical/rwa.hpp"
 
 namespace wrht::optics {
+
+namespace {
+
+/// One WDM channel's aggregated use within a round of one embedded ring.
+struct ChannelUse {
+  std::uint8_t direction = 0;
+  std::uint32_t fiber = 0;
+  std::uint32_t wavelength = 0;
+  Seconds serialization{0.0};
+  std::uint32_t concurrency = 0;
+};
+
+/// Occupancy timeline of one embedded ring within one step, buffered until
+/// the step's slowest ring (and hence the straggler horizon) is known.
+struct RingTimeline {
+  std::string prefix;  ///< "row3" / "col0"
+  std::vector<Seconds> round_durations;
+  std::vector<std::vector<ChannelUse>> round_uses;
+};
+
+std::string torus_channel_name(const std::string& prefix,
+                               const ChannelUse& use,
+                               std::uint32_t num_fibers) {
+  std::string name = prefix;
+  name += use.direction == 0 ? "/cw" : "/ccw";
+  if (num_fibers > 1) name += "/f" + std::to_string(use.fiber);
+  name += "/w" + std::to_string(use.wavelength);
+  return name;
+}
+
+}  // namespace
 
 TorusNetwork::TorusNetwork(const topo::Torus& torus, OpticalConfig config)
     : torus_(torus),
@@ -65,10 +99,16 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     cost.start = Seconds(now);
     std::uint32_t max_rounds = 0;
     double slowest = 0.0;
+    std::vector<RingTimeline> timelines;  // filled only when sampling
     for (const auto& [key, share] : shares) {
       const topo::Ring& ring = key.first ? row_ring_ : col_ring_;
       const RoundsResult rounds =
           assign_rounds(ring, share.transfers, options, rng);
+      RingTimeline timeline;
+      if (probe.occupancy != nullptr) {
+        timeline.prefix = (key.first ? "row" : "col") +
+                          std::to_string(key.second);
+      }
       double ring_time = 0.0;
       for (std::size_t r = 0; r < rounds.rounds.size(); ++r) {
         std::size_t max_elements = 0;
@@ -76,13 +116,42 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
           max_elements =
               std::max(max_elements, share.transfers[idx].count);
         }
-        ring_time += config_.mrr_reconfig_delay.count() +
-                     config_.oeo_delay.count() +
-                     static_cast<double>(max_elements) *
-                         config_.bytes_per_element /
-                         config_.bytes_per_second();
+        const double round_time = config_.mrr_reconfig_delay.count() +
+                                  config_.oeo_delay.count() +
+                                  static_cast<double>(max_elements) *
+                                      config_.bytes_per_element /
+                                      config_.bytes_per_second();
+        ring_time += round_time;
         cost.max_transfer_elements =
             std::max(cost.max_transfer_elements, max_elements);
+        if (probe.occupancy != nullptr) {
+          // Aggregate the round's lightpaths per channel (spatial reuse
+          // shares one wavelength over disjoint segments); std::map keys
+          // keep the use list deterministically ordered.
+          std::map<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>,
+                   ChannelUse>
+              uses;
+          for (std::size_t j = 0; j < rounds.paths[r].size(); ++j) {
+            const Lightpath& p = rounds.paths[r][j];
+            const auto dir = static_cast<std::uint8_t>(
+                p.direction == topo::Direction::kClockwise ? 0 : 1);
+            ChannelUse& use = uses[{dir, p.fiber, p.wavelength}];
+            use.direction = dir;
+            use.fiber = p.fiber;
+            use.wavelength = p.wavelength;
+            const double ser =
+                static_cast<double>(
+                    share.transfers[rounds.rounds[r][j]].count) *
+                config_.bytes_per_element / config_.bytes_per_second();
+            use.serialization = std::max(use.serialization, Seconds(ser));
+            ++use.concurrency;
+          }
+          timeline.round_durations.emplace_back(round_time);
+          timeline.round_uses.emplace_back();
+          for (auto& [k, use] : uses) {
+            timeline.round_uses.back().push_back(use);
+          }
+        }
       }
       for (const auto& round : rounds.paths) {
         for (const Lightpath& p : round) {
@@ -95,6 +164,51 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
       max_rounds = std::max(
           max_rounds, static_cast<std::uint32_t>(rounds.rounds.size()));
       slowest = std::max(slowest, ring_time);
+      if (probe.occupancy != nullptr) {
+        timelines.push_back(std::move(timeline));
+      }
+    }
+
+    // Replay each ring's buffered timeline now that the step's end (the
+    // slowest ring) is known: rounds decompose into reconfiguration,
+    // O/E/O, transmission and in-round straggler wait; a ring finishing
+    // early holds its channels in straggler-wait until the step ends.
+    if (probe.occupancy != nullptr) {
+      const Seconds step_end = cost.start + Seconds(slowest);
+      const auto step_id = static_cast<std::uint32_t>(step_index);
+      for (const RingTimeline& timeline : timelines) {
+        Seconds cursor = cost.start;
+        std::vector<obs::OccupancySampler::ResourceRef> used;
+        for (std::size_t r = 0; r < timeline.round_durations.size(); ++r) {
+          const Seconds round_end = cursor + timeline.round_durations[r];
+          for (const ChannelUse& use : timeline.round_uses[r]) {
+            const auto ref = probe.occupancy->resource(torus_channel_name(
+                timeline.prefix, use, config_.fibers_per_direction));
+            Seconds at = cursor;
+            probe.occupancy->record(ref, step_id, at,
+                                    config_.mrr_reconfig_delay,
+                                    obs::OccCategory::kReconfiguration);
+            at += config_.mrr_reconfig_delay;
+            probe.occupancy->record(ref, step_id, at, config_.oeo_delay,
+                                    obs::OccCategory::kConversion);
+            at += config_.oeo_delay;
+            probe.occupancy->record(ref, step_id, at, use.serialization,
+                                    obs::OccCategory::kTransmission,
+                                    use.concurrency);
+            at += use.serialization;
+            probe.occupancy->record(ref, step_id, at, round_end - at,
+                                    obs::OccCategory::kStragglerWait);
+            if (std::find(used.begin(), used.end(), ref) == used.end()) {
+              used.push_back(ref);
+            }
+          }
+          cursor = round_end;
+        }
+        for (const auto ref : used) {
+          probe.occupancy->record(ref, step_id, cursor, step_end - cursor,
+                                  obs::OccCategory::kStragglerWait);
+        }
+      }
     }
 
     cost.label = step.label;
@@ -122,11 +236,16 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
                    {"wavelengths", std::to_string(cost.wavelengths_used)},
                    {"rings", std::to_string(shares.size())}};
       probe.span(span);
+      probe.counter_sample("wavelengths in use", cost.start,
+                           static_cast<double>(cost.wavelengths_used));
     }
     now += slowest;
     ++step_index;
   }
   result.total_time = Seconds(now);
+  if (probe.trace != nullptr && result.total_rounds > 0) {
+    probe.counter_sample("wavelengths in use", result.total_time, 0.0);
+  }
   return result;
 }
 

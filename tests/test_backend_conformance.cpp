@@ -81,6 +81,12 @@ class BackendConformance : public testing::TestWithParam<std::string> {
   static std::unique_ptr<net::Backend> make_backend() {
     return net::BackendRegistry::instance().create(GetParam(), test_config());
   }
+
+  static std::unique_ptr<net::Backend> make_observed_backend() {
+    net::BackendConfig config = test_config();
+    config.collect_utilization = true;
+    return net::BackendRegistry::instance().create(GetParam(), config);
+  }
 };
 
 TEST_P(BackendConformance, NameAndDescriptionAreStable) {
@@ -178,6 +184,58 @@ TEST_P(BackendConformance, WavelengthReportingMatchesCapability) {
     } else {
       EXPECT_EQ(report.max_wavelengths_used(), 0u) << sched.algorithm();
     }
+  }
+}
+
+TEST_P(BackendConformance, UtilizationReportingMatchesCapability) {
+  const auto backend = make_observed_backend();
+  const auto caps = backend->capabilities();
+  for (const coll::Schedule& sched : canonical_schedules(caps)) {
+    const RunReport report = backend->execute(sched);
+    if (!caps.reports_utilization) {
+      EXPECT_EQ(report.utilization, 0.0) << sched.algorithm();
+      EXPECT_EQ(report.resources_observed, 0u) << sched.algorithm();
+      EXPECT_EQ(report.breakdown.total().count(), 0.0) << sched.algorithm();
+      continue;
+    }
+    EXPECT_GT(report.resources_observed, 0u) << sched.algorithm();
+    EXPECT_GE(report.utilization, 0.0) << sched.algorithm();
+    EXPECT_LE(report.utilization, 1.0) << sched.algorithm();
+    // Accounting identity: the run breakdown and every step breakdown tile
+    // their interval exactly.
+    EXPECT_NEAR(report.breakdown.total().count(), report.total_time.count(),
+                1e-9 * (1.0 + report.total_time.count()))
+        << sched.algorithm();
+    for (const StepReport& step : report.step_reports) {
+      EXPECT_NEAR(step.breakdown.total().count(), step.duration.count(),
+                  1e-9 * (1.0 + step.duration.count()))
+          << sched.algorithm() << " @ " << step.label;
+    }
+  }
+}
+
+TEST_P(BackendConformance, UnobservedRunsKeepUtilizationFieldsZero) {
+  const auto backend = make_backend();
+  for (const coll::Schedule& sched : canonical_schedules(
+           backend->capabilities())) {
+    const RunReport report = backend->execute(sched);
+    EXPECT_EQ(report.utilization, 0.0) << sched.algorithm();
+    EXPECT_EQ(report.resources_observed, 0u) << sched.algorithm();
+    EXPECT_EQ(report.breakdown.total().count(), 0.0) << sched.algorithm();
+  }
+}
+
+TEST_P(BackendConformance, UtilizationCollectionDoesNotPerturbTiming) {
+  const auto plain = make_backend();
+  const auto observed = make_observed_backend();
+  for (const coll::Schedule& sched : canonical_schedules(
+           plain->capabilities())) {
+    const RunReport a = plain->execute(sched);
+    const RunReport b = observed->execute(sched);
+    EXPECT_EQ(a.total_time.count(), b.total_time.count())
+        << sched.algorithm();
+    EXPECT_EQ(a.rounds, b.rounds) << sched.algorithm();
+    EXPECT_EQ(a.events_fired, b.events_fired) << sched.algorithm();
   }
 }
 

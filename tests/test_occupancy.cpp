@@ -1,0 +1,230 @@
+// Invariants of the occupancy sampler and of what the four engines record
+// into it: per-resource timelines never overlap, busy time never exceeds
+// the run's wall clock, and the derived per-step breakdown tiles each
+// step's duration exactly. The thread-count test pins the determinism
+// contract: utilization analytics through exp::SweepRunner are identical
+// regardless of WRHT_SWEEP_THREADS.
+#include "wrht/obs/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/torus_wrht.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/electrical/fat_tree_network.hpp"
+#include "wrht/electrical/packet_sim.hpp"
+#include "wrht/exp/sweep.hpp"
+#include "wrht/obs/analysis.hpp"
+#include "wrht/obs/run_report.hpp"
+#include "wrht/obs/trace.hpp"
+#include "wrht/optical/ring_network.hpp"
+#include "wrht/optical/torus_network.hpp"
+
+namespace wrht::obs {
+namespace {
+
+constexpr OccCategory kTx = OccCategory::kTransmission;
+constexpr OccCategory kRetune = OccCategory::kReconfiguration;
+
+// ------------------------------------------------------- sampler basics
+
+TEST(OccupancySampler, ResourceHandlesAreDenseAndDeduplicated) {
+  OccupancySampler s;
+  const auto a = s.resource("cw/w0");
+  const auto b = s.resource("ccw/w0");
+  EXPECT_EQ(s.resource("cw/w0"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(s.num_resources(), 2u);
+  EXPECT_EQ(s.name(a), "cw/w0");
+  EXPECT_EQ(s.name(b), "ccw/w0");
+}
+
+TEST(OccupancySampler, DropsNonPositiveDurations) {
+  OccupancySampler s;
+  const auto r = s.resource("r");
+  s.record(r, 0, Seconds(1.0), Seconds(0.0), kTx);
+  s.record(r, 0, Seconds(1.0), Seconds(-1e-9), kTx);
+  EXPECT_TRUE(s.intervals(r).empty());
+}
+
+TEST(OccupancySampler, CoalescesBackToBackSlices) {
+  OccupancySampler s;
+  const auto r = s.resource("r");
+  // Back-to-back same step/category/concurrency: one interval.
+  s.record(r, 0, Seconds(0.0), Seconds(1e-6), kTx);
+  s.record(r, 0, Seconds(1e-6), Seconds(2e-6), kTx);
+  ASSERT_EQ(s.intervals(r).size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals(r)[0].duration.count(), 3e-6);
+  // Category change breaks the merge even when contiguous.
+  s.record(r, 0, Seconds(3e-6), Seconds(1e-6), kRetune);
+  EXPECT_EQ(s.intervals(r).size(), 2u);
+  // A gap breaks it too.
+  s.record(r, 0, Seconds(5e-6), Seconds(1e-6), kRetune);
+  EXPECT_EQ(s.intervals(r).size(), 3u);
+}
+
+TEST(OccupancySampler, RecordedSumsPerCategory) {
+  OccupancySampler s;
+  const auto r = s.resource("r");
+  s.record(r, 0, Seconds(0.0), Seconds(1e-6), kTx);
+  s.record(r, 1, Seconds(2e-6), Seconds(3e-6), kRetune);
+  EXPECT_DOUBLE_EQ(s.recorded(r, kTx).count(), 1e-6);
+  EXPECT_DOUBLE_EQ(s.recorded(r, kRetune).count(), 3e-6);
+  EXPECT_DOUBLE_EQ(s.recorded(r).count(), 4e-6);
+  s.clear();
+  EXPECT_EQ(s.num_resources(), 0u);
+}
+
+// ------------------------------------------- engine-recorded invariants
+
+/// Sorted-by-start intervals of `ref` must tile without overlap, and the
+/// busy total cannot exceed the run's wall clock (a resource is one
+/// physical channel; spatial reuse raises `concurrency`, not busy time).
+void expect_valid_timelines(const OccupancySampler& sampler,
+                            double total_time) {
+  ASSERT_GT(sampler.num_resources(), 0u);
+  const double eps = 1e-12 * (1.0 + total_time);
+  for (OccupancySampler::ResourceRef ref = 0; ref < sampler.num_resources();
+       ++ref) {
+    std::vector<OccInterval> sorted = sampler.intervals(ref);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const OccInterval& a, const OccInterval& b) {
+                return a.start.count() < b.start.count();
+              });
+    double cursor = 0.0;
+    double busy = 0.0;
+    for (const OccInterval& iv : sorted) {
+      EXPECT_GE(iv.start.count(), cursor - eps)
+          << sampler.name(ref) << ": overlapping intervals";
+      EXPECT_GT(iv.duration.count(), 0.0);
+      EXPECT_GE(iv.concurrency, 1u);
+      cursor = iv.start.count() + iv.duration.count();
+      busy += iv.duration.count();
+    }
+    EXPECT_LE(cursor, total_time + eps) << sampler.name(ref);
+    EXPECT_LE(busy, total_time + eps)
+        << sampler.name(ref) << ": busier than the wall clock";
+  }
+}
+
+/// The analysis identities: every step's breakdown sums to the step's
+/// duration, the run breakdown sums to total_time, and the critical path
+/// tiles the run.
+void expect_accounting_identities(const RunReport& report,
+                                  const UtilizationAnalysis& analysis) {
+  const double eps = 1e-9;
+  for (const StepReport& step : report.step_reports) {
+    EXPECT_NEAR(step.breakdown.total().count(), step.duration.count(), eps)
+        << step.label;
+  }
+  EXPECT_NEAR(report.breakdown.total().count(), report.total_time.count(),
+              eps);
+  EXPECT_NEAR(analysis.critical_path_length.count(),
+              report.total_time.count(), eps);
+  EXPECT_GE(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0);
+  EXPECT_EQ(report.resources_observed, analysis.resources.size());
+}
+
+TEST(EngineOccupancy, OpticalRingRecordsValidTimelines) {
+  const coll::Schedule sched = coll::ring_allreduce(8, 800);
+  const optics::RingNetwork net(8,
+                                optics::OpticalConfig{}.with_wavelengths(8));
+  OccupancySampler sampler;
+  Probe probe;
+  probe.occupancy = &sampler;
+  RunReport report = net.execute(sched, probe).to_report();
+  expect_valid_timelines(sampler, report.total_time.count());
+  expect_accounting_identities(report, attach_utilization(report, sampler));
+}
+
+TEST(EngineOccupancy, OpticalRingMultiRoundWrht) {
+  // Few wavelengths force multi-round splitting, so the sampler sees
+  // reconfiguration, O/E/O and straggler intervals, not just payload.
+  const auto plan = core::plan_wrht(32, 4);
+  const coll::Schedule sched =
+      core::wrht_allreduce(32, 6400, core::WrhtOptions{plan.group_size, 4});
+  const optics::RingNetwork net(
+      32, optics::OpticalConfig{}.with_wavelengths(4).with_validate_node_capacity(
+              false));
+  OccupancySampler sampler;
+  Probe probe;
+  probe.occupancy = &sampler;
+  RunReport report = net.execute(sched, probe).to_report();
+  expect_valid_timelines(sampler, report.total_time.count());
+  expect_accounting_identities(report, attach_utilization(report, sampler));
+}
+
+TEST(EngineOccupancy, OpticalTorusRecordsValidTimelines) {
+  const topo::Torus torus(4, 8);
+  const auto sched =
+      core::torus_wrht_allreduce(torus, 1000, core::WrhtOptions{3, 8});
+  const optics::TorusNetwork net(torus,
+                                 optics::OpticalConfig{}.with_wavelengths(8));
+  OccupancySampler sampler;
+  Probe probe;
+  probe.occupancy = &sampler;
+  RunReport report = net.execute(sched, probe).to_report();
+  expect_valid_timelines(sampler, report.total_time.count());
+  expect_accounting_identities(report, attach_utilization(report, sampler));
+}
+
+TEST(EngineOccupancy, ElectricalFlowRecordsValidTimelines) {
+  const coll::Schedule sched = coll::ring_allreduce(8, 800);
+  const elec::FatTreeNetwork net(8, elec::ElectricalConfig{});
+  OccupancySampler sampler;
+  Probe probe;
+  probe.occupancy = &sampler;
+  RunReport report = net.execute(sched, probe).to_report();
+  expect_valid_timelines(sampler, report.total_time.count());
+  expect_accounting_identities(report, attach_utilization(report, sampler));
+}
+
+TEST(EngineOccupancy, ElectricalPacketRecordsValidTimelines) {
+  const coll::Schedule sched = coll::ring_allreduce(8, 800);
+  const elec::PacketLevelNetwork net(8, elec::ElectricalConfig{});
+  OccupancySampler sampler;
+  Probe probe;
+  probe.occupancy = &sampler;
+  RunReport report = net.execute(sched, probe).to_report();
+  expect_valid_timelines(sampler, report.total_time.count());
+  expect_accounting_identities(report, attach_utilization(report, sampler));
+}
+
+// --------------------------------------------- sweep-level determinism
+
+TEST(EngineOccupancy, UtilizationIdenticalAcrossSweepThreadCounts) {
+  exp::SweepSpec spec;
+  spec.workloads = {exp::Workload{"tiny", 4096}};
+  spec.nodes = {16};
+  spec.wavelengths = {4};
+  spec.series = {exp::Series{.name = "ring", .algorithm = "ring"},
+                 exp::Series{.name = "wrht", .algorithm = "wrht"},
+                 exp::Series{.name = "flow", .algorithm = "ring",
+                             .backend = "electrical-flow"}};
+  spec.config.validate_node_capacity = false;
+  spec.config.collect_utilization = true;
+
+  const auto serial = exp::SweepRunner(1).run(spec);
+  const auto parallel = exp::SweepRunner(4).run(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const RunReport& a = serial[i].report;
+    const RunReport& b = parallel[i].report;
+    EXPECT_GT(a.resources_observed, 0u) << serial[i].point.series;
+    EXPECT_EQ(a.utilization, b.utilization) << serial[i].point.series;
+    EXPECT_EQ(a.resources_observed, b.resources_observed);
+    EXPECT_EQ(a.breakdown.transmission.count(),
+              b.breakdown.transmission.count());
+    EXPECT_EQ(a.breakdown.reconfiguration.count(),
+              b.breakdown.reconfiguration.count());
+    EXPECT_EQ(a.breakdown.idle.count(), b.breakdown.idle.count());
+  }
+}
+
+}  // namespace
+}  // namespace wrht::obs

@@ -120,6 +120,83 @@ TEST(RunReport, StepCsvHasOneRowPerStep) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- write_json() golden
+
+/// Hand-fed report with clean values: the JSON must match byte for byte
+/// (fixed key order, %.9g seconds). Anything that consumes these files —
+/// plotting scripts, diffing tools — relies on this determinism.
+TEST(RunReport, WriteJsonGolden) {
+  RunReport report;
+  report.backend = "golden";
+  report.total_time = Seconds(5e-6);
+  report.steps = 1;
+  report.rounds = 2;
+  report.events_fired = 3;
+  report.utilization = 0.5;
+  report.resources_observed = 2;
+  report.breakdown = {Seconds(2.5e-6), Seconds(1e-6), Seconds(0.0),
+                      Seconds(0.0),    Seconds(5e-7), Seconds(1e-6)};
+  StepReport step;
+  step.label = "exchange";
+  step.duration = Seconds(5e-6);
+  step.rounds = 2;
+  step.wavelengths_used = 1;
+  step.breakdown = report.breakdown;
+  report.step_reports.push_back(step);
+  report.counters["optical.rounds"] = 2;
+
+  std::ostringstream out;
+  report.write_json(out);
+  const std::string expected =
+      "{\n"
+      "  \"backend\": \"golden\",\n"
+      "  \"total_time_s\": 5e-06,\n"
+      "  \"steps\": 1,\n"
+      "  \"rounds\": 2,\n"
+      "  \"events_fired\": 3,\n"
+      "  \"utilization\": 0.5,\n"
+      "  \"resources_observed\": 2,\n"
+      "  \"breakdown\": {\"transmission_s\":2.5e-06,"
+      "\"reconfiguration_s\":1e-06,\"conversion_s\":0,\"processing_s\":0,"
+      "\"straggler_wait_s\":5e-07,\"idle_s\":1e-06},\n"
+      "  \"step_reports\": [\n"
+      "    {\"step\":0,\"label\":\"exchange\",\"start_s\":0,"
+      "\"duration_s\":5e-06,\"rounds\":2,\"wavelengths_used\":1,"
+      "\"breakdown\":{\"transmission_s\":2.5e-06,\"reconfiguration_s\":1e-06,"
+      "\"conversion_s\":0,\"processing_s\":0,\"straggler_wait_s\":5e-07,"
+      "\"idle_s\":1e-06}}\n"
+      "  ],\n"
+      "  \"counters\": {\n"
+      "    \"optical.rounds\": 2\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(RunReport, WriteJsonEmptyReportIsStillValid) {
+  std::ostringstream out;
+  RunReport{}.write_json(out);
+  const std::string got = out.str();
+  EXPECT_NE(got.find("\"step_reports\": []"), std::string::npos) << got;
+  EXPECT_NE(got.find("\"counters\": {}"), std::string::npos) << got;
+}
+
+TEST(RunReport, WriteJsonFileRoundTripsAndBadPathThrows) {
+  RunReport report;
+  report.backend = "file \"quoted\"";  // exercises escaping on disk
+  const std::string path = testing::TempDir() + "run_report.json";
+  report.write_json_file(path);
+  std::ifstream in(path);
+  std::stringstream got;
+  got << in.rdbuf();
+  std::ostringstream direct;
+  report.write_json(direct);
+  EXPECT_EQ(got.str(), direct.str());
+  std::remove(path.c_str());
+
+  EXPECT_THROW(report.write_json_file("/no/such/dir/report.json"), Error);
+}
+
 // -------------------------------------- observed == unobserved execution
 
 TEST(Observability, EmptyProbeMatchesUnobservedExecute) {

@@ -68,5 +68,35 @@ TEST(MeanReduction, Validation) {
   EXPECT_THROW(mean_reduction_percent({1.0}, {0.0}), InvalidArgument);
 }
 
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v{3.0, 1.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);  // input not mutated
+}
+
+TEST(Percentile, LinearInterpolationMatchesR7) {
+  // numpy.percentile([1, 2, 3, 4], 25) == 1.75 under the default (R-7)
+  // definition: h = 0.25 * 3 = 0.75 -> 1 + 0.75 * (2 - 1).
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.9), 3.7);
+}
+
+TEST(Percentile, SingleValueIsEveryQuantile) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.37), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 1.1), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace wrht

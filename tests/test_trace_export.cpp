@@ -147,6 +147,11 @@ TEST(ChromeTrace, GoldenOutputForHandFedSpans) {
   round.track = 0;
   sink.span(round);
 
+  // Counter samples render as "C" events after the spans; whole values
+  // print as integers, fractional ones via %g.
+  sink.counter(CounterSample{"wavelengths in use", Seconds(1e-6), 2.0, 0});
+  sink.counter(CounterSample{"load", Seconds(2e-6), 0.5, 0});
+
   std::ostringstream out;
   sink.write(out);
 
@@ -159,10 +164,15 @@ TEST(ChromeTrace, GoldenOutputForHandFedSpans) {
       "{\"name\":\"exchange\",\"cat\":\"step\",\"ph\":\"X\",\"ts\":0.000000,"
       "\"dur\":5.000000,\"pid\":0,\"tid\":0,\"args\":{\"rounds\":\"1\"}},\n"
       "{\"name\":\"round 0\",\"cat\":\"round\",\"ph\":\"X\",\"ts\":1.000000,"
-      "\"dur\":4.000000,\"pid\":0,\"tid\":0,\"args\":{}}\n"
+      "\"dur\":4.000000,\"pid\":0,\"tid\":0,\"args\":{}},\n"
+      "{\"name\":\"wavelengths in use\",\"ph\":\"C\",\"ts\":1.000000,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"value\":2}},\n"
+      "{\"name\":\"load\",\"ph\":\"C\",\"ts\":2.000000,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"value\":0.5}}\n"
       "]}\n";
   EXPECT_EQ(out.str(), expected);
   EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.counter_count(), 2u);
 }
 
 /// End-to-end golden: a deterministic 2-node exchange through the optical
@@ -199,7 +209,11 @@ TEST(ChromeTrace, GoldenOutputForOpticalRun) {
       "\"wavelengths\":\"1\",\"max_transfer_elements\":\"1000\"}},\n"
       "{\"name\":\"round 0\",\"cat\":\"round\",\"ph\":\"X\",\"ts\":0.000000,"
       "\"dur\":5.000000,\"pid\":0,\"tid\":0,\"args\":{"
-      "\"serialization_us\":\"4.000000\",\"wavelengths\":\"1\"}}\n"
+      "\"serialization_us\":\"4.000000\",\"wavelengths\":\"1\"}},\n"
+      "{\"name\":\"wavelengths in use\",\"ph\":\"C\",\"ts\":0.000000,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"value\":1}},\n"
+      "{\"name\":\"wavelengths in use\",\"ph\":\"C\",\"ts\":5.000000,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"value\":0}}\n"
       "]}\n";
   EXPECT_EQ(out.str(), expected);
 }
