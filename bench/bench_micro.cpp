@@ -14,6 +14,7 @@
 #include "wrht/obs/trace.hpp"
 #include "wrht/optical/ring_network.hpp"
 #include "wrht/optical/rwa.hpp"
+#include "wrht/prof/prof.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace {
@@ -131,6 +132,29 @@ void BM_ElectricalExecuteRing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ElectricalExecuteRing)->Range(64, 512);
+
+// The host-profiling contract mirrors the probe contract above: with no
+// registry installed a ScopedTimer is a single relaxed pointer load
+// (BM_ScopedTimerOff), while an installed registry pays two clock reads
+// and two relaxed fetch_adds per timer (BM_ScopedTimerOn shows the
+// price). Compare the two to audit the off-by-default overhead.
+void BM_ScopedTimerOff(benchmark::State& state) {
+  for (auto _ : state) {
+    const prof::ScopedTimer timer("bench.phase");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ScopedTimerOff);
+
+void BM_ScopedTimerOn(benchmark::State& state) {
+  prof::ProfRegistry registry;
+  const prof::ScopedProfiling profiling(registry);
+  for (auto _ : state) {
+    const prof::ScopedTimer timer("bench.phase");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ScopedTimerOn);
 
 void BM_EventQueueThroughput(benchmark::State& state) {
   const auto events = static_cast<int>(state.range(0));

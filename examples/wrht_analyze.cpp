@@ -4,17 +4,22 @@
 // the critical path through the step timeline, and the top idle resources.
 //
 //   $ ./wrht_analyze [nodes] [elements] [wavelengths] [algorithm] [backend]
+//                    [--json PATH]
 //
 // Defaults reproduce a Fig. 5 configuration (N = 1024, w = 64, WRHT on the
 // optical ring). The tool double-checks the accounting identities the
 // analysis layer guarantees — breakdown sums to total_time and the
 // critical path tiles the run — and fails loudly if either drifts, so the
-// example smoke test doubles as an acceptance check.
+// example smoke test doubles as an acceptance check. --json additionally
+// dumps the machine-readable RunReport (steps, counters, utilization) to
+// PATH for downstream tooling.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "wrht/collectives/registry.hpp"
 #include "wrht/core/planner.hpp"
@@ -25,14 +30,32 @@
 
 int main(int argc, char** argv) {
   using namespace wrht;
+  // --json PATH may appear anywhere; everything else is positional.
+  std::string json_path;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [nodes] [elements] [wavelengths] "
+                             "[algorithm] [backend] [--json PATH]\n", argv[0]);
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      pos.emplace_back(argv[i]);
+    }
+  }
   const std::uint32_t nodes =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 1024;
+      !pos.empty() ? static_cast<std::uint32_t>(std::atoi(pos[0].c_str()))
+                   : 1024;
   const std::size_t elements =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 1'000'000;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atoll(pos[1].c_str()))
+                     : 1'000'000;
   const std::uint32_t wavelengths =
-      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 64;
-  const std::string algorithm = argc > 4 ? argv[4] : "wrht";
-  const std::string backend_name = argc > 5 ? argv[5] : "optical-ring";
+      pos.size() > 2 ? static_cast<std::uint32_t>(std::atoi(pos[2].c_str()))
+                     : 64;
+  const std::string algorithm = pos.size() > 3 ? pos[3] : "wrht";
+  const std::string backend_name = pos.size() > 4 ? pos[4] : "optical-ring";
 
   exp::ensure_initialized();  // WRHT algorithm + builtin backends
 
@@ -68,6 +91,11 @@ int main(int argc, char** argv) {
   const obs::UtilizationAnalysis analysis =
       obs::analyze_utilization(report, sampler);
   obs::print_bottleneck_report(std::cout, report, analysis, 5);
+
+  if (!json_path.empty()) {
+    report.write_json_file(json_path);
+    std::printf("\nrun report written to %s\n", json_path.c_str());
+  }
 
   // Accounting identities (the acceptance criteria for the analysis
   // layer); drift here means an engine recorded overlapping or misplaced

@@ -1,0 +1,310 @@
+// wrht_perf: the host-side performance harness. Runs a pinned micro-suite
+// (the same hot paths bench_micro exercises: schedule construction, RWA,
+// all four execution backends, the verification oracle, the event kernel
+// and a small parallel sweep), aggregates repetitions into median/p90
+// metrics, and writes the machine-readable BENCH_micro.json that the
+// baseline tooling consumes.
+//
+//   $ wrht_perf [--tiny] [--reps N] [--out PATH]
+//               [--baseline PATH] [--write-baseline PATH] [--drift X]
+//
+// --tiny shrinks every workload to CI-smoke scale (same metric names, so
+// tiny runs compare against tiny baselines — bench/baselines/
+// micro-tiny.baseline — and full runs against micro.baseline).
+// --baseline compares the fresh measurement against a checked-in baseline
+// with per-metric relative-drift thresholds and exits 1 on regression;
+// --write-baseline snapshots the measurement as a new baseline with a
+// uniform --drift threshold (default 3.0: a 4x slowdown regresses; see
+// EXPERIMENTS.md for the refresh workflow).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wrht/collectives/ring_allreduce.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/torus_wrht.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/exp/sweep.hpp"
+#include "wrht/net/registry.hpp"
+#include "wrht/optical/rwa.hpp"
+#include "wrht/prof/baseline.hpp"
+#include "wrht/prof/perf_report.hpp"
+#include "wrht/prof/prof.hpp"
+#include "wrht/sim/simulator.hpp"
+#include "wrht/topo/ring.hpp"
+#include "wrht/verify/oracle.hpp"
+
+namespace {
+
+using namespace wrht;
+
+struct Options {
+  bool tiny = false;
+  std::uint32_t reps = 0;  // 0 = default (5 full / 3 tiny)
+  std::string out = "BENCH_micro.json";
+  std::string baseline;
+  std::string write_baseline;
+  double drift = 3.0;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--tiny] [--reps N] [--out PATH]\n"
+      "          [--baseline PATH] [--write-baseline PATH] [--drift X]\n",
+      argv0);
+  return 2;
+}
+
+double time_once(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  return wall.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--tiny") {
+      opt.tiny = true;
+    } else if (arg == "--reps") {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return usage(argv[0]);
+      opt.reps = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.out = v;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.baseline = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.write_baseline = v;
+    } else if (arg == "--drift") {
+      const char* v = value();
+      if (v == nullptr || std::atof(v) <= 0.0) return usage(argv[0]);
+      opt.drift = std::atof(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.reps == 0) opt.reps = opt.tiny ? 3 : 5;
+
+  exp::ensure_initialized();
+
+  // Pinned workload sizes: identical on every machine so a BENCH_micro.json
+  // is comparable across runs of the same mode.
+  const std::uint32_t sched_n = opt.tiny ? 64 : 1024;
+  const std::uint32_t sched_w = opt.tiny ? 8 : 64;
+  const std::uint32_t optical_n = opt.tiny ? 16 : 256;
+  const std::uint32_t flow_n = opt.tiny ? 16 : 128;
+  const std::uint32_t packet_n = opt.tiny ? 8 : 32;
+  const std::uint32_t oracle_n = opt.tiny ? 8 : 32;
+  const std::size_t oracle_elems = opt.tiny ? 64 : 256;
+  const int kernel_events = opt.tiny ? 4096 : 65536;
+
+  // Shared inputs, built once outside the timed regions.
+  const core::WrhtPlan plan = core::plan_wrht(sched_n, sched_w);
+  const coll::Schedule wrht_sched = core::wrht_allreduce(
+      sched_n, 64, core::WrhtOptions{plan.group_size, sched_w});
+  const topo::Ring sched_ring(sched_n);
+  const coll::Schedule optical_sched =
+      coll::ring_allreduce(optical_n, 4 * optical_n);
+  // The torus engine rejects transfers that cross both dimensions, so it
+  // gets the paper's dimension-aware torus WRHT schedule (§6.1), not the
+  // plain ring.
+  const std::uint32_t torus_side = opt.tiny ? 4 : 16;
+  const coll::Schedule torus_sched = core::torus_wrht_allreduce(
+      topo::Torus(torus_side, torus_side), 4 * optical_n,
+      core::WrhtOptions{core::plan_wrht(torus_side, 16).group_size, 16});
+  const coll::Schedule flow_sched = coll::ring_allreduce(flow_n, 4 * flow_n);
+  const coll::Schedule packet_sched =
+      coll::ring_allreduce(packet_n, 4 * packet_n);
+  const coll::Schedule oracle_sched =
+      coll::ring_allreduce(oracle_n, oracle_elems);
+
+  const auto backend_run = [](const std::string& name, std::uint32_t nodes,
+                              std::uint32_t wavelengths,
+                              const coll::Schedule& schedule) {
+    net::BackendConfig config;
+    config.num_nodes = nodes;
+    config.wavelengths = wavelengths;
+    const std::unique_ptr<net::Backend> backend =
+        net::BackendRegistry::instance().create(name, config);
+    const RunReport report = backend->execute(schedule, obs::Probe{});
+    if (report.total_time.count() <= 0.0) {
+      throw Error("wrht_perf: " + name + " priced zero time");
+    }
+  };
+
+  // The micro-suite: name -> one repetition. Names are the metric schema;
+  // changing them invalidates checked-in baselines (schema drift fails the
+  // comparison by design).
+  struct Micro {
+    std::string name;
+    std::function<void()> run;
+  };
+  const std::vector<Micro> suite = {
+      {"schedule_build",
+       [&] {
+         (void)core::wrht_allreduce(sched_n, 64,
+                                    core::WrhtOptions{plan.group_size,
+                                                      sched_w});
+       }},
+      {"rwa_assign",
+       [&] {
+         optics::RwaOptions rwa;
+         rwa.wavelengths = sched_w;
+         (void)optics::assign_wavelengths(
+             sched_ring, wrht_sched.steps().front().transfers, rwa);
+       }},
+      {"optical_ring_execute",
+       [&] { backend_run("optical-ring", optical_n, 16, optical_sched); }},
+      {"optical_torus_execute",
+       [&] {
+         backend_run("optical-torus", torus_side * torus_side, 16,
+                     torus_sched);
+       }},
+      {"electrical_flow_execute",
+       [&] { backend_run("electrical-flow", flow_n, 16, flow_sched); }},
+      {"electrical_packet_execute",
+       [&] { backend_run("electrical-packet", packet_n, 16, packet_sched); }},
+      {"verify_oracle",
+       [&] {
+         const verify::OracleReport report =
+             verify::check_allreduce(oracle_sched, verify::OracleOptions{});
+         if (!report.ok()) throw Error("wrht_perf: oracle failed");
+       }},
+  };
+
+  prof::ProfRegistry registry;
+  prof::PerfReport report;
+  report.name = "micro";
+  report.repetitions = opt.reps;
+  report.threads = exp::SweepRunner().threads();
+
+  const auto suite_start = std::chrono::steady_clock::now();
+  {
+    const prof::ScopedProfiling profiling(registry);
+    prof::set_thread_label("main");
+
+    for (const Micro& micro : suite) {
+      std::vector<double> samples;
+      samples.reserve(opt.reps);
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite." + micro.name);
+        samples.push_back(time_once(micro.run));
+      }
+      report.add_sample_metrics(micro.name + ".wall_s", samples, "s");
+    }
+
+    // Event kernel: wall time plus simulated-event throughput.
+    {
+      std::vector<double> walls, rates;
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.event_kernel");
+        sim::Simulator simulator;
+        const double wall = time_once([&] {
+          for (int i = 0; i < kernel_events; ++i) {
+            simulator.schedule_in(Seconds(static_cast<double>((i * 31) % 1000)),
+                                  [] {});
+          }
+          simulator.run();
+        });
+        walls.push_back(wall);
+        rates.push_back(static_cast<double>(simulator.events_fired()) /
+                        (wall > 0.0 ? wall : 1e-12));
+      }
+      report.add_sample_metrics("event_kernel.wall_s", walls, "s");
+      report.add_sample_metrics("event_kernel.events_per_s", rates, "/s");
+    }
+
+    // Parallel sweep: grid-point throughput and worker-pool efficiency.
+    {
+      exp::SweepSpec spec;
+      spec.workloads = {exp::Workload{"micro", opt.tiny ? 1024u : 8192u}};
+      spec.nodes = opt.tiny ? std::vector<std::uint32_t>{8, 16}
+                            : std::vector<std::uint32_t>{32, 64};
+      spec.wavelengths = {8};
+      spec.series.resize(3);
+      spec.series[0].name = "wrht";
+      spec.series[0].algorithm = "wrht";
+      spec.series[1].name = "ring";
+      spec.series[1].algorithm = "ring";
+      spec.series[2].name = "flow";
+      spec.series[2].algorithm = "ring";
+      spec.series[2].backend = "electrical-flow";
+      spec.config.validate_node_capacity = false;
+
+      const exp::SweepRunner runner;
+      std::vector<double> walls, rates;
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        std::size_t points = 0;
+        const double wall = time_once([&] {
+          points = runner.run(spec).size();
+        });
+        walls.push_back(wall);
+        rates.push_back(static_cast<double>(points) /
+                        (wall > 0.0 ? wall : 1e-12));
+      }
+      report.add_sample_metrics("sweep.wall_s", walls, "s");
+      report.add_sample_metrics("sweep.grid_points_per_s", rates, "/s");
+    }
+  }
+  const std::chrono::duration<double> suite_wall =
+      std::chrono::steady_clock::now() - suite_start;
+
+  report.wall_time_s = suite_wall.count();
+  report.peak_rss_bytes = prof::peak_rss_bytes();
+  report.add_metric("peak_rss_mb",
+                    static_cast<double>(report.peak_rss_bytes) / 1e6, "MB");
+  report.capture(registry);
+
+  report.write_json_file(opt.out);
+  std::printf("wrht_perf: %s suite, %u reps, %u sweep threads, %.3f s wall\n",
+              opt.tiny ? "tiny" : "full", opt.reps, report.threads,
+              report.wall_time_s);
+  std::printf("perf report written to %s\n", opt.out.c_str());
+  std::printf("\n%-34s %14s\n", "metric", "value");
+  for (const prof::PerfMetric& m : report.metrics) {
+    std::printf("  %-32s %12.6g %s\n", m.name.c_str(), m.value,
+                m.unit.c_str());
+  }
+
+  if (!opt.write_baseline.empty()) {
+    prof::Baseline::from_report(report, opt.drift).save(opt.write_baseline);
+    std::printf("\nbaseline written to %s (drift %.2f)\n",
+                opt.write_baseline.c_str(), opt.drift);
+  }
+
+  if (!opt.baseline.empty()) {
+    const prof::Baseline baseline = prof::Baseline::load(opt.baseline);
+    const prof::CompareReport compared = prof::compare(report, baseline);
+    std::printf("\ncomparison vs %s:\n", opt.baseline.c_str());
+    compared.print(std::cout);
+    if (!compared.ok()) {
+      std::fprintf(stderr, "wrht_perf: PERFORMANCE REGRESSION vs %s\n",
+                   opt.baseline.c_str());
+      return 1;
+    }
+    std::printf("wrht_perf: within baseline thresholds\n");
+  }
+  return 0;
+}

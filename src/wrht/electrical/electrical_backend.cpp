@@ -1,5 +1,7 @@
 #include "wrht/electrical/electrical_backend.hpp"
 
+#include "wrht/prof/prof.hpp"
+
 namespace wrht::elec {
 
 FlowBackend::FlowBackend(std::uint32_t num_hosts, ElectricalConfig config,
@@ -20,6 +22,7 @@ net::BackendCapabilities FlowBackend::capabilities() const {
 
 RunReport FlowBackend::execute(const coll::Schedule& schedule,
                                const obs::Probe& probe) const {
+  const prof::ScopedTimer timer("backend.electrical-flow.execute");
   net::count_schedule(probe, schedule);
   const net::ScopedUtilization util(probe, collect_utilization_);
   RunReport report = network_.execute(schedule, util.probe()).to_report();
@@ -46,6 +49,7 @@ net::BackendCapabilities PacketBackend::capabilities() const {
 
 RunReport PacketBackend::execute(const coll::Schedule& schedule,
                                  const obs::Probe& probe) const {
+  const prof::ScopedTimer timer("backend.electrical-packet.execute");
   net::count_schedule(probe, schedule);
   const net::ScopedUtilization util(probe, collect_utilization_);
   RunReport report = network_.execute(schedule, util.probe()).to_report();

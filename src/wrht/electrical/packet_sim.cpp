@@ -6,6 +6,7 @@
 #include "wrht/common/error.hpp"
 #include "wrht/net/backend.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/prof/prof.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace wrht::elec {
@@ -97,7 +98,11 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
     }
   }
 
-  simulator.run();
+  {
+    // Host-side phase accounting for the per-step packet DES drain.
+    const prof::ScopedTimer timer("electrical.des.run");
+    simulator.run();
+  }
   events += simulator.events_fired();
   // Links that went quiet before the step's last packet drained are in
   // straggler wait; untouched links remain unaccounted (idle).

@@ -2,18 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "wrht/collectives/registry.hpp"
 #include "wrht/common/error.hpp"
+#include "wrht/common/log.hpp"
 #include "wrht/core/wrht_schedule.hpp"
 #include "wrht/obs/trace.hpp"
+#include "wrht/obs/trace_json.hpp"
+#include "wrht/prof/prof.hpp"
 
 namespace wrht::exp {
 
@@ -101,9 +106,13 @@ class ScheduleMemo {
     }
     if (build_here) {
       try {
-        promise.set_value(
-            std::make_shared<const coll::Schedule>(build_schedule(series,
-                                                                  point)));
+        SchedulePtr built;
+        {
+          const prof::ScopedTimer timer("sweep.schedule.build");
+          built = std::make_shared<const coll::Schedule>(
+              build_schedule(series, point));
+        }
+        promise.set_value(std::move(built));
       } catch (...) {
         promise.set_exception(std::current_exception());
       }
@@ -118,12 +127,25 @@ class ScheduleMemo {
 
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   if (const char* env = std::getenv("WRHT_SWEEP_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<unsigned>(parsed);
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    // Accept only a fully-consumed positive integer that fits; "0", "-3",
+    // "abc", "8x" and overflows all fall back to hardware concurrency with
+    // a warning instead of silently misbehaving (0 workers would deadlock
+    // the pool, a negative cast to unsigned would spawn billions).
+    if (end != env && *end == '\0' && errno == 0 && parsed > 0 &&
+        parsed <= 65536) {
+      return static_cast<unsigned>(parsed);
+    }
+    WRHT_LOG_WARN << "WRHT_SWEEP_THREADS='" << env
+                  << "' is not a positive integer (max 65536); "
+                     "falling back to hardware concurrency ("
+                  << hw << ")";
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  return hw;
 }
 
 std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {
@@ -151,8 +173,28 @@ std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {
   return points;
 }
 
+/// Serializes concurrent workers' span/counter emission into one shared
+/// downstream sink (TraceSink implementations are single-threaded).
+class LockedTraceSink final : public obs::TraceSink {
+ public:
+  explicit LockedTraceSink(obs::TraceSink& sink) : sink_(sink) {}
+  void span(const obs::TraceSpan& s) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink_.span(s);
+  }
+  void counter(const obs::CounterSample& s) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink_.counter(s);
+  }
+
+ private:
+  std::mutex mutex_;
+  obs::TraceSink& sink_;
+};
+
 SweepRow run_point(const SweepSpec& spec, const SweepPoint& point,
-                   ScheduleMemo& memo) {
+                   ScheduleMemo& memo, obs::TraceSink* trace,
+                   std::uint32_t track) {
   const Series& series = spec.series[point.series_index];
   const SchedulePtr schedule =
       memo.get_or_build(schedule_key(series, point), series, point);
@@ -169,12 +211,25 @@ SweepRow run_point(const SweepSpec& spec, const SweepPoint& point,
   obs::Counters local;
   obs::Probe probe;
   probe.counters = &local;
+  probe.trace = trace;
+  probe.track = track;
   SweepRow row;
   row.point = point;
   row.report = backend->execute(*schedule, probe);
   row.report.add_counters(local);
   if (spec.counters != nullptr) spec.counters->merge(local);
   return row;
+}
+
+/// Labels the worker tracks 0..count-1 "sweep-worker-<k>" when the
+/// spec's sink is a ChromeTraceSink, so the exported trace names its
+/// lanes after the pool instead of raw tids.
+void name_worker_tracks(obs::TraceSink* sink, unsigned count) {
+  auto* chrome = dynamic_cast<obs::ChromeTraceSink*>(sink);
+  if (chrome == nullptr) return;
+  for (unsigned k = 0; k < count; ++k) {
+    chrome->set_track_name(k, "sweep-worker-" + std::to_string(k));
+  }
 }
 
 }  // namespace
@@ -201,24 +256,38 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
   std::vector<SweepRow> rows(points.size());
   ScheduleMemo memo;
 
+  std::optional<LockedTraceSink> locked;
+  if (spec.trace != nullptr) locked.emplace(*spec.trace);
+  obs::TraceSink* trace = locked ? &*locked : nullptr;
+
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, points.size()));
   if (workers <= 1) {
+    // Same phase accounting as the pooled path so thread-efficiency
+    // figures exist (and read ~1) for single-threaded runs.
+    const prof::ScopedTimer wall("sweep.worker.wall");
     for (std::size_t i = 0; i < points.size(); ++i) {
-      rows[i] = run_point(spec, points[i], memo);
+      const prof::ScopedTimer busy("sweep.worker.busy");
+      rows[i] = run_point(spec, points[i], memo, trace, 0);
     }
+    name_worker_tracks(spec.trace, 1);
     return rows;
   }
 
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
-  auto worker = [&] {
+  auto worker = [&](unsigned id) {
+    // wall covers the worker's whole life, busy only run_point: the merged
+    // busy/wall ratio is the pool efficiency WRHT_SWEEP_THREADS bought.
+    prof::set_thread_label("sweep-worker-" + std::to_string(id));
+    const prof::ScopedTimer wall("sweep.worker.wall");
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= points.size()) return;
       try {
-        rows[i] = run_point(spec, points[i], memo);
+        const prof::ScopedTimer busy("sweep.worker.busy");
+        rows[i] = run_point(spec, points[i], memo, trace, id);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -227,9 +296,10 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
   };
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  name_worker_tracks(spec.trace, workers);
   return rows;
 }
 

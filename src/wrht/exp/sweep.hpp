@@ -26,6 +26,7 @@
 #include "wrht/net/registry.hpp"
 #include "wrht/obs/counters.hpp"
 #include "wrht/obs/run_report.hpp"
+#include "wrht/obs/trace.hpp"
 
 namespace wrht::exp {
 
@@ -92,6 +93,13 @@ struct SweepSpec {
   net::BackendConfig config;
   /// When set, every run's counters merge here (thread-safe, kind-aware).
   obs::Counters* counters = nullptr;
+  /// When set, every run's trace spans and counter samples funnel here.
+  /// Each worker emits on its own track (0 .. workers-1); when the sink is
+  /// a ChromeTraceSink the tracks are labelled "sweep-worker-<k>" via
+  /// thread_name metadata, so Perfetto shows worker lanes instead of raw
+  /// track ids. Emission is serialized by the runner, so any TraceSink
+  /// implementation works unmodified.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Registers the WRHT algorithm and the built-in backends exactly once;

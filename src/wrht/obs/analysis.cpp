@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "wrht/prof/prof.hpp"
+
 namespace wrht::obs {
 
 namespace {
@@ -42,6 +44,7 @@ std::string format_pct(double fraction) {
 
 UtilizationAnalysis analyze_utilization(const RunReport& report,
                                         const OccupancySampler& sampler) {
+  const prof::ScopedTimer timer("obs.analyze_utilization");
   UtilizationAnalysis out;
   const std::size_t num_steps = report.step_reports.size();
   const std::size_t num_res = sampler.num_resources();

@@ -8,6 +8,7 @@
 #include "wrht/common/csv.hpp"
 #include "wrht/common/error.hpp"
 #include "wrht/obs/trace_json.hpp"
+#include "wrht/prof/prof.hpp"
 
 namespace wrht {
 
@@ -111,6 +112,7 @@ void RunReport::write_json(std::ostream& out) const {
 }
 
 void RunReport::write_json_file(const std::string& path) const {
+  const prof::ScopedTimer timer("io.run_report.write");
   std::ofstream out(path);
   if (!out) throw Error("RunReport: cannot open '" + path + "'");
   write_json(out);

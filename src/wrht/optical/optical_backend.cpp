@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "wrht/common/error.hpp"
+#include "wrht/prof/prof.hpp"
 
 namespace wrht::optics {
 
@@ -41,6 +42,7 @@ net::BackendCapabilities RingBackend::capabilities() const {
 
 RunReport RingBackend::execute(const coll::Schedule& schedule,
                                const obs::Probe& probe) const {
+  const prof::ScopedTimer timer("backend.optical-ring.execute");
   net::count_schedule(probe, schedule);
   const net::ScopedUtilization util(probe, collect_utilization_);
   OpticalRunResult run;
@@ -78,6 +80,7 @@ net::BackendCapabilities TorusBackend::capabilities() const {
 
 RunReport TorusBackend::execute(const coll::Schedule& schedule,
                                 const obs::Probe& probe) const {
+  const prof::ScopedTimer timer("backend.optical-torus.execute");
   net::count_schedule(probe, schedule);
   const net::ScopedUtilization util(probe, collect_utilization_);
   OpticalRunResult run;

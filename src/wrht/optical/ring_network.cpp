@@ -8,6 +8,7 @@
 #include "wrht/common/error.hpp"
 #include "wrht/net/pattern_key.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/prof/prof.hpp"
 #include "wrht/sim/simulator.hpp"
 
 namespace wrht::optics {
@@ -313,7 +314,12 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   };
 
   simulator.schedule_in(Seconds(0.0), launch);
-  simulator.run();
+  {
+    // Host-side phase accounting: the DES drain is where the optical model
+    // spends its wall time (step evaluation runs inside launch callbacks).
+    const prof::ScopedTimer timer("optical.des.run");
+    simulator.run();
+  }
 
   result.total_time = simulator.now();
   result.events_fired = simulator.events_fired();

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "wrht/common/error.hpp"
+#include "wrht/prof/prof.hpp"
 
 namespace wrht::optics {
 
@@ -106,6 +107,7 @@ bool try_assign(const topo::Ring& ring, const coll::Transfer& t,
 RwaResult assign_wavelengths(const topo::Ring& ring,
                              const std::vector<coll::Transfer>& transfers,
                              const RwaOptions& options, Rng* rng) {
+  const prof::ScopedTimer timer("optical.rwa.assign");
   require(options.wavelengths >= 1 && options.fibers_per_direction >= 1,
           "RWA: need at least one wavelength and fiber");
   RwaResult result;

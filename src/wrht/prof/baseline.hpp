@@ -1,0 +1,94 @@
+// Perf baselines and regression comparison.
+//
+// A baseline is a checked-in table of expected metric values with
+// per-metric relative-drift thresholds (bench/baselines/*.baseline, a
+// plain CSV so diffs review cleanly):
+//
+//     metric,value,max_rel_drift,direction
+//     sweep.wall_s.median,0.012,4,lower
+//     events_per_s.median,2.1e6,0.8,higher
+//
+// `direction` says which way is a regression: "lower" metrics (wall
+// times, RSS) regress when the measured value exceeds value * (1 +
+// max_rel_drift); "higher" metrics (throughput, efficiency) regress when
+// it falls below value * (1 - max_rel_drift). Wall-clock baselines are
+// machine-specific, so checked-in thresholds are generous enough for
+// noisy CI runners; refresh with `wrht_perf --write-baseline` (workflow
+// in EXPERIMENTS.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wrht/prof/perf_report.hpp"
+
+namespace wrht::prof {
+
+enum class Direction {
+  kLowerIsBetter,   ///< wall times, memory
+  kHigherIsBetter,  ///< throughput, efficiency
+};
+
+/// The regression-direction convention wrht_perf uses for its metric
+/// names: rates ("/s" units) and efficiency fractions are
+/// higher-is-better, everything else lower-is-better.
+[[nodiscard]] Direction infer_direction(const std::string& metric_name,
+                                        const std::string& unit);
+
+struct BaselineEntry {
+  std::string metric;
+  double value = 0.0;
+  /// Allowed relative drift in the regressing direction (0.5 = 50%).
+  double max_rel_drift = 0.5;
+  Direction direction = Direction::kLowerIsBetter;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  /// Parses the CSV format above. Throws wrht::Error on unreadable files
+  /// or malformed rows.
+  [[nodiscard]] static Baseline load(const std::string& path);
+
+  /// Baseline snapshot of a report: one entry per metric, directions via
+  /// infer_direction. Lower-is-better metrics get `max_rel_drift` verbatim
+  /// (a wall time regresses past value * (1 + drift)); higher-is-better
+  /// metrics get the reciprocal bound drift / (1 + drift), so the same
+  /// slowdown factor trips both — a throughput can only ever fall 100%,
+  /// which a drift >= 1 would never flag.
+  [[nodiscard]] static Baseline from_report(const PerfReport& report,
+                                            double max_rel_drift);
+
+  void save(const std::string& path) const;
+};
+
+/// One metric's comparison outcome. `rel_drift` is (value - baseline) /
+/// baseline, sign preserved, so +0.30 reads "30% higher than baseline".
+struct DriftResult {
+  std::string metric;
+  double baseline = 0.0;
+  double value = 0.0;
+  double rel_drift = 0.0;
+  double threshold = 0.0;
+  Direction direction = Direction::kLowerIsBetter;
+  bool missing = false;  ///< baseline metric absent from the report
+  bool regressed = false;
+};
+
+struct CompareReport {
+  std::vector<DriftResult> results;
+
+  /// True when every baseline metric was present and within threshold.
+  [[nodiscard]] bool ok() const;
+  /// Human-readable table, one line per metric, regressions flagged.
+  void print(std::ostream& out) const;
+};
+
+/// Checks `report` against `baseline`. Metrics in the report but not the
+/// baseline are ignored (additions are not regressions); metrics in the
+/// baseline but not the report fail (schema drift is a regression).
+[[nodiscard]] CompareReport compare(const PerfReport& report,
+                                    const Baseline& baseline);
+
+}  // namespace wrht::prof

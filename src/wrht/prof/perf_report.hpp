@@ -1,0 +1,61 @@
+// Machine-readable performance results (BENCH_<name>.json).
+//
+// PerfReport is the schema every perf-emitting tool shares: run metadata
+// (repetitions, worker threads), wall time, thread-pool efficiency, peak
+// RSS, a set of named metrics (each a scalar with a unit — medians and
+// p90s of repeated measurements via wrht::percentile), and the merged
+// wrht::prof phase table. write_json() is deterministic — fixed key
+// order, name-sorted metric/phase maps, %.9g numbers — so goldens and
+// baseline diffs are byte-stable for a given measurement.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wrht/prof/prof.hpp"
+
+namespace wrht::prof {
+
+/// One scalar result, e.g. {"sweep.wall_s.median", 0.41, "s"} or
+/// {"events_per_s.median", 2.1e6, "/s"}.
+struct PerfMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct PerfReport {
+  std::string name;             ///< suite name; file becomes BENCH_<name>.json
+  std::uint32_t repetitions = 0;
+  std::uint32_t threads = 0;    ///< sweep worker-pool size used
+  double wall_time_s = 0.0;     ///< whole-suite wall clock
+  /// Worker busy time / (workers x worker wall time), in [0, 1]; how much
+  /// of the pool WRHT_SWEEP_THREADS actually bought.
+  double thread_efficiency = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::vector<PerfMetric> metrics;
+  std::map<std::string, PhaseTotals> phases;
+
+  void add_metric(const std::string& metric_name, double value,
+                  const std::string& unit);
+  /// Adds `<base>.median` and `<base>.p90` over `samples` (non-empty).
+  void add_sample_metrics(const std::string& base,
+                          const std::vector<double>& samples,
+                          const std::string& unit);
+  /// The metric named `metric_name`, or nullptr.
+  [[nodiscard]] const PerfMetric* find_metric(
+      const std::string& metric_name) const;
+
+  /// Copies the registry's merged phase table and thread-efficiency
+  /// figures (from the "sweep.worker.busy" / "sweep.worker.wall" phases,
+  /// when present) into this report.
+  void capture(const ProfRegistry& registry);
+
+  void write_json(std::ostream& out) const;
+  /// write_json() to `path`; throws wrht::Error if the file cannot open.
+  void write_json_file(const std::string& path) const;
+};
+
+}  // namespace wrht::prof

@@ -7,6 +7,7 @@
 
 #include "wrht/common/error.hpp"
 #include "wrht/common/rng.hpp"
+#include "wrht/prof/prof.hpp"
 
 namespace wrht::verify {
 
@@ -134,6 +135,7 @@ void compare_provenance(const Machine& m, std::uint32_t i,
 
 OracleReport check_allreduce(const coll::Schedule& schedule,
                              const OracleOptions& options) {
+  const prof::ScopedTimer timer("verify.oracle.check");
   schedule.validate();
   Machine m = boot(schedule, options);
   std::vector<double> expected(m.elements, 0.0);

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "wrht/collectives/registry.hpp"
 #include "wrht/collectives/ring_allreduce.hpp"
 #include "wrht/common/error.hpp"
+#include "wrht/obs/trace_json.hpp"
 
 namespace wrht {
 namespace {
@@ -209,6 +212,64 @@ TEST(Sweep, CountersAttachToRowsAndMergeIntoSpec) {
 TEST(Sweep, ExplicitThreadsWinOverEnvironment) {
   EXPECT_EQ(exp::SweepRunner(3).threads(), 3u);
   EXPECT_GE(exp::SweepRunner(0).threads(), 1u);
+}
+
+/// Sets WRHT_SWEEP_THREADS for one scope and restores the prior state.
+class ScopedSweepThreadsEnv {
+ public:
+  explicit ScopedSweepThreadsEnv(const char* value) {
+    const char* prev = std::getenv("WRHT_SWEEP_THREADS");
+    if (prev != nullptr) previous_ = prev;
+    had_previous_ = prev != nullptr;
+    ::setenv("WRHT_SWEEP_THREADS", value, 1);
+  }
+  ~ScopedSweepThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("WRHT_SWEEP_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("WRHT_SWEEP_THREADS");
+    }
+  }
+
+ private:
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+TEST(Sweep, ValidThreadsEnvIsHonoured) {
+  const ScopedSweepThreadsEnv env("7");
+  EXPECT_EQ(exp::SweepRunner(0).threads(), 7u);
+}
+
+// Hardening: zero, negative, non-numeric, trailing-garbage and absurd
+// values must not poison the pool (0 would deadlock it; a negative cast
+// to unsigned would ask for billions of threads). All fall back to
+// hardware concurrency, which this host reports as >= 1.
+TEST(Sweep, MalformedThreadsEnvFallsBackToHardwareConcurrency) {
+  ::unsetenv("WRHT_SWEEP_THREADS");
+  const unsigned fallback = exp::SweepRunner(0).threads();
+  for (const char* bad : {"0", "-3", "abc", "8x", "", "1e3", "999999999"}) {
+    const ScopedSweepThreadsEnv env(bad);
+    EXPECT_EQ(exp::SweepRunner(0).threads(), fallback)
+        << "WRHT_SWEEP_THREADS='" << bad << "'";
+  }
+}
+
+// The spec's trace sink receives every run's spans, and worker tracks are
+// labelled "sweep-worker-<k>" when the sink is a ChromeTraceSink.
+TEST(Sweep, TraceSinkCollectsSpansWithLabelledWorkerTracks) {
+  obs::ChromeTraceSink sink;
+  exp::SweepSpec spec = small_spec();
+  spec.trace = &sink;
+
+  const auto rows = exp::SweepRunner(2).run(spec);
+  EXPECT_EQ(rows.size(), 8u);
+  EXPECT_GT(sink.size(), 0u);
+
+  std::ostringstream out;
+  sink.write(out);
+  EXPECT_NE(out.str().find("thread_name"), std::string::npos);
+  EXPECT_NE(out.str().find("sweep-worker-0"), std::string::npos);
 }
 
 }  // namespace
