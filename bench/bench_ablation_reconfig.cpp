@@ -22,7 +22,7 @@ exp::Series priced_series(const std::string& algorithm, bool on_retune) {
   s.algorithm = algorithm;
   if (on_retune) {
     s.configure = [](const exp::SweepPoint&, net::BackendConfig& config) {
-      config.reconfig_on_retune = true;
+      config.reconfig_policy = net::ReconfigPolicy::kOnRetune;
     };
   }
   return s;

@@ -33,6 +33,7 @@
 #include "wrht/exp/sweep.hpp"
 #include "wrht/net/registry.hpp"
 #include "wrht/optical/rwa.hpp"
+#include "wrht/plan/schedule_planner.hpp"
 #include "wrht/prof/baseline.hpp"
 #include "wrht/prof/perf_report.hpp"
 #include "wrht/prof/prof.hpp"
@@ -186,6 +187,17 @@ int main(int argc, char** argv) {
        [&] { backend_run("electrical-flow", flow_n, 16, flow_sched); }},
       {"electrical_packet_execute",
        [&] { backend_run("electrical-packet", packet_n, 16, packet_sched); }},
+      {"planner_plan",
+       [&] {
+         plan::PlannerOptions planner;
+         planner.wavelengths = 16;
+         planner.policy = net::ReconfigPolicy::kOverlapped;
+         const plan::PlanResult planned =
+             plan::plan_allreduce(optical_n, 4 * optical_n, planner);
+         if (!planned.chosen.feasible) {
+           throw Error("wrht_perf: planner found no feasible candidate");
+         }
+       }},
       {"verify_oracle",
        [&] {
          const verify::OracleReport report =

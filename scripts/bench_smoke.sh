@@ -31,6 +31,7 @@ BENCHES=(
   ablation_alltoall
   ablation_convention
   ablation_reconfig
+  ablation_overlap
   ablation_utilization
 )
 declare -A EXPECTED_ROWS=(
@@ -44,6 +45,7 @@ declare -A EXPECTED_ROWS=(
   [ablation_alltoall]=2
   [ablation_convention]=2
   [ablation_reconfig]=3
+  [ablation_overlap]=4
   [ablation_utilization]=8
 )
 

@@ -1,6 +1,7 @@
 #include "wrht/collectives/schedule.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "wrht/common/error.hpp"
 
@@ -49,6 +50,49 @@ void Schedule::validate() const {
                   std::to_string(s));
     }
   }
+}
+
+Circuit circuit_of(const Transfer& transfer) {
+  Circuit c;
+  c.src = transfer.src;
+  c.dst = transfer.dst;
+  if (transfer.direction.has_value()) {
+    c.direction =
+        *transfer.direction == topo::Direction::kClockwise ? 1 : 2;
+  }
+  return c;
+}
+
+std::vector<ReconfigDelta> reconfig_deltas(const Schedule& schedule) {
+  std::vector<ReconfigDelta> deltas;
+  deltas.reserve(schedule.num_steps());
+  std::vector<Circuit> previous;  // sorted, deduplicated
+  for (const Step& step : schedule.steps()) {
+    std::vector<Circuit> current;
+    current.reserve(step.transfers.size());
+    for (const Transfer& t : step.transfers) current.push_back(circuit_of(t));
+    std::sort(current.begin(), current.end());
+    current.erase(std::unique(current.begin(), current.end()),
+                  current.end());
+
+    ReconfigDelta delta;
+    std::set_difference(current.begin(), current.end(), previous.begin(),
+                        previous.end(), std::back_inserter(delta.added));
+    std::set_difference(previous.begin(), previous.end(), current.begin(),
+                        current.end(), std::back_inserter(delta.removed));
+    delta.kept = current.size() - delta.added.size();
+    deltas.push_back(std::move(delta));
+    previous = std::move(current);
+  }
+  return deltas;
+}
+
+bool is_reconfig_free(const Schedule& schedule) {
+  const std::vector<ReconfigDelta> deltas = reconfig_deltas(schedule);
+  for (std::size_t s = 1; s < deltas.size(); ++s) {
+    if (!deltas[s].reconfig_free()) return false;
+  }
+  return true;
 }
 
 ChunkRange chunk_range(std::size_t elements, std::size_t chunks,

@@ -9,6 +9,7 @@
 //   * elec::FatTreeNetwork- routes flows and computes electrical time.
 #pragma once
 
+#include <compare>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -81,6 +82,48 @@ class Schedule {
   std::size_t elements_;
   std::vector<Step> steps_;
 };
+
+/// One circuit a step asks the optical control plane to keep lit: the
+/// (src, dst, direction-hint) triple that determines which micro-rings are
+/// tuned. Two steps whose circuit sets coincide need no retuning between
+/// them (Ring All-reduce's 2(N-1) steps are the canonical example); WRHT
+/// changes circuits on almost every step by construction.
+struct Circuit {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Packed direction hint: 0 = none, 1 = clockwise, 2 = counter-clockwise.
+  std::uint8_t direction = 0;
+  auto operator<=>(const Circuit&) const = default;
+};
+[[nodiscard]] Circuit circuit_of(const Transfer& transfer);
+
+/// Which circuits change entering a step relative to the previous step —
+/// the per-step reconfiguration metadata the ReconfigPolicy engines and the
+/// wrht::plan cost models reason about. Deltas are derived from the
+/// schedule, not stored in it, so the IR stays a pure data-movement
+/// description.
+struct ReconfigDelta {
+  /// Circuits lit entering this step that the previous step did not use
+  /// (every circuit of step 0 — cold start).
+  std::vector<Circuit> added;
+  /// Circuits the previous step used that this step tears down.
+  std::vector<Circuit> removed;
+  /// Circuits carried over unchanged from the previous step.
+  std::size_t kept = 0;
+  /// No retuning needed entering this step (nothing added or removed).
+  [[nodiscard]] bool reconfig_free() const {
+    return added.empty() && removed.empty();
+  }
+};
+
+/// One delta per step. Deltas deduplicate repeated (src, dst, direction)
+/// transfers within a step: a circuit lit once serves them all.
+[[nodiscard]] std::vector<ReconfigDelta> reconfig_deltas(
+    const Schedule& schedule);
+
+/// True when every step after the first reuses the previous step's exact
+/// circuit set, i.e. the whole schedule retunes at most once (step 0).
+[[nodiscard]] bool is_reconfig_free(const Schedule& schedule);
 
 /// Element range [offset, count) of chunk `index` out of `chunks` for a
 /// vector of `elements`; remainders spread over the leading chunks, so every

@@ -32,18 +32,10 @@ struct ElectricalConfig {
   /// The same net::RateConvention knob as optics::OpticalConfig — the
   /// paper's numerics drain d bytes against B = 40e9; keep both simulators
   /// on the same convention for a fair optical/electrical comparison.
-  /// (Replaces the old `paper_rate_convention` bool, which could drift
-  /// from the optical enum; the deprecated accessors below keep historical
-  /// call sites compiling.)
   net::RateConvention convention = net::RateConvention::kPaperConvention;
 
   [[nodiscard]] double bytes_per_second() const {
     return net::effective_bytes_per_second(link_rate.count(), convention);
-  }
-
-  /// Deprecated alias for `convention == kPaperConvention`.
-  [[nodiscard]] bool paper_rate_convention() const {
-    return convention == net::RateConvention::kPaperConvention;
   }
 
   // Fluent builders mirroring optics::OpticalConfig; aggregate
@@ -70,13 +62,6 @@ struct ElectricalConfig {
   }
   ElectricalConfig& with_convention(net::RateConvention v) {
     convention = v;
-    return *this;
-  }
-  /// Deprecated alias of with_convention(), kept so pre-unification call
-  /// sites compile unchanged.
-  ElectricalConfig& with_paper_rate_convention(bool v) {
-    convention = v ? net::RateConvention::kPaperConvention
-                   : net::RateConvention::kStrictBits;
     return *this;
   }
 };

@@ -46,6 +46,11 @@ struct BackendCapabilities {
   /// asked (BackendConfig::collect_utilization or a caller-supplied
   /// obs::Probe::occupancy sampler).
   bool reports_utilization = false;
+  /// Honours ReconfigPolicy::kOverlapped — hides reconfiguration delay
+  /// behind prior transmissions instead of silently falling back to serial
+  /// pricing. Backends without a reconfiguration notion leave this false
+  /// and price all policies identically.
+  bool supports_reconfig_overlap = false;
 };
 
 class Backend {

@@ -1,0 +1,47 @@
+// How the MRR reconfiguration delay is charged, shared by every backend.
+//
+// The paper's Eq. (6) charges the full 25 us reconfiguration delay serially
+// on every communication round. Two refinements from the literature relax
+// that: a retune-aware control plane keeps static circuits up and charges
+// only rounds whose micro-ring tuning actually changes (quantified by
+// bench_ablation_reconfig), and a lookahead control plane overlaps the
+// retune for round k+1 with round k's transmission (SWOT, Hammer et al.),
+// so only the residual max(0, reconfig - prior transmission) is exposed on
+// the critical path (bench_ablation_overlap).
+//
+// This knob used to be a bool in net::BackendConfig awkwardly mapped onto a
+// nested enum in optics::OpticalConfig; like net::RateConvention it is now
+// a single shared definition so the two layers cannot drift apart.
+#pragma once
+
+#include <string>
+
+namespace wrht::net {
+
+enum class ReconfigPolicy {
+  /// Every round pays the full reconfiguration delay (the paper's Eq. 6).
+  kEveryRound,
+  /// Only rounds whose MRR tuning differs from the previous round's pay
+  /// (static circuits stay up for free).
+  kOnRetune,
+  /// Every round retunes, but the retune for round k+1 proceeds during
+  /// round k's transmission; only max(0, reconfig - prior transmission)
+  /// residual delay is charged. Never slower than kEveryRound.
+  kOverlapped,
+};
+
+/// Stable lower-case name ("every_round", "on_retune", "overlapped") for
+/// CSV columns and CLI flags.
+[[nodiscard]] inline std::string to_string(ReconfigPolicy policy) {
+  switch (policy) {
+    case ReconfigPolicy::kEveryRound:
+      return "every_round";
+    case ReconfigPolicy::kOnRetune:
+      return "on_retune";
+    case ReconfigPolicy::kOverlapped:
+      return "overlapped";
+  }
+  return "unknown";
+}
+
+}  // namespace wrht::net

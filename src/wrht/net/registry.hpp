@@ -19,6 +19,7 @@
 
 #include "wrht/net/backend.hpp"
 #include "wrht/net/rate_convention.hpp"
+#include "wrht/net/reconfig_policy.hpp"
 
 namespace wrht::net {
 
@@ -35,9 +36,11 @@ struct BackendConfig {
   /// paper's sweeps "assume there is no constraint of optical
   /// communication", §5.4).
   bool validate_node_capacity = true;
-  /// Optical: charge the MRR reconfiguration delay only when micro-rings
-  /// actually retune (OpticalConfig::ReconfigAccounting::kOnRetune).
-  bool reconfig_on_retune = false;
+  /// Optical: how the MRR reconfiguration delay is charged — serially on
+  /// every round (the paper's Eq. 6 default), only on actual retunes, or
+  /// overlapped with the previous round's transmission. Shared with
+  /// OpticalConfig (same enum), mirroring the RateConvention unification.
+  ReconfigPolicy reconfig_policy = ReconfigPolicy::kEveryRound;
   /// Optical: random-fit RWA instead of first-fit, seeded by rng_seed so
   /// parallel sweeps stay deterministic.
   bool random_fit_rwa = false;
@@ -50,6 +53,26 @@ struct BackendConfig {
   /// breakdown/utilization fields (backends whose capabilities() report
   /// reports_utilization). Off by default: unobserved runs stay free.
   bool collect_utilization = false;
+
+  BackendConfig& with_reconfig_policy(ReconfigPolicy v) {
+    reconfig_policy = v;
+    return *this;
+  }
+
+  // Deprecated bool surface of the pre-unification `reconfig_on_retune`
+  // member; kept for one release so existing call sites compile (with a
+  // warning). `true` maps to kOnRetune, `false` to kEveryRound — the
+  // overlapped policy is only reachable through `reconfig_policy`.
+  [[deprecated("use reconfig_policy")]] [[nodiscard]] bool reconfig_on_retune()
+      const {
+    return reconfig_policy == ReconfigPolicy::kOnRetune;
+  }
+  [[deprecated("use with_reconfig_policy")]] BackendConfig&
+  with_reconfig_on_retune(bool v) {
+    reconfig_policy =
+        v ? ReconfigPolicy::kOnRetune : ReconfigPolicy::kEveryRound;
+    return *this;
+  }
 };
 
 using BackendFactory =

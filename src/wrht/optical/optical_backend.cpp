@@ -37,6 +37,7 @@ net::BackendCapabilities RingBackend::capabilities() const {
   caps.validates_rwa = true;
   caps.reports_wavelengths = true;
   caps.reports_utilization = true;
+  caps.supports_reconfig_overlap = true;
   return caps;
 }
 
@@ -75,6 +76,7 @@ net::BackendCapabilities TorusBackend::capabilities() const {
   caps.reports_wavelengths = true;
   caps.dimension_local_transfers_only = true;
   caps.reports_utilization = true;
+  caps.supports_reconfig_overlap = true;
   return caps;
 }
 
@@ -101,10 +103,7 @@ OpticalConfig optical_config_from(const net::BackendConfig& config) {
   out.wavelengths = config.wavelengths;
   out.convention = config.convention;
   out.validate_node_capacity = config.validate_node_capacity;
-  out.reconfig_accounting =
-      config.reconfig_on_retune
-          ? OpticalConfig::ReconfigAccounting::kOnRetune
-          : OpticalConfig::ReconfigAccounting::kEveryRound;
+  out.reconfig_policy = config.reconfig_policy;
   out.rwa_policy =
       config.random_fit_rwa ? RwaPolicy::kRandomFit : RwaPolicy::kFirstFit;
   return out;

@@ -125,8 +125,7 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
     out.cost.duration += round_time(max_elements);
     out.round_serialization.push_back(serialization_time(max_elements));
     if (config_.validate_node_capacity ||
-        config_.reconfig_accounting ==
-            OpticalConfig::ReconfigAccounting::kOnRetune) {
+        config_.reconfig_policy == net::ReconfigPolicy::kOnRetune) {
       out.round_tunings.push_back(TuningState::from_lightpaths(
           round_paths[r], config_.node_hardware));
     }
@@ -155,9 +154,12 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   sim::Simulator simulator;
   simulator.set_counters(probe.counters);
   std::size_t next_step = 0;
-  const bool retune_mode = config_.reconfig_accounting ==
-                           OpticalConfig::ReconfigAccounting::kOnRetune;
-  TuningState previous_tuning;
+  const net::ReconfigPolicy policy = config_.reconfig_policy;
+  TuningState previous_tuning;  // kOnRetune: last round's MRR state
+  // kOverlapped: the window the next round's retune can hide inside — the
+  // previous round's O/E/O + transmission time (zero before round 0, which
+  // has nothing to overlap with).
+  Seconds overlap_window(0.0);
 
   std::function<void()> launch = [&]() {
     if (next_step >= schedule.num_steps()) return;
@@ -182,12 +184,13 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
       }
     }
 
-    // Per-round durations; filled only when someone will look at them
-    // (retune re-pricing always needs the walk; tracing and occupancy
-    // sampling need the per-round timeline).
+    // Per-round durations and charged reconfiguration time; filled only
+    // when someone will look at them (retune and overlap re-pricing always
+    // need the walk; tracing and occupancy sampling need the per-round
+    // timeline).
     std::vector<Seconds> round_durations;
-    std::vector<bool> round_reconfig;  // did the round pay the MRR delay?
-    if (retune_mode) {
+    std::vector<Seconds> round_reconfig;  // MRR delay the round paid
+    if (policy == net::ReconfigPolicy::kOnRetune) {
       // Re-price the step: a round pays the reconfiguration delay only if
       // some micro-ring has to change state relative to the previous round.
       Seconds duration(0.0);
@@ -204,9 +207,32 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
         }
         round += config_.oeo_delay + pattern.round_serialization[r];
         round_durations.push_back(round);
-        round_reconfig.push_back(retuned > 0);
+        round_reconfig.push_back(retuned > 0 ? config_.mrr_reconfig_delay
+                                             : Seconds(0.0));
         duration += round;
         previous_tuning = pattern.round_tunings[r];
+      }
+      pattern.cost.duration = duration;
+    } else if (policy == net::ReconfigPolicy::kOverlapped) {
+      // Re-price the step: every round still retunes, but the retune for
+      // round k overlaps round k-1's O/E/O + transmission (the lookahead
+      // pipeline of SWOT); only the residual beyond that window lands on
+      // the critical path. Round 0 of the run pays in full.
+      Seconds duration(0.0);
+      for (std::size_t r = 0; r < pattern.round_serialization.size(); ++r) {
+        const Seconds residual =
+            std::max(Seconds(0.0), config_.mrr_reconfig_delay - overlap_window);
+        if (residual.count() > 0.0) {
+          ++result.reconfigurations;
+          probe.count("optical.reconfig_charges");
+        }
+        result.overlap_hidden += config_.mrr_reconfig_delay - residual;
+        const Seconds round =
+            residual + config_.oeo_delay + pattern.round_serialization[r];
+        round_durations.push_back(round);
+        round_reconfig.push_back(residual);
+        duration += round;
+        overlap_window = config_.oeo_delay + pattern.round_serialization[r];
       }
       pattern.cost.duration = duration;
     } else {
@@ -216,7 +242,7 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
         for (const Seconds ser : pattern.round_serialization) {
           round_durations.push_back(config_.mrr_reconfig_delay +
                                     config_.oeo_delay + ser);
-          round_reconfig.push_back(true);
+          round_reconfig.push_back(config_.mrr_reconfig_delay);
         }
       }
     }
@@ -283,8 +309,10 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
       Seconds cursor = pattern.cost.start;
       for (std::size_t r = 0; r < round_durations.size(); ++r) {
         const Seconds round_end = cursor + round_durations[r];
-        const Seconds reconfig =
-            round_reconfig[r] ? config_.mrr_reconfig_delay : Seconds(0.0);
+        // Under kOverlapped only the residual is charged here; the hidden
+        // portion happened during the previous round's transmission and
+        // never occupies this round's interval.
+        const Seconds reconfig = round_reconfig[r];
         for (const auto& use : pattern.round_uses[r]) {
           const auto ref = probe.occupancy->resource(
               channel_name(use.direction, use.fiber, use.wavelength,

@@ -22,6 +22,7 @@
 #include "wrht/common/rng.hpp"
 #include "wrht/common/units.hpp"
 #include "wrht/net/rate_convention.hpp"
+#include "wrht/net/reconfig_policy.hpp"
 #include "wrht/obs/run_report.hpp"
 #include "wrht/obs/trace.hpp"
 #include "wrht/optical/node.hpp"
@@ -54,13 +55,19 @@ struct OpticalConfig {
   NodeHardware node_hardware{};
   bool validate_node_capacity = true;
 
-  /// How the MRR reconfiguration delay is charged:
+  /// How the MRR reconfiguration delay is charged (see
+  /// net/reconfig_policy.hpp):
   ///   kEveryRound - every round pays it (the paper's Eq. 6 model);
   ///   kOnRetune   - only rounds whose tuning differs from the previous
   ///                 round's pay it (static circuits stay up for free —
-  ///                 quantified by bench_ablation_reconfig).
-  enum class ReconfigAccounting { kEveryRound, kOnRetune };
-  ReconfigAccounting reconfig_accounting = ReconfigAccounting::kEveryRound;
+  ///                 quantified by bench_ablation_reconfig);
+  ///   kOverlapped - round k+1's retune proceeds during round k's
+  ///                 transmission; only the residual delay is charged
+  ///                 (bench_ablation_overlap).
+  /// The alias keeps the historical OpticalConfig::ReconfigAccounting
+  /// spelling working, mirroring the RateConvention unification.
+  using ReconfigAccounting = net::ReconfigPolicy;
+  net::ReconfigPolicy reconfig_policy = net::ReconfigPolicy::kEveryRound;
 
   /// Effective serialization rate in bytes per second.
   [[nodiscard]] double bytes_per_second() const {
@@ -119,8 +126,16 @@ struct OpticalConfig {
     validate_node_capacity = v;
     return *this;
   }
-  OpticalConfig& with_reconfig_accounting(ReconfigAccounting v) {
-    reconfig_accounting = v;
+  OpticalConfig& with_reconfig_policy(net::ReconfigPolicy v) {
+    reconfig_policy = v;
+    return *this;
+  }
+  /// Deprecated alias of with_reconfig_policy(), kept for one release so
+  /// pre-unification call sites compile (ReconfigAccounting is now an
+  /// alias of net::ReconfigPolicy, so the old enumerators still resolve).
+  [[deprecated("use with_reconfig_policy")]] OpticalConfig&
+  with_reconfig_accounting(ReconfigAccounting v) {
+    reconfig_policy = v;
     return *this;
   }
 };
@@ -147,6 +162,10 @@ struct OpticalRunResult {
   /// Micro-rings retuned across the whole run (kOnRetune accounting only;
   /// 0 otherwise).
   std::uint64_t retuned_mrrs = 0;
+  /// Reconfiguration time hidden behind prior transmissions (kOverlapped
+  /// accounting only; 0 otherwise). Serial time == total_time +
+  /// overlap_hidden whenever every round retunes.
+  Seconds overlap_hidden{0.0};
   std::vector<StepCost> step_costs;
 
   /// Backend-neutral view (RunReport) of this run.

@@ -28,6 +28,9 @@ struct ChannelUse {
 struct RingTimeline {
   std::string prefix;  ///< "row3" / "col0"
   std::vector<Seconds> round_durations;
+  /// MRR delay each round actually paid (== the full delay except under
+  /// kOverlapped, where only the residual lands on the timeline).
+  std::vector<Seconds> round_reconfig;
   std::vector<std::vector<ChannelUse>> round_uses;
 };
 
@@ -70,8 +73,15 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
   result.steps = schedule.num_steps();
   result.step_costs.reserve(schedule.num_steps());
 
+  const bool overlapped =
+      config_.reconfig_policy == net::ReconfigPolicy::kOverlapped;
   double now = 0.0;
   std::size_t step_index = 0;
+  // kOverlapped: window the first round of a step can hide its retune in.
+  // Steps are barriers, so every ring's retune for step k proceeds during
+  // step k-1's transmissions; later rounds of a ring overlap their own
+  // previous round. Step 0 has nothing to overlap with.
+  double step_window = 0.0;
   for (const auto& step : schedule.steps()) {
     // Partition the step's transfers onto their row/column rings,
     // remapping node ids to ring-local positions.
@@ -98,7 +108,9 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     StepCost cost;
     cost.start = Seconds(now);
     std::uint32_t max_rounds = 0;
+    std::uint32_t max_paid_rounds = 0;
     double slowest = 0.0;
+    double slowest_serial = 0.0;  // every-round pricing, for overlap_hidden
     std::vector<RingTimeline> timelines;  // filled only when sampling
     for (const auto& [key, share] : shares) {
       const topo::Ring& ring = key.first ? row_ring_ : col_ring_;
@@ -110,18 +122,27 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
                           std::to_string(key.second);
       }
       double ring_time = 0.0;
+      double ring_time_serial = 0.0;
+      double window = step_window;  // per-ring overlap window (kOverlapped)
+      std::uint32_t paid_rounds = 0;
       for (std::size_t r = 0; r < rounds.rounds.size(); ++r) {
         std::size_t max_elements = 0;
         for (const std::size_t idx : rounds.rounds[r]) {
           max_elements =
               std::max(max_elements, share.transfers[idx].count);
         }
-        const double round_time = config_.mrr_reconfig_delay.count() +
-                                  config_.oeo_delay.count() +
-                                  static_cast<double>(max_elements) *
-                                      config_.bytes_per_element /
-                                      config_.bytes_per_second();
+        const double busy = config_.oeo_delay.count() +
+                            static_cast<double>(max_elements) *
+                                config_.bytes_per_element /
+                                config_.bytes_per_second();
+        const double full = config_.mrr_reconfig_delay.count();
+        const double reconfig =
+            overlapped ? std::max(0.0, full - window) : full;
+        const double round_time = reconfig + busy;
+        if (reconfig > 0.0) ++paid_rounds;
+        window = busy;
         ring_time += round_time;
+        ring_time_serial += full + busy;
         cost.max_transfer_elements =
             std::max(cost.max_transfer_elements, max_elements);
         if (probe.occupancy != nullptr) {
@@ -147,6 +168,7 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
             ++use.concurrency;
           }
           timeline.round_durations.emplace_back(round_time);
+          timeline.round_reconfig.emplace_back(reconfig);
           timeline.round_uses.emplace_back();
           for (auto& [k, use] : uses) {
             timeline.round_uses.back().push_back(use);
@@ -163,7 +185,9 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
           std::max(cost.wavelengths_used, rounds.wavelengths_used);
       max_rounds = std::max(
           max_rounds, static_cast<std::uint32_t>(rounds.rounds.size()));
+      max_paid_rounds = std::max(max_paid_rounds, paid_rounds);
       slowest = std::max(slowest, ring_time);
+      slowest_serial = std::max(slowest_serial, ring_time_serial);
       if (probe.occupancy != nullptr) {
         timelines.push_back(std::move(timeline));
       }
@@ -185,10 +209,13 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
             const auto ref = probe.occupancy->resource(torus_channel_name(
                 timeline.prefix, use, config_.fibers_per_direction));
             Seconds at = cursor;
+            // Under kOverlapped only the residual is charged here; the
+            // hidden portion happened during the previous round's (or
+            // step's) transmissions.
             probe.occupancy->record(ref, step_id, at,
-                                    config_.mrr_reconfig_delay,
+                                    timeline.round_reconfig[r],
                                     obs::OccCategory::kReconfiguration);
-            at += config_.mrr_reconfig_delay;
+            at += timeline.round_reconfig[r];
             probe.occupancy->record(ref, step_id, at, config_.oeo_delay,
                                     obs::OccCategory::kConversion);
             at += config_.oeo_delay;
@@ -215,14 +242,19 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     cost.rounds = max_rounds;
     cost.duration = Seconds(slowest);
     result.total_rounds += max_rounds;
-    result.reconfigurations += max_rounds;
+    // Critical-path reconfiguration charges: under kOverlapped only rounds
+    // whose residual survived the overlap window count, and the hidden
+    // time is the step's serial-vs-overlapped delta on the slowest ring.
+    result.reconfigurations += overlapped ? max_paid_rounds : max_rounds;
+    result.overlap_hidden += Seconds(slowest_serial - slowest);
     result.max_wavelengths_used =
         std::max(result.max_wavelengths_used, cost.wavelengths_used);
     result.step_costs.push_back(cost);
 
     probe.count("optical.steps");
     probe.count("optical.rounds", max_rounds);
-    probe.count("optical.reconfig_charges", max_rounds);
+    probe.count("optical.reconfig_charges",
+                overlapped ? max_paid_rounds : max_rounds);
     if (max_rounds > 1) probe.count("optical.multi_round_steps");
     probe.count_max("optical.max_wavelengths_used", cost.wavelengths_used);
     if (probe.trace != nullptr) {
@@ -240,6 +272,7 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
                            static_cast<double>(cost.wavelengths_used));
     }
     now += slowest;
+    step_window = slowest;
     ++step_index;
   }
   result.total_time = Seconds(now);

@@ -239,6 +239,38 @@ TEST_P(BackendConformance, UtilizationCollectionDoesNotPerturbTiming) {
   }
 }
 
+TEST_P(BackendConformance, OverlappedPolicyMatchesCapability) {
+  const auto serial = make_backend();
+  net::BackendConfig config = test_config();
+  config.reconfig_policy = net::ReconfigPolicy::kOverlapped;
+  const auto overlapped =
+      net::BackendRegistry::instance().create(GetParam(), config);
+  const bool supported = serial->capabilities().supports_reconfig_overlap;
+  for (const coll::Schedule& sched : canonical_schedules(
+           serial->capabilities())) {
+    const RunReport a = serial->execute(sched);
+    const RunReport b = overlapped->execute(sched);
+    // Re-pricing only: the schedule structure is untouched either way.
+    EXPECT_EQ(a.steps, b.steps) << sched.algorithm();
+    EXPECT_EQ(a.rounds, b.rounds) << sched.algorithm();
+    if (supported) {
+      // Hiding reconfiguration delay can only help, and on these canonical
+      // schedules (every round retunes-or-not aside, kEveryRound charges
+      // fully) it must strictly help.
+      EXPECT_LE(b.total_time.count(),
+                a.total_time.count() + 1e-12 * (1.0 + a.total_time.count()))
+          << sched.algorithm();
+      EXPECT_LT(b.total_time.count(), a.total_time.count())
+          << sched.algorithm();
+    } else {
+      // Backends without an overlap notion must price all policies
+      // identically — never silently diverge.
+      EXPECT_EQ(a.total_time.count(), b.total_time.count())
+          << sched.algorithm();
+    }
+  }
+}
+
 TEST_P(BackendConformance, RepeatedExecutionIsDeterministic) {
   const auto backend = make_backend();
   for (const coll::Schedule& sched : canonical_schedules(

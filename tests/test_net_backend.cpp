@@ -158,16 +158,16 @@ TEST(RateConvention, SharedEnumDrivesBothConfigs) {
       elec::ElectricalConfig{}.with_convention(
           net::RateConvention::kStrictBits);
   EXPECT_EQ(electrical.convention, net::RateConvention::kStrictBits);
-  EXPECT_FALSE(electrical.paper_rate_convention());
   EXPECT_EQ(electrical.bytes_per_second(),
             electrical.link_rate.count() / 8.0);
 }
 
-TEST(RateConvention, DeprecatedElectricalAliasStillWorks) {
-  const elec::ElectricalConfig cfg =
-      elec::ElectricalConfig{}.with_paper_rate_convention(false);
+TEST(RateConvention, ElectricalConventionBuilderRoundTrips) {
+  const elec::ElectricalConfig cfg = elec::ElectricalConfig{}.with_convention(
+      net::RateConvention::kStrictBits);
   EXPECT_EQ(cfg.convention, net::RateConvention::kStrictBits);
-  EXPECT_EQ(elec::ElectricalConfig{}.with_paper_rate_convention(true)
+  EXPECT_EQ(elec::ElectricalConfig{}
+                .with_convention(net::RateConvention::kPaperConvention)
                 .convention,
             net::RateConvention::kPaperConvention);
 }

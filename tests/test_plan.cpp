@@ -1,0 +1,211 @@
+// wrht::plan schedule planner: closed-form predictions vs the optical ring
+// simulator (differential, on a pinned grid), winner selection, candidate
+// feasibility and the flat all-to-all builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/optical/ring_network.hpp"
+#include "wrht/plan/schedule_planner.hpp"
+#include "wrht/verify/oracle.hpp"
+
+namespace wrht::plan {
+namespace {
+
+/// Relative tolerance of closed-form predictions vs the simulator. WRHT
+/// and ring predictions are exact; the flat all-to-all's round count rests
+/// on the analytic ~N^2/8 load bound, which first-fit colouring can exceed
+/// slightly (DESIGN.md documents 1.5x as the operational budget).
+constexpr double kPredictionTolerance = 0.35;
+/// A chosen candidate must simulate within this factor of the true fastest
+/// (ties between near-equal candidates are fine either way).
+constexpr double kWinnerTolerance = 0.05;
+
+optics::OpticalConfig sim_config(const PlannerOptions& options) {
+  optics::OpticalConfig cfg;
+  cfg.wavelengths = options.wavelengths;
+  cfg.reconfig_policy = options.policy;
+  cfg.validate_node_capacity = false;  // the paper's sweep assumption
+  return cfg;
+}
+
+double simulate(CandidateKind kind, std::uint32_t n, std::size_t elements,
+                const PlannerOptions& options) {
+  const coll::Schedule sched = build_candidate(kind, n, elements, options);
+  const optics::RingNetwork net(n, sim_config(options));
+  return net.execute(sched).total_time.count();
+}
+
+TEST(Plan, PredictionsMatchSimulatorOnPinnedGrid) {
+  for (const std::uint32_t n : {8u, 16u, 32u}) {
+    for (const std::uint32_t w : {4u, 64u}) {
+      for (const std::size_t elements :
+           {std::size_t{256}, std::size_t{4096}, std::size_t{1} << 18}) {
+        for (const net::ReconfigPolicy policy :
+             {net::ReconfigPolicy::kEveryRound,
+              net::ReconfigPolicy::kOnRetune,
+              net::ReconfigPolicy::kOverlapped}) {
+          PlannerOptions options;
+          options.wavelengths = w;
+          options.policy = policy;
+          for (const CandidateKind kind :
+               {CandidateKind::kWrht, CandidateKind::kFlatAllToAll,
+                CandidateKind::kStaticRing}) {
+            const Candidate c = predict(kind, n, elements, options);
+            if (!c.feasible) continue;
+            const double sim = simulate(kind, n, elements, options);
+            EXPECT_NEAR(c.predicted_time.count(), sim,
+                        kPredictionTolerance * sim)
+                << to_string(kind) << " N=" << n << " w=" << w
+                << " d=" << elements << " policy="
+                << net::to_string(policy);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Plan, ChoosesTheSimulatedFastestOnPinnedGrid) {
+  for (const std::uint32_t n : {8u, 16u, 32u}) {
+    for (const std::uint32_t w : {4u, 64u}) {
+      for (const std::size_t elements :
+           {std::size_t{256}, std::size_t{4096}, std::size_t{1} << 18}) {
+        for (const net::ReconfigPolicy policy :
+             {net::ReconfigPolicy::kEveryRound,
+              net::ReconfigPolicy::kOnRetune,
+              net::ReconfigPolicy::kOverlapped}) {
+          PlannerOptions options;
+          options.wavelengths = w;
+          options.policy = policy;
+          const PlanResult plan = plan_allreduce(n, elements, options);
+          double fastest = std::numeric_limits<double>::infinity();
+          for (const Candidate& c : plan.candidates) {
+            if (!c.feasible) continue;
+            fastest = std::min(
+                fastest, simulate(c.kind, n, elements, options));
+          }
+          const double chosen_sim =
+              simulate(plan.chosen.kind, n, elements, options);
+          EXPECT_LE(chosen_sim, fastest * (1.0 + kWinnerTolerance))
+              << to_string(plan.chosen.kind) << " N=" << n << " w=" << w
+              << " d=" << elements << " policy=" << net::to_string(policy);
+        }
+      }
+    }
+  }
+}
+
+TEST(Plan, FrontierHasAllThreeRegions) {
+  // Latency-bound payloads favour WRHT's O(log N) steps; bandwidth-bound
+  // payloads favour d/N chunks — via the flat all-to-all when wavelengths
+  // are plentiful (2 ceil(N^2/8w) rounds beat the ring's 2(N-1)), via the
+  // reconfig-free ring when they are scarce and the all-to-all splits into
+  // more rounds than the ring has steps.
+  PlannerOptions rich;
+  rich.wavelengths = 64;
+  EXPECT_EQ(plan_allreduce(64, 64, rich).chosen.kind, CandidateKind::kWrht);
+  EXPECT_EQ(plan_allreduce(64, 1u << 22, rich).chosen.kind,
+            CandidateKind::kFlatAllToAll);
+
+  PlannerOptions scarce;
+  scarce.wavelengths = 4;
+  EXPECT_EQ(plan_allreduce(64, 64, scarce).chosen.kind,
+            CandidateKind::kWrht);
+  EXPECT_EQ(plan_allreduce(64, 1u << 25, scarce).chosen.kind,
+            CandidateKind::kStaticRing);
+}
+
+TEST(Plan, PlannedScheduleMatchesChosenKind) {
+  PlannerOptions options;
+  const PlanResult result = plan_allreduce(16, 1024, options);
+  ASSERT_EQ(result.candidates.size(), 3u);
+  EXPECT_TRUE(result.chosen.feasible);
+  // The returned schedule is the chosen candidate's, ready to run.
+  EXPECT_GT(result.schedule.num_steps(), 0u);
+  EXPECT_EQ(result.schedule.num_nodes(), 16u);
+  EXPECT_EQ(result.schedule.elements(), 1024u);
+  result.schedule.validate();
+}
+
+TEST(Plan, RingInfeasibleBelowOneElementPerChunk) {
+  PlannerOptions options;
+  const Candidate ring =
+      predict(CandidateKind::kStaticRing, 32, 8, options);
+  EXPECT_FALSE(ring.feasible);
+  EXPECT_FALSE(ring.note.empty());
+  // The planner still finds a winner among the others.
+  const PlanResult result = plan_allreduce(32, 8, options);
+  EXPECT_NE(result.chosen.kind, CandidateKind::kStaticRing);
+}
+
+TEST(Plan, OverlapNeverPredictsSlowerThanSerial) {
+  for (const std::uint32_t n : {8u, 32u}) {
+    for (const std::size_t elements : {std::size_t{256}, std::size_t{1}
+                                       << 18}) {
+      for (const CandidateKind kind :
+           {CandidateKind::kWrht, CandidateKind::kFlatAllToAll,
+            CandidateKind::kStaticRing}) {
+        PlannerOptions serial;
+        PlannerOptions overlapped;
+        overlapped.policy = net::ReconfigPolicy::kOverlapped;
+        const Candidate a = predict(kind, n, elements, serial);
+        const Candidate b = predict(kind, n, elements, overlapped);
+        if (!a.feasible) continue;
+        EXPECT_LE(b.predicted_time.count(), a.predicted_time.count())
+            << to_string(kind);
+        // Identity mirrored from the engines: hidden time accounts for
+        // the whole difference.
+        EXPECT_NEAR(b.predicted_time.count() + b.overlap_hidden.count(),
+                    a.predicted_time.count(),
+                    1e-12 * (1.0 + a.predicted_time.count()))
+            << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(FlatAllToAll, ComputesTheGlobalSum) {
+  for (const std::uint32_t n : {2u, 5u, 16u}) {
+    for (const std::size_t elements : {std::size_t{3}, std::size_t{64}}) {
+      const auto sched = flat_alltoall_allreduce(n, elements);
+      const auto report = verify::check_allreduce(sched);
+      EXPECT_TRUE(report.result.ok())
+          << "N=" << n << " d=" << elements << "\n"
+          << report.result.summary();
+    }
+  }
+}
+
+TEST(FlatAllToAll, TwoStepsAndSecondReusesCircuits) {
+  const auto sched = flat_alltoall_allreduce(12, 144);
+  ASSERT_EQ(sched.num_steps(), 2u);
+  const auto deltas = coll::reconfig_deltas(sched);
+  // The all-gather lights the identical circuit set the reduce-scatter
+  // already tuned.
+  EXPECT_TRUE(deltas[1].reconfig_free());
+  EXPECT_EQ(deltas[1].kept, deltas[0].added.size());
+}
+
+TEST(FlatAllToAll, StaysNearTheAnalyticWavelengthBound) {
+  // The builder's direction hints keep first-fit within the documented
+  // 1.5x operational budget of the ~N^2/8 analytic load.
+  for (const std::uint32_t n : {5u, 8u, 13u, 16u}) {
+    const auto sched = flat_alltoall_allreduce(n, 4 * n);
+    optics::OpticalConfig cfg;
+    cfg.wavelengths = 4096;  // never split: observe the true demand
+    const optics::RingNetwork net(n, cfg);
+    const auto res = net.execute(sched);
+    const auto analytic = static_cast<double>(
+        n % 2 == 0 ? (n * n + 7) / 8 : (n * n - 1) / 8);
+    EXPECT_LE(res.max_wavelengths_used, std::max(1.0, 1.5 * analytic))
+        << "N=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace wrht::plan

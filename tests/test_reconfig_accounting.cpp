@@ -11,7 +11,7 @@ namespace {
 OpticalConfig retune_cfg(std::uint32_t w = 64) {
   OpticalConfig cfg;
   cfg.wavelengths = w;
-  cfg.reconfig_accounting = OpticalConfig::ReconfigAccounting::kOnRetune;
+  cfg.reconfig_policy = net::ReconfigPolicy::kOnRetune;
   return cfg;
 }
 

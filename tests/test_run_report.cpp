@@ -274,7 +274,8 @@ TEST(FluentConfig, ElectricalSettersCompose) {
                                          .with_link_rate(BitsPerSecond(10e9))
                                          .with_router_delay(Seconds(5e-6))
                                          .with_router_ports(16)
-                                         .with_paper_rate_convention(false);
+                                         .with_convention(
+                                             net::RateConvention::kStrictBits);
   EXPECT_EQ(cfg.link_rate.count(), 10e9);
   EXPECT_EQ(cfg.router_delay.count(), 5e-6);
   EXPECT_EQ(cfg.router_ports, 16u);

@@ -106,5 +106,80 @@ TEST(ChunkRange, Validation) {
   EXPECT_THROW(chunk_range(10, 3, 3), InvalidArgument);
 }
 
+TEST(ReconfigDeltas, ColdStartAddsEverything) {
+  Schedule s("test", 4, 16);
+  Step& step = s.add_step();
+  step.transfers.push_back({0, 1, 0, 8, TransferKind::kReduce, {}});
+  step.transfers.push_back({2, 3, 8, 8, TransferKind::kReduce, {}});
+  const auto deltas = reconfig_deltas(s);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].added.size(), 2u);
+  EXPECT_TRUE(deltas[0].removed.empty());
+  EXPECT_EQ(deltas[0].kept, 0u);
+  EXPECT_FALSE(deltas[0].reconfig_free());
+}
+
+TEST(ReconfigDeltas, RepeatedCircuitsAreFree) {
+  // Same (src, dst, direction) circuits step after step: only step 0
+  // retunes, even when offsets/counts/kinds differ (Ring All-reduce).
+  Schedule s("test", 4, 16);
+  for (int i = 0; i < 3; ++i) {
+    Step& step = s.add_step();
+    step.transfers.push_back(
+        {0, 1, static_cast<std::size_t>(4 * i), 4,
+         i < 2 ? TransferKind::kReduce : TransferKind::kCopy, {}});
+  }
+  const auto deltas = reconfig_deltas(s);
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_FALSE(deltas[0].reconfig_free());
+  EXPECT_TRUE(deltas[1].reconfig_free());
+  EXPECT_EQ(deltas[1].kept, 1u);
+  EXPECT_TRUE(deltas[2].reconfig_free());
+  EXPECT_TRUE(is_reconfig_free(s));
+}
+
+TEST(ReconfigDeltas, DirectionChangeRetunes) {
+  // Pinning the same (src, dst) pair to a different ring direction is a
+  // different circuit: the micro-rings on the other arc must be tuned.
+  Schedule s("test", 4, 16);
+  s.add_step().transfers.push_back(
+      {0, 1, 0, 8, TransferKind::kReduce, topo::Direction::kClockwise});
+  s.add_step().transfers.push_back(
+      {0, 1, 0, 8, TransferKind::kReduce,
+       topo::Direction::kCounterClockwise});
+  const auto deltas = reconfig_deltas(s);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[1].added.size(), 1u);
+  EXPECT_EQ(deltas[1].removed.size(), 1u);
+  EXPECT_EQ(deltas[1].kept, 0u);
+  EXPECT_FALSE(is_reconfig_free(s));
+}
+
+TEST(ReconfigDeltas, PartialOverlapCountsKept) {
+  Schedule s("test", 6, 16);
+  Step& a = s.add_step();
+  a.transfers.push_back({0, 1, 0, 8, TransferKind::kReduce, {}});
+  a.transfers.push_back({2, 3, 0, 8, TransferKind::kReduce, {}});
+  Step& b = s.add_step();
+  b.transfers.push_back({2, 3, 8, 8, TransferKind::kReduce, {}});
+  b.transfers.push_back({4, 5, 8, 8, TransferKind::kReduce, {}});
+  const auto deltas = reconfig_deltas(s);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[1].kept, 1u);
+  EXPECT_EQ(deltas[1].added.size(), 1u);
+  EXPECT_EQ(deltas[1].removed.size(), 1u);
+}
+
+TEST(ReconfigDeltas, DuplicateTransfersShareOneCircuit) {
+  // Two transfers over the same circuit in one step light it once.
+  Schedule s("test", 4, 16);
+  Step& step = s.add_step();
+  step.transfers.push_back({0, 1, 0, 4, TransferKind::kReduce, {}});
+  step.transfers.push_back({0, 1, 8, 4, TransferKind::kCopy, {}});
+  const auto deltas = reconfig_deltas(s);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].added.size(), 1u);
+}
+
 }  // namespace
 }  // namespace wrht::coll
