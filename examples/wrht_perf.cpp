@@ -5,9 +5,15 @@
 // metrics, and writes the machine-readable BENCH_micro.json that the
 // baseline tooling consumes.
 //
-//   $ wrht_perf [--tiny] [--reps N] [--out PATH]
+//   $ wrht_perf [--scale] [--tiny] [--reps N] [--out PATH]
 //               [--baseline PATH] [--write-baseline PATH] [--drift X]
 //
+// --scale swaps in the scale-suite (BENCH_scale.json): a 10^5-node WRHT
+// schedule build, its element-rescale patch, large-step RWA, and a sweep
+// whose grid volume (points x max N) must be at least 10x the micro-suite
+// sweep's — the arena + incremental-cache work is what keeps it at
+// micro-sweep wall-clock, and the harness exits 1 if the volume floor is
+// not met (bench/baselines/scale{,-tiny}.baseline ratchet the wall times).
 // --tiny shrinks every workload to CI-smoke scale (same metric names, so
 // tiny runs compare against tiny baselines — bench/baselines/
 // micro-tiny.baseline — and full runs against micro.baseline).
@@ -47,8 +53,9 @@ using namespace wrht;
 
 struct Options {
   bool tiny = false;
-  std::uint32_t reps = 0;  // 0 = default (5 full / 3 tiny)
-  std::string out = "BENCH_micro.json";
+  bool scale = false;
+  std::uint32_t reps = 0;   // 0 = default (5 full / 3 tiny)
+  std::string out;          // empty = BENCH_{micro,scale}.json by mode
   std::string baseline;
   std::string write_baseline;
   double drift = 3.0;
@@ -57,7 +64,7 @@ struct Options {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--tiny] [--reps N] [--out PATH]\n"
+      "usage: %s [--scale] [--tiny] [--reps N] [--out PATH]\n"
       "          [--baseline PATH] [--write-baseline PATH] [--drift X]\n",
       argv0);
   return 2;
@@ -71,6 +78,188 @@ double time_once(const std::function<void()>& fn) {
   return wall.count();
 }
 
+// Shared tail for both suites: RSS + phase capture, JSON emission, the
+// human-readable metric table, and the baseline write/compare gates.
+int finalize_report(const Options& opt, prof::ProfRegistry& registry,
+                    prof::PerfReport& report, double suite_wall_s) {
+  report.wall_time_s = suite_wall_s;
+  report.peak_rss_bytes = prof::peak_rss_bytes();
+  report.add_metric("peak_rss_mb",
+                    static_cast<double>(report.peak_rss_bytes) / 1e6, "MB");
+  report.capture(registry);
+
+  report.write_json_file(opt.out);
+  std::printf("wrht_perf: %s %s suite, %u reps, %u sweep threads, %.3f s wall\n",
+              opt.tiny ? "tiny" : "full", report.name.c_str(), opt.reps,
+              report.threads, report.wall_time_s);
+  std::printf("perf report written to %s\n", opt.out.c_str());
+  std::printf("\n%-34s %14s\n", "metric", "value");
+  for (const prof::PerfMetric& m : report.metrics) {
+    std::printf("  %-32s %12.6g %s\n", m.name.c_str(), m.value,
+                m.unit.c_str());
+  }
+
+  if (!opt.write_baseline.empty()) {
+    prof::Baseline::from_report(report, opt.drift).save(opt.write_baseline);
+    std::printf("\nbaseline written to %s (drift %.2f)\n",
+                opt.write_baseline.c_str(), opt.drift);
+  }
+
+  if (!opt.baseline.empty()) {
+    const prof::Baseline baseline = prof::Baseline::load(opt.baseline);
+    const prof::CompareReport compared = prof::compare(report, baseline);
+    std::printf("\ncomparison vs %s:\n", opt.baseline.c_str());
+    compared.print(std::cout);
+    if (!compared.ok()) {
+      std::fprintf(stderr, "wrht_perf: PERFORMANCE REGRESSION vs %s\n",
+                   opt.baseline.c_str());
+      return 1;
+    }
+    std::printf("wrht_perf: within baseline thresholds\n");
+  }
+  return 0;
+}
+
+// The scale suite: the N~10^5 regime the arena + incremental-cache work
+// targets. Measures the big-build / patch / RWA hot paths directly, then
+// runs a schedule-only sweep whose grid volume (points x max N) must be
+// >= 10x the micro-suite sweep's pinned volume — the volume floor is a
+// hard gate (exit 1), the wall-clock ratchet lives in
+// bench/baselines/scale{,-tiny}.baseline.
+int run_scale(const Options& opt) {
+  // Pinned sizes, identical on every machine per mode.
+  const std::uint32_t big_n = opt.tiny ? 20000 : 100000;
+  const std::uint32_t big_w = 64;
+  const std::uint32_t rwa_n = opt.tiny ? 1024 : 4096;
+  // The micro-suite sweep's grid volume: 1 workload x 2 node counts x 3
+  // series at max N 64 (full) / 16 (tiny) = 6 points -> 384 / 96.
+  const std::size_t micro_sweep_volume = opt.tiny ? 96 : 384;
+
+  const core::WrhtPlan big_plan = core::plan_wrht(big_n, big_w);
+  const core::WrhtPlan rwa_plan = core::plan_wrht(rwa_n, big_w);
+  const coll::Schedule rwa_sched = core::wrht_allreduce(
+      rwa_n, 1, core::WrhtOptions{rwa_plan.group_size, big_w});
+  const topo::Ring rwa_ring(rwa_n);
+
+  prof::ProfRegistry registry;
+  prof::PerfReport report;
+  report.name = "scale";
+  report.repetitions = opt.reps;
+  report.threads = exp::SweepRunner().threads();
+
+  const auto suite_start = std::chrono::steady_clock::now();
+  std::size_t sweep_volume = 0;
+  {
+    const prof::ScopedProfiling profiling(registry);
+    prof::set_thread_label("main");
+
+    // Full schedule build at N~10^5 (the arena path; elements=1 because
+    // full-vector structure is element-independent).
+    {
+      std::vector<double> samples;
+      samples.reserve(opt.reps);
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.schedule_build_large");
+        samples.push_back(time_once([&] {
+          (void)core::wrht_allreduce(
+              big_n, 1, core::WrhtOptions{big_plan.group_size, big_w});
+        }));
+      }
+      report.add_sample_metrics("schedule_build_large.wall_s", samples, "s");
+    }
+
+    // Element-rescale patch of the big build: the incremental-cache hot
+    // path (copy + rescale to ResNet-50's 25.5M parameters).
+    {
+      const coll::Schedule big = core::wrht_allreduce(
+          big_n, 1, core::WrhtOptions{big_plan.group_size, big_w});
+      std::vector<double> samples;
+      samples.reserve(opt.reps);
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.rescale_patch_large");
+        samples.push_back(time_once([&] {
+          coll::Schedule patched = big;
+          patched.rescale_elements(25557032);
+        }));
+      }
+      report.add_sample_metrics("rescale_patch_large.wall_s", samples, "s");
+    }
+
+    // First-fit RWA over one step of a large WRHT schedule.
+    {
+      optics::RwaOptions rwa;
+      rwa.wavelengths = big_w;
+      std::vector<double> samples;
+      samples.reserve(opt.reps);
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.rwa_assign_large");
+        samples.push_back(time_once([&] {
+          (void)optics::assign_wavelengths(
+              rwa_ring, rwa_sched.steps().front().transfers, rwa);
+        }));
+      }
+      report.add_sample_metrics("rwa_assign_large.wall_s", samples, "s");
+    }
+
+    // The headline sweep: elements x nodes x {wrht, btree} on the
+    // schedule-only backend. Every point that differs from a cached
+    // sibling only in elements is served by an incremental rescale patch,
+    // so the grid carries 10x+ the micro sweep's volume at comparable
+    // wall-clock.
+    {
+      exp::SweepSpec spec;
+      const std::size_t workload_count = opt.tiny ? 4 : 8;
+      for (std::size_t i = 0; i < workload_count; ++i) {
+        const std::size_t elements = std::size_t{1024} << i;
+        spec.workloads.push_back(
+            exp::Workload{"s" + std::to_string(elements), elements});
+      }
+      spec.nodes = opt.tiny ? std::vector<std::uint32_t>{40, 80, 160}
+                            : std::vector<std::uint32_t>{160, 320, 640};
+      spec.wavelengths = {8};
+      spec.series.resize(2);
+      spec.series[0].name = "wrht";
+      spec.series[0].algorithm = "wrht";
+      spec.series[0].backend = "schedule-only";
+      spec.series[1].name = "btree";
+      spec.series[1].algorithm = "btree";
+      spec.series[1].backend = "schedule-only";
+      spec.config.validate_node_capacity = false;
+      spec.schedule_cache = exp::ScheduleCacheMode::kIncremental;
+
+      const exp::SweepRunner runner;
+      std::vector<double> walls, rates;
+      std::size_t points = 0;
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.scale_sweep");
+        const double wall = time_once([&] {
+          points = runner.run(spec).size();
+        });
+        walls.push_back(wall);
+        rates.push_back(static_cast<double>(points) /
+                        (wall > 0.0 ? wall : 1e-12));
+      }
+      sweep_volume = points * spec.nodes.back();
+      report.add_sample_metrics("scale_sweep.wall_s", walls, "s");
+      report.add_sample_metrics("scale_sweep.grid_points_per_s", rates, "/s");
+      report.add_metric("scale_sweep.points_x_max_n",
+                        static_cast<double>(sweep_volume), "ptsN");
+    }
+  }
+  const std::chrono::duration<double> suite_wall =
+      std::chrono::steady_clock::now() - suite_start;
+
+  if (sweep_volume < 10 * micro_sweep_volume) {
+    std::fprintf(stderr,
+                 "wrht_perf: scale sweep volume %zu is below the 10x floor "
+                 "(%zu)\n",
+                 sweep_volume, 10 * micro_sweep_volume);
+    return 1;
+  }
+
+  return finalize_report(opt, registry, report, suite_wall.count());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,6 +271,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--tiny") {
       opt.tiny = true;
+    } else if (arg == "--scale") {
+      opt.scale = true;
     } else if (arg == "--reps") {
       const char* v = value();
       if (v == nullptr || std::atoi(v) <= 0) return usage(argv[0]);
@@ -107,8 +298,13 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.reps == 0) opt.reps = opt.tiny ? 3 : 5;
+  if (opt.out.empty()) {
+    opt.out = opt.scale ? "BENCH_scale.json" : "BENCH_micro.json";
+  }
 
   exp::ensure_initialized();
+
+  if (opt.scale) return run_scale(opt);
 
   // Pinned workload sizes: identical on every machine so a BENCH_micro.json
   // is comparable across runs of the same mode.
@@ -283,40 +479,5 @@ int main(int argc, char** argv) {
   const std::chrono::duration<double> suite_wall =
       std::chrono::steady_clock::now() - suite_start;
 
-  report.wall_time_s = suite_wall.count();
-  report.peak_rss_bytes = prof::peak_rss_bytes();
-  report.add_metric("peak_rss_mb",
-                    static_cast<double>(report.peak_rss_bytes) / 1e6, "MB");
-  report.capture(registry);
-
-  report.write_json_file(opt.out);
-  std::printf("wrht_perf: %s suite, %u reps, %u sweep threads, %.3f s wall\n",
-              opt.tiny ? "tiny" : "full", opt.reps, report.threads,
-              report.wall_time_s);
-  std::printf("perf report written to %s\n", opt.out.c_str());
-  std::printf("\n%-34s %14s\n", "metric", "value");
-  for (const prof::PerfMetric& m : report.metrics) {
-    std::printf("  %-32s %12.6g %s\n", m.name.c_str(), m.value,
-                m.unit.c_str());
-  }
-
-  if (!opt.write_baseline.empty()) {
-    prof::Baseline::from_report(report, opt.drift).save(opt.write_baseline);
-    std::printf("\nbaseline written to %s (drift %.2f)\n",
-                opt.write_baseline.c_str(), opt.drift);
-  }
-
-  if (!opt.baseline.empty()) {
-    const prof::Baseline baseline = prof::Baseline::load(opt.baseline);
-    const prof::CompareReport compared = prof::compare(report, baseline);
-    std::printf("\ncomparison vs %s:\n", opt.baseline.c_str());
-    compared.print(std::cout);
-    if (!compared.ok()) {
-      std::fprintf(stderr, "wrht_perf: PERFORMANCE REGRESSION vs %s\n",
-                   opt.baseline.c_str());
-      return 1;
-    }
-    std::printf("wrht_perf: within baseline thresholds\n");
-  }
-  return 0;
+  return finalize_report(opt, registry, report, suite_wall.count());
 }

@@ -5,8 +5,14 @@
 # byte-identical to the checked-in reference CSV at the repo root AND that
 # the tiny grid produced exactly the expected number of data rows. Catches
 # a bench that crashes, stops writing its CSV, silently changes schema, or
-# truncates its sweep. Finishes with a 1-repetition bench_micro pass so the
-# microbenchmarks cannot rot either.
+# truncates its sweep. A row-count trip exits immediately, naming the
+# offending bench — a truncated sweep means the grid expansion itself is
+# broken, and every later bench shares that machinery, so their output
+# would only obscure the culprit. ablation_overlap.csv additionally gets
+# its full column schema pinned here (the overlap/planner columns feed the
+# reconfigure-or-not analysis, and the checked-in reference would follow a
+# silently drifted writer). Finishes with a 1-repetition bench_micro pass
+# so the microbenchmarks cannot rot either.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -83,12 +89,29 @@ for b in "${BENCHES[@]}"; do
   fi
   rows=$(($(wc -l < "$b.csv") - 1))
   if [[ "$rows" -ne "${EXPECTED_ROWS[$b]}" ]]; then
-    echo "FAIL: $b.csv has $rows rows, expected ${EXPECTED_ROWS[$b]}"
-    fail=1
-    continue
+    # Fail fast: a wrong row count means the sweep grid itself truncated,
+    # so later benches only bury the first culprit.
+    echo "FAIL: bench_$b: $b.csv has $rows rows, expected ${EXPECTED_ROWS[$b]}"
+    echo "bench smoke FAILED (row-count check tripped on bench_$b)"
+    exit 1
   fi
   echo "OK: $b.csv ($rows rows, header matches)"
 done
+
+# ablation_overlap.csv: pin the full column schema, not just reference
+# equality — the reconfigure-or-not analysis consumes these columns by
+# name, and the checked-in reference CSV would follow a drifted writer.
+overlap_schema='wavelengths,elements,wrht_serial_s,wrht_overlap_s,wrht_hidden_s,flat_overlap_s,ring_overlap_s,sim_best,planner_choice,planner_predicted_s,planner_ok'
+if [[ -f ablation_overlap.csv ]]; then
+  overlap_header="$(head -n 1 ablation_overlap.csv)"
+  if [[ "$overlap_header" != "$overlap_schema" ]]; then
+    echo "FAIL: ablation_overlap.csv header schema drifted"
+    echo "  expected: $overlap_schema"
+    echo "  emitted : $overlap_header"
+    exit 1
+  fi
+  echo "OK: ablation_overlap.csv column schema pinned"
+fi
 
 # Microbenchmark smoke: one repetition at minimal min_time just proves every
 # registered benchmark still runs to completion.

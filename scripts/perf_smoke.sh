@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Perf smoke run: builds wrht_perf, runs the tiny micro-suite, and checks
-# three contracts:
+# Perf smoke run: builds wrht_perf, runs the tiny micro- and scale-suites,
+# and checks four contracts:
 #
 #   1. BENCH_micro.json exists and carries the wrht-perf-1 schema markers
 #      (schema id, phase table, thread efficiency, peak RSS).
@@ -11,6 +11,10 @@
 #      injected 2x slowdown on every metric must make wrht_perf exit
 #      non-zero. Catches comparator rot (a comparator that never fails is
 #      worse than none).
+#   4. The scale suite (wrht_perf --scale) passes its tiny baseline and
+#      writes BENCH_scale.json carrying the sweep-volume gate metric
+#      (scale_sweep.points_x_max_n) — the harness itself exits 1 when the
+#      sweep's points x max N drops below 10x the micro sweep's volume.
 #
 # Wall-clock baselines are machine-sensitive; thresholds in the checked-in
 # baseline are generous (4x slowdown). Refresh with
@@ -44,6 +48,21 @@ for marker in '"schema": "wrht-perf-1"' '"phases"' '"thread_efficiency"' \
   fi
 done
 echo "OK: schema markers present"
+
+echo "--- wrht_perf scale tiny vs checked-in baseline"
+"$BUILD_DIR/examples/wrht_perf" --scale --tiny \
+  --baseline "$ROOT/bench/baselines/scale-tiny.baseline" \
+  --out BENCH_scale.json
+
+echo "--- BENCH_scale.json schema markers"
+for marker in '"schema": "wrht-perf-1"' '"name": "scale"' \
+              'scale_sweep.points_x_max_n' '"peak_rss_bytes"'; do
+  if ! grep -qF "$marker" BENCH_scale.json; then
+    echo "FAIL: BENCH_scale.json is missing $marker"
+    exit 1
+  fi
+done
+echo "OK: scale schema markers present"
 
 echo "--- injected 2x slowdown must regress"
 # Halve every lower-is-better value and double every higher-is-better one,

@@ -7,6 +7,21 @@
 
 namespace wrht::coll {
 
+namespace {
+
+thread_local ScheduleStorage g_storage = ScheduleStorage::kArena;
+
+}  // namespace
+
+ScheduleStorage default_schedule_storage() { return g_storage; }
+
+ScheduleStorageScope::ScheduleStorageScope(ScheduleStorage storage)
+    : saved_(g_storage) {
+  g_storage = storage;
+}
+
+ScheduleStorageScope::~ScheduleStorageScope() { g_storage = saved_; }
+
 Schedule::Schedule(std::string algorithm, std::uint32_t num_nodes,
                    std::size_t elements)
     : algorithm_(std::move(algorithm)),
@@ -14,11 +29,49 @@ Schedule::Schedule(std::string algorithm, std::uint32_t num_nodes,
       elements_(elements) {
   require(num_nodes >= 1, "Schedule: need at least one node");
   require(elements >= 1, "Schedule: need at least one element");
+  if (g_storage == ScheduleStorage::kArena) {
+    arena_ = std::make_shared<common::Arena>();
+  }
+}
+
+Schedule::Schedule(const Schedule& other)
+    : Schedule(other.algorithm_, other.num_nodes_, other.elements_) {
+  steps_.reserve(other.steps_.size());
+  for (const Step& src : other.steps_) {
+    Step& dst = add_step(src.label);
+    dst.transfers.assign(src.transfers.begin(), src.transfers.end());
+  }
+}
+
+Schedule& Schedule::operator=(const Schedule& other) {
+  if (this != &other) *this = Schedule(other);
+  return *this;
 }
 
 Step& Schedule::add_step(std::string label) {
-  steps_.push_back(Step{{}, std::move(label)});
+  steps_.push_back(Step{TransferList(transfer_allocator()),
+                        std::move(label)});
   return steps_.back();
+}
+
+bool Schedule::full_vector() const {
+  for (const Step& step : steps_) {
+    for (const Transfer& t : step.transfers) {
+      if (t.offset != 0 || t.count != elements_) return false;
+    }
+  }
+  return true;
+}
+
+void Schedule::rescale_elements(std::size_t new_elements) {
+  require(new_elements >= 1, "rescale_elements: need at least one element");
+  require(full_vector(),
+          "rescale_elements: schedule '" + algorithm_ +
+              "' has chunked transfers; only full-vector schedules rescale");
+  for (Step& step : steps_) {
+    for (Transfer& t : step.transfers) t.count = new_elements;
+  }
+  elements_ = new_elements;
 }
 
 std::uint64_t Schedule::total_traffic_elements() const {
@@ -63,17 +116,27 @@ Circuit circuit_of(const Transfer& transfer) {
   return c;
 }
 
+namespace {
+
+/// Sorted, deduplicated circuit set of one step, reusing `scratch`'s
+/// capacity across steps.
+void step_circuits(const Step& step, std::vector<Circuit>& scratch) {
+  scratch.clear();
+  scratch.reserve(step.transfers.size());
+  for (const Transfer& t : step.transfers) scratch.push_back(circuit_of(t));
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+}
+
+}  // namespace
+
 std::vector<ReconfigDelta> reconfig_deltas(const Schedule& schedule) {
   std::vector<ReconfigDelta> deltas;
   deltas.reserve(schedule.num_steps());
   std::vector<Circuit> previous;  // sorted, deduplicated
+  std::vector<Circuit> current;
   for (const Step& step : schedule.steps()) {
-    std::vector<Circuit> current;
-    current.reserve(step.transfers.size());
-    for (const Transfer& t : step.transfers) current.push_back(circuit_of(t));
-    std::sort(current.begin(), current.end());
-    current.erase(std::unique(current.begin(), current.end()),
-                  current.end());
+    step_circuits(step, current);
 
     ReconfigDelta delta;
     std::set_difference(current.begin(), current.end(), previous.begin(),
@@ -82,15 +145,20 @@ std::vector<ReconfigDelta> reconfig_deltas(const Schedule& schedule) {
                         current.end(), std::back_inserter(delta.removed));
     delta.kept = current.size() - delta.added.size();
     deltas.push_back(std::move(delta));
-    previous = std::move(current);
+    std::swap(previous, current);
   }
   return deltas;
 }
 
 bool is_reconfig_free(const Schedule& schedule) {
-  const std::vector<ReconfigDelta> deltas = reconfig_deltas(schedule);
-  for (std::size_t s = 1; s < deltas.size(); ++s) {
-    if (!deltas[s].reconfig_free()) return false;
+  std::vector<Circuit> previous;
+  std::vector<Circuit> current;
+  bool first = true;
+  for (const Step& step : schedule.steps()) {
+    step_circuits(step, current);
+    if (!first && current != previous) return false;
+    first = false;
+    std::swap(previous, current);
   }
   return true;
 }

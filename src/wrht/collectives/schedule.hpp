@@ -7,15 +7,25 @@
 //   * coll::Executor      - moves real data, verifies All-reduce semantics,
 //   * optics::RingNetwork - assigns wavelengths and computes optical time,
 //   * elec::FatTreeNetwork- routes flows and computes electrical time.
+//
+// Storage: per-step Transfer vectors live on a per-schedule common::Arena
+// by default (ScheduleStorage::kArena), so building an N=10^5-step schedule
+// costs a handful of system allocations and the transfers of consecutive
+// steps sit contiguously in memory for the RWA/DES loops that stream over
+// them. ScheduleStorage::kHeap (via ScheduleStorageScope) restores plain
+// operator-new storage; it exists as the reference path for differential
+// tests. Both modes produce value-identical schedules.
 #pragma once
 
 #include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "wrht/common/arena.hpp"
 #include "wrht/common/units.hpp"
 #include "wrht/topo/ring.hpp"
 
@@ -43,17 +53,58 @@ struct Transfer {
   std::optional<topo::Direction> direction;
 };
 
+/// Per-step transfer storage. Default-constructed (null-arena) lists behave
+/// exactly like std::vector<Transfer>; lists handed out by Schedule point at
+/// the schedule's arena. The allocator does not propagate on copy/move
+/// assignment or swap, so `a.transfers = b.transfers` always copies elements
+/// into the destination's own storage and never re-homes a list onto a
+/// foreign arena.
+using TransferList =
+    std::vector<Transfer, common::ArenaAllocator<Transfer>>;
+
 /// Transfers that are in flight concurrently. Senders are read with
 /// beginning-of-step (snapshot) semantics.
 struct Step {
-  std::vector<Transfer> transfers;
+  TransferList transfers;
   std::string label;
+};
+
+/// Where a Schedule keeps its Transfer storage. Selected per-thread at
+/// Schedule construction time; see ScheduleStorageScope.
+enum class ScheduleStorage {
+  kArena,  ///< per-schedule monotonic arena (default)
+  kHeap,   ///< operator new per vector — the pre-arena reference path
+};
+
+/// Storage mode new Schedules on this thread are built with.
+[[nodiscard]] ScheduleStorage default_schedule_storage();
+
+/// RAII override of the thread-local storage mode. Lets tests and the
+/// differential harness force the heap reference path (or pin the arena
+/// path) for everything a call tree builds — including Registry::build and
+/// the algorithm builders — without threading a parameter through them.
+class ScheduleStorageScope {
+ public:
+  explicit ScheduleStorageScope(ScheduleStorage storage);
+  ~ScheduleStorageScope();
+  ScheduleStorageScope(const ScheduleStorageScope&) = delete;
+  ScheduleStorageScope& operator=(const ScheduleStorageScope&) = delete;
+
+ private:
+  ScheduleStorage saved_;
 };
 
 class Schedule {
  public:
   Schedule(std::string algorithm, std::uint32_t num_nodes,
            std::size_t elements);
+
+  /// Copies rebuild the step/transfer data on the copy's own fresh storage
+  /// (per the current thread-local mode); the source arena is untouched.
+  Schedule(const Schedule& other);
+  Schedule& operator=(const Schedule& other);
+  Schedule(Schedule&&) noexcept = default;
+  Schedule& operator=(Schedule&&) noexcept = default;
 
   [[nodiscard]] const std::string& algorithm() const { return algorithm_; }
   [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
@@ -62,7 +113,33 @@ class Schedule {
   [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
   [[nodiscard]] std::size_t num_steps() const { return steps_.size(); }
 
+  /// Appends a step whose transfer list is bound to this schedule's
+  /// storage. Builders that know their step count should reserve_steps()
+  /// first and `transfers.reserve()` per step: growth inside a monotonic
+  /// arena abandons the outgrown block until the schedule dies.
   Step& add_step(std::string label = {});
+
+  void reserve_steps(std::size_t n) { steps_.reserve(n); }
+
+  /// Storage this schedule was built with.
+  [[nodiscard]] ScheduleStorage storage() const {
+    return arena_ ? ScheduleStorage::kArena : ScheduleStorage::kHeap;
+  }
+  /// The backing arena (null in kHeap mode) — for memory accounting.
+  [[nodiscard]] const common::Arena* arena() const { return arena_.get(); }
+
+  /// True when every transfer spans the whole vector ([0, elements)) —
+  /// the precondition for rescale_elements(). Holds for WRHT/tree-style
+  /// full-vector schedules; false for chunked ring/halving-doubling ones.
+  [[nodiscard]] bool full_vector() const;
+
+  /// Re-targets a full-vector schedule at a new vector length in place:
+  /// every transfer's count becomes `new_elements`. The step/circuit
+  /// structure of such schedules depends only on (N, m, w), so this is the
+  /// patch operation the incremental sweep cache uses to reuse one build
+  /// across an elements axis. Throws without modifying anything if the
+  /// schedule is not full-vector.
+  void rescale_elements(std::size_t new_elements);
 
   /// Sum of element counts over all transfers (total traffic in elements).
   [[nodiscard]] std::uint64_t total_traffic_elements() const;
@@ -77,9 +154,16 @@ class Schedule {
   void validate() const;
 
  private:
+  [[nodiscard]] common::ArenaAllocator<Transfer> transfer_allocator() const {
+    return common::ArenaAllocator<Transfer>(arena_.get());
+  }
+
   std::string algorithm_;
   std::uint32_t num_nodes_;
   std::size_t elements_;
+  // arena_ is declared before steps_ so steps_ (whose transfer lists live
+  // inside the arena) is destroyed first.
+  std::shared_ptr<common::Arena> arena_;
   std::vector<Step> steps_;
 };
 
@@ -97,6 +181,10 @@ struct Circuit {
 };
 [[nodiscard]] Circuit circuit_of(const Transfer& transfer);
 
+/// Circuit storage mirroring TransferList: null-arena by default, bindable
+/// to an arena by callers that batch-derive deltas for huge schedules.
+using CircuitList = std::vector<Circuit, common::ArenaAllocator<Circuit>>;
+
 /// Which circuits change entering a step relative to the previous step —
 /// the per-step reconfiguration metadata the ReconfigPolicy engines and the
 /// wrht::plan cost models reason about. Deltas are derived from the
@@ -105,9 +193,9 @@ struct Circuit {
 struct ReconfigDelta {
   /// Circuits lit entering this step that the previous step did not use
   /// (every circuit of step 0 — cold start).
-  std::vector<Circuit> added;
+  CircuitList added;
   /// Circuits the previous step used that this step tears down.
-  std::vector<Circuit> removed;
+  CircuitList removed;
   /// Circuits carried over unchanged from the previous step.
   std::size_t kept = 0;
   /// No retuning needed entering this step (nothing added or removed).
@@ -123,6 +211,8 @@ struct ReconfigDelta {
 
 /// True when every step after the first reuses the previous step's exact
 /// circuit set, i.e. the whole schedule retunes at most once (step 0).
+/// Streams over steps without materializing the delta list, so it stays
+/// cheap on 10^5-step schedules.
 [[nodiscard]] bool is_reconfig_free(const Schedule& schedule);
 
 /// Element range [offset, count) of chunk `index` out of `chunks` for a

@@ -1,0 +1,64 @@
+#include "wrht/common/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wrht::common {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_chunk_(std::max<std::size_t>(first_chunk_bytes, 256)) {}
+
+Arena::~Arena() {
+  Chunk* chunk = head_;
+  while (chunk != nullptr) {
+    Chunk* prev = chunk->prev;
+    ::operator delete(static_cast<void*>(chunk));
+    chunk = prev;
+  }
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  std::size_t size = next_chunk_;
+  while (size < min_bytes) size *= 2;
+  next_chunk_ = std::min(size * 2, kMaxChunkBytes);
+  auto* raw = static_cast<std::byte*>(
+      ::operator new(sizeof(Chunk) + size));
+  auto* chunk = new (raw) Chunk;
+  chunk->prev = head_;
+  chunk->size = size;
+  head_ = chunk;
+  cursor_ = raw + sizeof(Chunk);
+  end_ = cursor_ + size;
+  reserved_ += size;
+  ++num_chunks_;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = align_up(addr, align) - addr;
+  if (cursor_ == nullptr ||
+      static_cast<std::size_t>(end_ - cursor_) < pad + bytes) {
+    // Chunk headers are max-aligned by operator new, so a fresh chunk's
+    // payload start is aligned for any ordinary type.
+    grow(bytes + align);
+    addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    cursor_ += align_up(addr, align) - addr;
+  } else {
+    cursor_ += pad;
+  }
+  void* out = cursor_;
+  cursor_ += bytes;
+  allocated_ += bytes;
+  return out;
+}
+
+}  // namespace wrht::common

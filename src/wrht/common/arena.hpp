@@ -1,0 +1,112 @@
+// Monotonic chunked arena + std-allocator adapter.
+//
+// The Schedule IR allocates one small vector per step (Transfers) plus the
+// step list itself; a large build (N ~ 10^5..10^6 nodes) turns into hundreds
+// of thousands of individual mallocs with poor locality. Arena replaces
+// them with bump-pointer allocation out of geometrically growing chunks: a
+// whole schedule build costs O(log total_bytes) mallocs and lays Transfers
+// of consecutive steps out contiguously (SoA-friendly for the RWA and DES
+// inner loops that stream over them).
+//
+// Deallocation is a no-op — memory is reclaimed when the Arena dies. That
+// is the right trade for schedules, which are built once, read many times,
+// and dropped whole; vector growth abandons the old block inside the arena,
+// bounded by the usual geometric-growth constant factor.
+//
+// ArenaAllocator<T> is the std-allocator adapter. A default-constructed
+// (null-arena) allocator falls back to operator new/delete, so containers
+// declared with it but never bound to an Arena behave exactly like their
+// std::allocator equivalents — this is what lets coll::Schedule offer both
+// heap and arena storage behind one vector type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace wrht::common {
+
+class Arena {
+ public:
+  /// `first_chunk_bytes` sizes the initial chunk; later chunks double up
+  /// to kMaxChunkBytes. Nothing is allocated until the first allocate().
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultFirstChunk);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Bytes handed out to callers (live + abandoned-by-growth).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+  /// Bytes reserved from the system across all chunks.
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+  /// Number of system allocations (chunks) backing the arena.
+  [[nodiscard]] std::size_t chunks() const { return num_chunks_; }
+
+  static constexpr std::size_t kDefaultFirstChunk = 4 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 4 * 1024 * 1024;
+
+ private:
+  struct Chunk {
+    Chunk* prev = nullptr;
+    std::size_t size = 0;  ///< usable bytes following the header
+    // payload follows in the same system allocation
+  };
+
+  void grow(std::size_t min_bytes);
+
+  Chunk* head_ = nullptr;
+  std::byte* cursor_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::size_t next_chunk_ = 0;
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t num_chunks_ = 0;
+};
+
+/// Std-allocator adapter. Null arena (the default) degrades to operator
+/// new/delete. Stateful and non-propagating: container copies keep their
+/// own allocator and copy elements, so assigning transfers across
+/// schedules never silently re-homes a vector onto a foreign arena.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::false_type;
+  using propagate_on_container_move_assignment = std::false_type;
+  using propagate_on_container_swap = std::false_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is monotonic; freed with the arena.
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace wrht::common

@@ -1,7 +1,6 @@
 #include "wrht/electrical/packet_sim.hpp"
 
 #include <algorithm>
-#include <memory>
 
 #include "wrht/common/error.hpp"
 #include "wrht/net/backend.hpp"
@@ -21,9 +20,9 @@ PacketLevelNetwork::PacketLevelNetwork(std::uint32_t num_hosts,
 namespace {
 
 struct Packet {
-  std::vector<topo::LinkId> route;
-  std::size_t hop = 0;       ///< next link to traverse
-  double bytes = 0.0;        ///< this packet's payload (last may be short)
+  std::uint32_t route_index = 0;  ///< into the per-transfer route table
+  std::uint32_t hop = 0;          ///< next link to traverse
+  double bytes = 0.0;             ///< this payload (last may be short)
 };
 
 }  // namespace
@@ -57,44 +56,64 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
     return link_refs[link];
   };
 
-  // Arrival of `packet` at the input queue of its next link. Shared
-  // ownership keeps the packet alive across its chain of events.
-  std::function<void(std::shared_ptr<Packet>)> arrive =
-      [&](std::shared_ptr<Packet> packet) {
-        const topo::LinkId link = packet->route[packet->hop];
-        const double now = simulator.now().count();
-        const double tx_start = std::max(now, next_free[link]);
-        const double depart = tx_start + packet->bytes / rate;
-        if (probe.occupancy != nullptr) {
-          probe.occupancy->record(link_ref(link), step_index,
-                                  Seconds(step_start + tx_start),
-                                  Seconds(depart - tx_start),
-                                  obs::OccCategory::kTransmission);
-        }
-        next_free[link] = depart;
-        ++packet->hop;
-        if (packet->hop < packet->route.size()) {
-          // Entering the next router: store-and-forward processing delay.
-          simulator.schedule_at(
-              Seconds(depart + router_delay),
-              [&, packet] { arrive(packet); });
-        } else {
-          makespan = std::max(makespan, depart);
-        }
-      };
+  // Packets live in a pool indexed by id and share one route per transfer,
+  // so event lambdas capture {&arrive, index} — 16 bytes, inside
+  // libstdc++'s std::function small buffer — instead of a shared_ptr whose
+  // 24-byte capture heap-allocates every event.
+  std::vector<std::vector<topo::LinkId>> routes;
+  routes.reserve(step.transfers.size());
+  std::vector<Packet> pool;
+
+  // Arrival of packet `pi` at the input queue of its next link.
+  std::function<void(std::size_t)> arrive = [&](std::size_t pi) {
+    Packet& packet = pool[pi];
+    const std::vector<topo::LinkId>& route = routes[packet.route_index];
+    const topo::LinkId link = route[packet.hop];
+    const double now = simulator.now().count();
+    const double tx_start = std::max(now, next_free[link]);
+    const double depart = tx_start + packet.bytes / rate;
+    if (probe.occupancy != nullptr) {
+      probe.occupancy->record(link_ref(link), step_index,
+                              Seconds(step_start + tx_start),
+                              Seconds(depart - tx_start),
+                              obs::OccCategory::kTransmission);
+    }
+    next_free[link] = depart;
+    ++packet.hop;
+    if (packet.hop < route.size()) {
+      // Entering the next router: store-and-forward processing delay.
+      simulator.schedule_at(Seconds(depart + router_delay),
+                            [&arrive, pi] { arrive(pi); });
+    } else {
+      makespan = std::max(makespan, depart);
+    }
+  };
+
+  std::size_t estimated = 0;
+  for (const auto& t : step.transfers) {
+    const double bytes =
+        static_cast<double>(t.count) * config_.bytes_per_element;
+    if (bytes > 0.0) {
+      estimated += static_cast<std::size_t>(bytes / packet_bytes) + 1;
+    }
+  }
+  pool.reserve(estimated);
+  simulator.reserve_events(estimated);
 
   for (const auto& t : step.transfers) {
-    const auto route = tree_.route(t.src, t.dst);
+    auto route = tree_.route(t.src, t.dst);
+    const auto route_index = static_cast<std::uint32_t>(routes.size());
+    routes.push_back(std::move(route.links));
     double remaining =
         static_cast<double>(t.count) * config_.bytes_per_element;
     while (remaining > 0.0) {
-      auto packet = std::make_shared<Packet>();
-      packet->route = route.links;
-      packet->bytes = std::min(remaining, packet_bytes);
-      remaining -= packet->bytes;
+      const std::size_t pi = pool.size();
+      Packet& packet = pool.emplace_back();
+      packet.route_index = route_index;
+      packet.bytes = std::min(remaining, packet_bytes);
+      remaining -= packet.bytes;
       ++packets;
-      simulator.schedule_at(Seconds(0.0),
-                            [&, packet] { arrive(packet); });
+      simulator.schedule_at(Seconds(0.0), [&arrive, pi] { arrive(pi); });
     }
   }
 

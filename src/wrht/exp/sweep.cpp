@@ -6,11 +6,11 @@
 #include <cstdlib>
 #include <exception>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "wrht/collectives/registry.hpp"
 #include "wrht/common/error.hpp"
@@ -58,17 +58,49 @@ std::uint64_t point_seed(std::uint64_t base, const SweepPoint& point) {
   return hash;
 }
 
-/// Memo key: every input that can change the built schedule. Custom
-/// builders key on the series name (they are required to be pure
-/// functions of the point).
-std::string schedule_key(const Series& series, const SweepPoint& point) {
-  std::string key = series.builder ? "builder:" + series.name
-                                   : "alg:" + series.algorithm;
-  key += "|wl=" + point.workload.name;
-  key += "|e=" + std::to_string(point.workload.elements);
-  key += "|n=" + std::to_string(point.nodes);
-  key += "|m=" + std::to_string(point.group_size);
-  key += "|w=" + std::to_string(point.wavelengths);
+/// Flat memo key: every input that can change the built schedule, hashed
+/// and compared as plain integers (the former concatenated-string keys
+/// showed up in sweep profiles once grids reached 10^3+ points). Custom
+/// builders fold the series and workload names into `ident` (they are
+/// required to be pure functions of the point); registry algorithms fold
+/// only the algorithm name — the workload's display name cannot change
+/// the schedule, so workloads aliasing one element count share a build.
+struct ScheduleKey {
+  std::uint64_t ident = 0;
+  std::uint64_t elements = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t group_size = 0;
+  std::uint32_t wavelengths = 0;
+  bool operator==(const ScheduleKey&) const = default;
+};
+
+struct ScheduleKeyHash {
+  std::size_t operator()(const ScheduleKey& key) const {
+    std::uint64_t hash = fnv_mix(14695981039346656037ULL, key.ident);
+    hash = fnv_mix(hash, key.elements);
+    hash = fnv_mix(hash, key.nodes);
+    hash = fnv_mix(hash, key.group_size);
+    hash = fnv_mix(hash, key.wavelengths);
+    return static_cast<std::size_t>(hash);
+  }
+};
+
+ScheduleKey schedule_key(const Series& series, const SweepPoint& point) {
+  ScheduleKey key;
+  std::uint64_t ident = 14695981039346656037ULL;
+  if (series.builder) {
+    ident = fnv_mix(ident, std::uint64_t{1});
+    ident = fnv_mix(ident, series.name);
+    ident = fnv_mix(ident, point.workload.name);
+  } else {
+    ident = fnv_mix(ident, std::uint64_t{2});
+    ident = fnv_mix(ident, series.algorithm);
+  }
+  key.ident = ident;
+  key.elements = point.workload.elements;
+  key.nodes = point.nodes;
+  key.group_size = point.group_size;
+  key.wavelengths = point.wavelengths;
   return key;
 }
 
@@ -82,37 +114,59 @@ coll::Schedule build_schedule(const Series& series, const SweepPoint& point) {
   return coll::Registry::instance().build(series.algorithm, params);
 }
 
-/// Schedules shared by several grid points (same algorithm, N, elements,
-/// m, w — e.g. one curve swept over wavelengths it does not depend on)
-/// are built once; concurrent requesters wait on the first builder's
-/// future, and build failures propagate to every waiter.
-class ScheduleMemo {
+/// Schedule reuse across grid points (see ScheduleCacheMode).
+///
+/// kExact tier: points sharing (series, elements, N, m, w) — e.g. one
+/// curve swept over wavelengths it does not depend on — build once;
+/// concurrent requesters wait on the first builder's future, and build
+/// failures propagate to every waiter.
+///
+/// kIncremental tier: the first registry build of a (series, N, m, w)
+/// structure is additionally remembered under an elements-agnostic key.
+/// A later point differing only in elements copies that build and
+/// rescales the transfer counts (coll::Schedule::rescale_elements) when
+/// the base is full-vector; chunked bases and failed pioneer builds fall
+/// back to a full build, so patching can only save work, never change
+/// results or surface different errors.
+class ScheduleCache {
  public:
-  SchedulePtr get_or_build(const std::string& key, const Series& series,
-                           const SweepPoint& point) {
+  explicit ScheduleCache(ScheduleCacheMode mode) : mode_(mode) {}
+
+  SchedulePtr get_or_build(const Series& series, const SweepPoint& point) {
+    if (mode_ == ScheduleCacheMode::kOff) {
+      builds_.fetch_add(1, std::memory_order_relaxed);
+      const prof::ScopedTimer timer("sweep.schedule.build");
+      return std::make_shared<const coll::Schedule>(
+          build_schedule(series, point));
+    }
+
     std::promise<SchedulePtr> promise;
     std::shared_future<SchedulePtr> future;
+    std::shared_future<SchedulePtr> sibling;  // same structure, other elements
     bool build_here = false;
     {
+      const ScheduleKey key = schedule_key(series, point);
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = memo_.find(key);
       if (it == memo_.end()) {
         future = promise.get_future().share();
         memo_.emplace(key, future);
         build_here = true;
+        if (mode_ == ScheduleCacheMode::kIncremental && !series.builder) {
+          ScheduleKey structural = key;
+          structural.elements = 0;
+          const auto [sit, inserted] =
+              structural_.try_emplace(structural, future);
+          if (!inserted) sibling = sit->second;
+        }
       } else {
         future = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (build_here) {
       try {
-        SchedulePtr built;
-        {
-          const prof::ScopedTimer timer("sweep.schedule.build");
-          built = std::make_shared<const coll::Schedule>(
-              build_schedule(series, point));
-        }
-        promise.set_value(std::move(built));
+        promise.set_value(materialize(series, point, sibling));
       } catch (...) {
         promise.set_exception(std::current_exception());
       }
@@ -120,9 +174,54 @@ class ScheduleMemo {
     return future.get();
   }
 
+  /// Adds this run's build/patch/hit totals to `counters` (when set).
+  void flush_counters(obs::Counters* counters) const {
+    if (counters == nullptr) return;
+    counters->add("sweep.schedule.builds",
+                  builds_.load(std::memory_order_relaxed));
+    counters->add("sweep.schedule.patches",
+                  patches_.load(std::memory_order_relaxed));
+    counters->add("sweep.schedule.hits",
+                  hits_.load(std::memory_order_relaxed));
+  }
+
  private:
+  SchedulePtr materialize(const Series& series, const SweepPoint& point,
+                          const std::shared_future<SchedulePtr>& sibling) {
+    if (sibling.valid()) {
+      SchedulePtr base;
+      try {
+        base = sibling.get();
+      } catch (...) {
+        // The pioneer build of this structure failed at its element count;
+        // ours might still be feasible — rebuild from scratch below.
+        base = nullptr;
+      }
+      if (base != nullptr && base->full_vector()) {
+        patches_.fetch_add(1, std::memory_order_relaxed);
+        const prof::ScopedTimer timer("sweep.schedule.patch");
+        auto patched = std::make_shared<coll::Schedule>(*base);
+        patched->rescale_elements(point.workload.elements);
+        return patched;
+      }
+    }
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    const prof::ScopedTimer timer("sweep.schedule.build");
+    return std::make_shared<const coll::Schedule>(
+        build_schedule(series, point));
+  }
+
+  ScheduleCacheMode mode_;
   std::mutex mutex_;
-  std::map<std::string, std::shared_future<SchedulePtr>> memo_;
+  std::unordered_map<ScheduleKey, std::shared_future<SchedulePtr>,
+                     ScheduleKeyHash>
+      memo_;
+  std::unordered_map<ScheduleKey, std::shared_future<SchedulePtr>,
+                     ScheduleKeyHash>
+      structural_;
+  std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> patches_{0};
+  std::atomic<std::uint64_t> hits_{0};
 };
 
 unsigned resolve_threads(unsigned requested) {
@@ -193,11 +292,10 @@ class LockedTraceSink final : public obs::TraceSink {
 };
 
 SweepRow run_point(const SweepSpec& spec, const SweepPoint& point,
-                   ScheduleMemo& memo, obs::TraceSink* trace,
+                   ScheduleCache& cache, obs::TraceSink* trace,
                    std::uint32_t track) {
   const Series& series = spec.series[point.series_index];
-  const SchedulePtr schedule =
-      memo.get_or_build(schedule_key(series, point), series, point);
+  const SchedulePtr schedule = cache.get_or_build(series, point);
 
   net::BackendConfig config = spec.config;
   config.num_nodes = point.nodes;
@@ -254,7 +352,7 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
 
   const std::vector<SweepPoint> points = expand_grid(spec);
   std::vector<SweepRow> rows(points.size());
-  ScheduleMemo memo;
+  ScheduleCache cache(spec.schedule_cache);
 
   std::optional<LockedTraceSink> locked;
   if (spec.trace != nullptr) locked.emplace(*spec.trace);
@@ -268,8 +366,9 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
     const prof::ScopedTimer wall("sweep.worker.wall");
     for (std::size_t i = 0; i < points.size(); ++i) {
       const prof::ScopedTimer busy("sweep.worker.busy");
-      rows[i] = run_point(spec, points[i], memo, trace, 0);
+      rows[i] = run_point(spec, points[i], cache, trace, 0);
     }
+    cache.flush_counters(spec.counters);
     name_worker_tracks(spec.trace, 1);
     return rows;
   }
@@ -287,7 +386,7 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
       if (i >= points.size()) return;
       try {
         const prof::ScopedTimer busy("sweep.worker.busy");
-        rows[i] = run_point(spec, points[i], memo, trace, id);
+        rows[i] = run_point(spec, points[i], cache, trace, id);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -299,6 +398,7 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& spec) const {
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  cache.flush_counters(spec.counters);
   name_worker_tracks(spec.trace, workers);
   return rows;
 }

@@ -62,6 +62,23 @@ struct Series {
   std::function<void(const SweepPoint&, net::BackendConfig&)> configure;
 };
 
+/// How the runner reuses schedule builds across grid points.
+enum class ScheduleCacheMode {
+  /// Build every point from scratch — the pre-memoization reference path
+  /// for differential tests.
+  kOff,
+  /// Memoize exact (series, elements, N, m, w) repeats behind flat hashed
+  /// keys (the pre-incremental behavior).
+  kExact,
+  /// kExact plus delta construction: registry-built full-vector schedules
+  /// (WRHT, trees, recursive doubling) have a step/circuit structure that
+  /// depends only on (N, m, w), so a sibling point differing only in
+  /// elements is served by copying the cached build and rescaling its
+  /// transfer counts instead of re-running the builder. Chunked schedules
+  /// (ring, hring, halving-doubling) and custom builders always rebuild.
+  kIncremental,
+};
+
 /// One cell of the expanded grid, handed to Series callbacks and carried
 /// into the result row.
 struct SweepPoint {
@@ -91,7 +108,12 @@ struct SweepSpec {
   /// overwritten per point (rng_seed becomes a deterministic per-point
   /// hash seeded by the value here).
   net::BackendConfig config;
-  /// When set, every run's counters merge here (thread-safe, kind-aware).
+  /// Schedule-build reuse across grid points (see ScheduleCacheMode).
+  /// Cache modes never change results — only how often builders run; the
+  /// equivalence is pinned by test_scale_equivalence.
+  ScheduleCacheMode schedule_cache = ScheduleCacheMode::kIncremental;
+  /// When set, every run's counters merge here (thread-safe, kind-aware),
+  /// plus the runner's own "sweep.schedule.{builds,patches,hits}" totals.
   obs::Counters* counters = nullptr;
   /// When set, every run's trace spans and counter samples funnel here.
   /// Each worker emits on its own track (0 .. workers-1); when the sink is

@@ -1,33 +1,61 @@
 #include "wrht/net/pattern_key.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 #include <vector>
 
 namespace wrht::net {
 
-std::uint64_t step_signature(const coll::Step& step, bool include_direction) {
-  std::vector<std::uint64_t> keys;
-  keys.reserve(step.transfers.size() + 1);
-  std::size_t max_count = 0;
-  for (const auto& t : step.transfers) {
-    std::uint64_t dir_bits = 0;
-    if (include_direction && t.direction) {
-      dir_bits = *t.direction == topo::Direction::kClockwise ? 1 : 2;
-    }
-    keys.push_back((static_cast<std::uint64_t>(t.src) << 34) ^
-                   (static_cast<std::uint64_t>(t.dst) << 4) ^ dir_bits);
-    max_count = std::max(max_count, t.count);
-  }
-  keys.push_back(0x8000'0000'0000'0000ull | max_count);
-  std::sort(keys.begin(), keys.end());
+namespace {
+
+/// Steps with at most this many transfers hash from a stack buffer; the
+/// signature is called once per step on every execute(), so avoiding the
+/// heap allocation matters for schedules with millions of small steps.
+constexpr std::size_t kSmallStep = 64;
+
+std::uint64_t hash_keys(std::uint64_t* keys, std::size_t n) {
+  std::sort(keys, keys + n);
   std::uint64_t h = 1469598103934665603ull;
-  for (const std::uint64_t k : keys) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
     for (int byte = 0; byte < 8; ++byte) {
       h ^= (k >> (8 * byte)) & 0xffu;
       h *= 1099511628211ull;
     }
   }
   return h;
+}
+
+std::uint64_t transfer_key(const coll::Transfer& t, bool include_direction) {
+  std::uint64_t dir_bits = 0;
+  if (include_direction && t.direction) {
+    dir_bits = *t.direction == topo::Direction::kClockwise ? 1 : 2;
+  }
+  return (static_cast<std::uint64_t>(t.src) << 34) ^
+         (static_cast<std::uint64_t>(t.dst) << 4) ^ dir_bits;
+}
+
+}  // namespace
+
+std::uint64_t step_signature(const coll::Step& step, bool include_direction) {
+  const std::size_t n = step.transfers.size() + 1;
+  std::array<std::uint64_t, kSmallStep + 1> small;
+  std::vector<std::uint64_t> spill;
+  std::uint64_t* keys = small.data();
+  if (n > small.size()) {
+    spill.resize(n);
+    keys = spill.data();
+  }
+
+  std::size_t max_count = 0;
+  std::size_t i = 0;
+  for (const auto& t : step.transfers) {
+    keys[i++] = transfer_key(t, include_direction);
+    max_count = std::max(max_count, t.count);
+  }
+  keys[i++] = 0x8000'0000'0000'0000ull | max_count;
+  return hash_keys(keys, i);
 }
 
 }  // namespace wrht::net

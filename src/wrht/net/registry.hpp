@@ -44,6 +44,10 @@ struct BackendConfig {
   /// Optical: random-fit RWA instead of first-fit, seeded by rng_seed so
   /// parallel sweeps stay deterministic.
   bool random_fit_rwa = false;
+  /// Optical: workers for the batched first-fit RWA over a schedule's
+  /// distinct step patterns (0 = WRHT_RWA_THREADS / hardware concurrency).
+  /// Byte-identical results at any worker count.
+  unsigned rwa_threads = 0;
   std::uint64_t rng_seed = 2023;
   /// Optical torus: grid shape; both 0 picks the most even rows x cols
   /// factorization of num_nodes.

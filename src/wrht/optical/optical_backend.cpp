@@ -106,6 +106,7 @@ OpticalConfig optical_config_from(const net::BackendConfig& config) {
   out.reconfig_policy = config.reconfig_policy;
   out.rwa_policy =
       config.random_fit_rwa ? RwaPolicy::kRandomFit : RwaPolicy::kFirstFit;
+  out.rwa_threads = config.rwa_threads;
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <unordered_set>
 
 #include "wrht/common/error.hpp"
 #include "wrht/net/pattern_key.hpp"
@@ -67,9 +68,10 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
 
   std::vector<std::vector<Lightpath>> round_paths;
   std::vector<std::vector<std::size_t>> round_members;
+  std::uint32_t wavelengths_used = 0;
   if (config_.allow_multi_round_steps) {
     RoundsResult rounds = assign_rounds(ring_, step.transfers, options, rng);
-    out.cost.wavelengths_used = rounds.wavelengths_used;
+    wavelengths_used = rounds.wavelengths_used;
     round_paths = std::move(rounds.paths);
     round_members = std::move(rounds.rounds);
   } else {
@@ -80,14 +82,22 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
           std::to_string(config_.wavelengths) +
           " wavelengths and multi-round splitting is disabled");
     }
-    out.cost.wavelengths_used = rwa.wavelengths_used;
+    wavelengths_used = rwa.wavelengths_used;
     round_paths.push_back(std::move(rwa.paths));
     round_members.emplace_back();
     for (std::size_t i = 0; i < step.transfers.size(); ++i) {
       round_members.back().push_back(i);
     }
   }
+  return price_rounds(step, wavelengths_used, round_paths, round_members);
+}
 
+RingNetwork::PatternCost RingNetwork::price_rounds(
+    const coll::Step& step, std::uint32_t wavelengths_used,
+    const std::vector<std::vector<Lightpath>>& round_paths,
+    const std::vector<std::vector<std::size_t>>& round_members) const {
+  PatternCost out{};
+  out.cost.wavelengths_used = wavelengths_used;
   out.cost.rounds = static_cast<std::uint32_t>(round_paths.size());
   for (std::size_t r = 0; r < round_paths.size(); ++r) {
     std::size_t max_elements = 0;
@@ -138,12 +148,49 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   return execute(schedule, obs::Probe{}, rng);
 }
 
+void RingNetwork::warm_pattern_cache(const coll::Schedule& schedule) const {
+  if (config_.rwa_policy != RwaPolicy::kFirstFit) return;
+  if (!config_.allow_multi_round_steps) return;
+  const unsigned workers = resolve_rwa_threads(config_.rwa_threads);
+  if (workers <= 1) return;
+
+  // Distinct uncached patterns in first-occurrence order, so the batch's
+  // lowest-index-failure rethrow matches what the sequential DES loop
+  // would have thrown first.
+  std::vector<const coll::Step*> steps;
+  std::vector<std::uint64_t> signatures;
+  std::unordered_set<std::uint64_t> seen;
+  for (const coll::Step& step : schedule.steps()) {
+    if (step.transfers.empty()) continue;
+    const std::uint64_t sig = net::step_signature(step, true);
+    if (pattern_cache_.contains(sig) || !seen.insert(sig).second) continue;
+    steps.push_back(&step);
+    signatures.push_back(sig);
+  }
+  if (steps.size() <= 1) return;
+
+  const RwaOptions options{config_.wavelengths, config_.fibers_per_direction,
+                           config_.rwa_policy};
+  std::vector<std::span<const coll::Transfer>> spans;
+  spans.reserve(steps.size());
+  for (const coll::Step* step : steps) spans.emplace_back(step->transfers);
+  const std::vector<RoundsResult> rounds =
+      assign_rounds_batch(ring_, spans, options, workers);
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    pattern_cache_.emplace(
+        signatures[s],
+        price_rounds(*steps[s], rounds[s].wavelengths_used, rounds[s].paths,
+                     rounds[s].rounds));
+  }
+}
+
 OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
                                       const obs::Probe& probe,
                                       Rng* rng) const {
   require(schedule.num_nodes() <= ring_.size(),
           "RingNetwork: schedule spans more nodes than the ring");
   schedule.validate();
+  warm_pattern_cache(schedule);
 
   OpticalRunResult result;
   result.steps = schedule.num_steps();

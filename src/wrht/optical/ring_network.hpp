@@ -50,6 +50,12 @@ struct OpticalConfig {
   /// failing; each extra round pays the reconfiguration delay again.
   bool allow_multi_round_steps = true;
 
+  /// Workers for the batch RWA pre-pass over a schedule's distinct step
+  /// patterns (0 = WRHT_RWA_THREADS / hardware concurrency; see
+  /// optics::resolve_rwa_threads). First-fit only — random-fit always runs
+  /// sequentially — and byte-identical results at any worker count.
+  unsigned rwa_threads = 0;
+
   /// Per-node MRR hardware; every round's lightpaths are checked against
   /// the transmit/receive MRR capacity per direction.
   NodeHardware node_hardware{};
@@ -112,6 +118,10 @@ struct OpticalConfig {
   }
   OpticalConfig& with_rwa_policy(RwaPolicy v) {
     rwa_policy = v;
+    return *this;
+  }
+  OpticalConfig& with_rwa_threads(unsigned v) {
+    rwa_threads = v;
     return *this;
   }
   OpticalConfig& with_multi_round_steps(bool v) {
@@ -233,6 +243,20 @@ class RingNetwork {
 
   [[nodiscard]] PatternCost evaluate_step(const coll::Step& step,
                                           Rng* rng) const;
+
+  /// Pure pricing arithmetic turning one step's RWA rounds into a
+  /// PatternCost; shared by the sequential path and the parallel pre-pass.
+  [[nodiscard]] PatternCost price_rounds(
+      const coll::Step& step, std::uint32_t wavelengths_used,
+      const std::vector<std::vector<Lightpath>>& round_paths,
+      const std::vector<std::vector<std::size_t>>& round_members) const;
+
+  /// First-fit only: batch-solves the schedule's distinct uncached step
+  /// patterns with assign_rounds_batch and fills pattern_cache_, so the
+  /// DES loop below runs entirely on cache hits. No-op when the resolved
+  /// worker count is 1 (the sequential path already does the same work
+  /// lazily) or under random-fit.
+  void warm_pattern_cache(const coll::Schedule& schedule) const;
 
   topo::Ring ring_;
   OpticalConfig config_;

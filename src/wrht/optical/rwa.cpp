@@ -1,9 +1,15 @@
 #include "wrht/optical/rwa.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
 #include <numeric>
+#include <thread>
 
 #include "wrht/common/error.hpp"
+#include "wrht/common/log.hpp"
 #include "wrht/prof/prof.hpp"
 
 namespace wrht::optics {
@@ -56,7 +62,7 @@ class OccupancyMap {
 /// Longest lightpaths first: first-fit packs nested WRHT group paths and
 /// all-to-all exchanges tightly when the most constrained path goes first.
 std::vector<std::size_t> order_by_hops(
-    const topo::Ring& ring, const std::vector<coll::Transfer>& transfers) {
+    const topo::Ring& ring, std::span<const coll::Transfer> transfers) {
   std::vector<std::size_t> order(transfers.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
@@ -72,29 +78,47 @@ topo::Direction pick_direction(const topo::Ring& ring,
   return t.direction ? *t.direction : ring.shortest_direction(t.src, t.dst);
 }
 
+bool place_if_fits(OccupancyMap& occupancy, topo::Direction dir,
+                   std::uint32_t fiber, std::uint32_t lambda,
+                   const SegmentSpan& span, const coll::Transfer& t,
+                   Lightpath& out) {
+  if (!occupancy.fits(dir, fiber, lambda, span)) return false;
+  occupancy.place(dir, fiber, lambda, span);
+  out = Lightpath{t.src, t.dst, dir, fiber, lambda, span.first, span.hops};
+  return true;
+}
+
 /// Tries to place one transfer; returns true and fills `out` on success.
+/// First-fit scans wavelengths in index order with no scratch allocation;
+/// random-fit shuffles a wavelength permutation through `rng` exactly as
+/// the paper's Random-Fit does (one Fisher-Yates pass per transfer).
 bool try_assign(const topo::Ring& ring, const coll::Transfer& t,
                 const RwaOptions& opt, OccupancyMap& occupancy, Rng* rng,
                 Lightpath& out) {
   const topo::Direction dir = pick_direction(ring, t);
   const SegmentSpan span = segment_span(ring, t.src, t.dst, dir);
 
-  std::vector<std::uint32_t> lambda_order(opt.wavelengths);
-  std::iota(lambda_order.begin(), lambda_order.end(), 0u);
-  if (opt.policy == RwaPolicy::kRandomFit) {
-    require(rng != nullptr, "RWA: random-fit needs an Rng");
-    for (std::uint32_t i = opt.wavelengths; i > 1; --i) {
-      const auto j = static_cast<std::uint32_t>(rng->uniform_int(0, i - 1));
-      std::swap(lambda_order[i - 1], lambda_order[j]);
+  if (opt.policy == RwaPolicy::kFirstFit) {
+    for (std::uint32_t fiber = 0; fiber < opt.fibers_per_direction; ++fiber) {
+      for (std::uint32_t lambda = 0; lambda < opt.wavelengths; ++lambda) {
+        if (place_if_fits(occupancy, dir, fiber, lambda, span, t, out)) {
+          return true;
+        }
+      }
     }
+    return false;
   }
 
+  require(rng != nullptr, "RWA: random-fit needs an Rng");
+  std::vector<std::uint32_t> lambda_order(opt.wavelengths);
+  std::iota(lambda_order.begin(), lambda_order.end(), 0u);
+  for (std::uint32_t i = opt.wavelengths; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng->uniform_int(0, i - 1));
+    std::swap(lambda_order[i - 1], lambda_order[j]);
+  }
   for (std::uint32_t fiber = 0; fiber < opt.fibers_per_direction; ++fiber) {
     for (const std::uint32_t lambda : lambda_order) {
-      if (occupancy.fits(dir, fiber, lambda, span)) {
-        occupancy.place(dir, fiber, lambda, span);
-        out = Lightpath{t.src,  t.dst,      dir,       fiber,
-                        lambda, span.first, span.hops};
+      if (place_if_fits(occupancy, dir, fiber, lambda, span, t, out)) {
         return true;
       }
     }
@@ -105,7 +129,7 @@ bool try_assign(const topo::Ring& ring, const coll::Transfer& t,
 }  // namespace
 
 RwaResult assign_wavelengths(const topo::Ring& ring,
-                             const std::vector<coll::Transfer>& transfers,
+                             std::span<const coll::Transfer> transfers,
                              const RwaOptions& options, Rng* rng) {
   const prof::ScopedTimer timer("optical.rwa.assign");
   require(options.wavelengths >= 1 && options.fibers_per_direction >= 1,
@@ -128,7 +152,7 @@ RwaResult assign_wavelengths(const topo::Ring& ring,
 }
 
 RoundsResult assign_rounds(const topo::Ring& ring,
-                           const std::vector<coll::Transfer>& transfers,
+                           std::span<const coll::Transfer> transfers,
                            const RwaOptions& options, Rng* rng) {
   RoundsResult result;
   std::vector<std::size_t> remaining = order_by_hops(ring, transfers);
@@ -162,6 +186,89 @@ RoundsResult assign_rounds(const topo::Ring& ring,
     remaining = std::move(deferred);
   }
   return result;
+}
+
+unsigned resolve_rwa_threads(unsigned threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("WRHT_RWA_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    // Same validation as WRHT_SWEEP_THREADS: only a fully-consumed positive
+    // integer within range counts; anything else warns and falls back.
+    if (end != env && *end == '\0' && errno == 0 && parsed > 0 &&
+        parsed <= 65536) {
+      return static_cast<unsigned>(parsed);
+    }
+    WRHT_LOG_WARN << "WRHT_RWA_THREADS='" << env
+                  << "' is not a positive integer (max 65536); "
+                     "falling back to hardware concurrency ("
+                  << hw << ")";
+  }
+  return hw;
+}
+
+std::vector<RoundsResult> assign_rounds_batch(const std::vector<RwaStep>& steps,
+                                              const RwaOptions& options,
+                                              unsigned threads) {
+  const prof::ScopedTimer timer("optical.rwa.batch");
+  require(options.policy == RwaPolicy::kFirstFit,
+          "RWA: assign_rounds_batch is first-fit only — random-fit draws "
+          "from a sequential Rng and cannot be partitioned");
+  for (const RwaStep& step : steps) {
+    require(step.ring != nullptr, "RWA: batch step needs a ring");
+  }
+
+  std::vector<RoundsResult> results(steps.size());
+  std::vector<std::exception_ptr> errors(steps.size());
+  const auto solve = [&](std::size_t s) {
+    try {
+      results[s] =
+          assign_rounds(*steps[s].ring, steps[s].transfers, options, nullptr);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  };
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_rwa_threads(threads), std::max<std::size_t>(steps.size(), 1)));
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < steps.size(); ++s) solve(s);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+             s < steps.size();
+             s = next.fetch_add(1, std::memory_order_relaxed)) {
+          solve(s);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Rethrow the lowest-indexed failure: the same exception a sequential
+  // in-order loop would have surfaced first.
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    if (errors[s]) std::rethrow_exception(errors[s]);
+  }
+  return results;
+}
+
+std::vector<RoundsResult> assign_rounds_batch(
+    const topo::Ring& ring,
+    const std::vector<std::span<const coll::Transfer>>& steps,
+    const RwaOptions& options, unsigned threads) {
+  std::vector<RwaStep> problems;
+  problems.reserve(steps.size());
+  for (const auto& transfers : steps) {
+    problems.push_back(RwaStep{&ring, transfers});
+  }
+  return assign_rounds_batch(problems, options, threads);
 }
 
 }  // namespace wrht::optics

@@ -6,9 +6,18 @@
 // of the same fiber. Supports the paper's First-Fit and Random-Fit policies
 // and, when a step needs more wavelengths than the fiber carries, a greedy
 // split of the step into sequential conflict-free rounds.
+//
+// Steps are independent RWA problems (occupancy never carries across
+// steps), so assign_rounds_batch() solves many steps in parallel. The
+// parallel path is first-fit only — first-fit is a pure function of the
+// transfer list, so partitioning cannot change any result — and merges
+// per-step results back in input order; see DESIGN.md "Determinism
+// contract". Random-fit consumes a caller Rng sequentially and must stay
+// on the single-threaded entry points.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "wrht/collectives/schedule.hpp"
@@ -40,7 +49,7 @@ struct RwaResult {
 /// Assigns all transfers in one round. When the wavelength budget does not
 /// suffice, returns ok=false (paths empty).
 [[nodiscard]] RwaResult assign_wavelengths(
-    const topo::Ring& ring, const std::vector<coll::Transfer>& transfers,
+    const topo::Ring& ring, std::span<const coll::Transfer> transfers,
     const RwaOptions& options, Rng* rng = nullptr);
 
 struct RoundsResult {
@@ -55,7 +64,39 @@ struct RoundsResult {
 /// each conflict-free within the wavelength budget. Throws
 /// InfeasibleSchedule if some transfer cannot be routed even alone.
 [[nodiscard]] RoundsResult assign_rounds(
-    const topo::Ring& ring, const std::vector<coll::Transfer>& transfers,
+    const topo::Ring& ring, std::span<const coll::Transfer> transfers,
     const RwaOptions& options, Rng* rng = nullptr);
+
+/// Worker count for assign_rounds_batch: `threads` if >= 1, else
+/// WRHT_RWA_THREADS when set to a valid positive integer (bad values warn
+/// and fall through), else std::thread::hardware_concurrency().
+[[nodiscard]] unsigned resolve_rwa_threads(unsigned threads = 0);
+
+/// One independent RWA problem in a batch: a step's (or embedded ring
+/// share's) transfers on the ring that carries them. The ring pointer must
+/// outlive the batch call.
+struct RwaStep {
+  const topo::Ring* ring = nullptr;
+  std::span<const coll::Transfer> transfers;
+};
+
+/// Solves one assign_rounds problem per entry of `steps`, partitioned
+/// across up to `threads` workers (0 = resolve_rwa_threads()).
+///
+/// Determinism contract: first-fit only (throws on random-fit). Results
+/// are returned in input order and each step is solved with its own
+/// occupancy state, so the output is byte-identical for every thread
+/// count, including 1. If several steps throw, the exception of the
+/// lowest-indexed failing step is rethrown — exactly what a sequential
+/// loop would have surfaced.
+[[nodiscard]] std::vector<RoundsResult> assign_rounds_batch(
+    const std::vector<RwaStep>& steps, const RwaOptions& options,
+    unsigned threads = 0);
+
+/// Single-ring convenience overload of the batch above.
+[[nodiscard]] std::vector<RoundsResult> assign_rounds_batch(
+    const topo::Ring& ring,
+    const std::vector<std::span<const coll::Transfer>>& steps,
+    const RwaOptions& options, unsigned threads = 0);
 
 }  // namespace wrht::optics

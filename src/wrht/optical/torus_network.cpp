@@ -105,6 +105,29 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
       }
     }
 
+    // Per-ring RWA. The rings of a step are independent problems, so the
+    // first-fit path batch-solves them (parallel when rwa_threads resolves
+    // past 1) and the fold below consumes the results in the shares map's
+    // deterministic key order; random-fit keeps the sequential Rng walk.
+    std::vector<RoundsResult> ring_rounds;
+    if (config_.rwa_policy == RwaPolicy::kFirstFit) {
+      std::vector<RwaStep> problems;
+      problems.reserve(shares.size());
+      for (const auto& [key, share] : shares) {
+        problems.push_back(RwaStep{key.first ? &row_ring_ : &col_ring_,
+                                   share.transfers});
+      }
+      ring_rounds =
+          assign_rounds_batch(problems, options, config_.rwa_threads);
+    } else {
+      ring_rounds.reserve(shares.size());
+      for (const auto& [key, share] : shares) {
+        const topo::Ring& ring = key.first ? row_ring_ : col_ring_;
+        ring_rounds.push_back(
+            assign_rounds(ring, share.transfers, options, rng));
+      }
+    }
+
     StepCost cost;
     cost.start = Seconds(now);
     std::uint32_t max_rounds = 0;
@@ -112,10 +135,9 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     double slowest = 0.0;
     double slowest_serial = 0.0;  // every-round pricing, for overlap_hidden
     std::vector<RingTimeline> timelines;  // filled only when sampling
+    std::size_t share_index = 0;
     for (const auto& [key, share] : shares) {
-      const topo::Ring& ring = key.first ? row_ring_ : col_ring_;
-      const RoundsResult rounds =
-          assign_rounds(ring, share.transfers, options, rng);
+      const RoundsResult& rounds = ring_rounds[share_index++];
       RingTimeline timeline;
       if (probe.occupancy != nullptr) {
         timeline.prefix = (key.first ? "row" : "col") +

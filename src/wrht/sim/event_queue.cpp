@@ -1,5 +1,8 @@
 #include "wrht/sim/event_queue.hpp"
 
+#include <algorithm>
+#include <functional>
+
 #include "wrht/common/error.hpp"
 
 namespace wrht::sim {
@@ -9,7 +12,8 @@ EventId EventQueue::schedule(Seconds when, EventFn fn) {
   const EventId id = callbacks_.size();
   callbacks_.push_back(std::move(fn));
   cancelled_.push_back(false);
-  heap_.push(Entry{when.count(), id});
+  heap_.push_back(Entry{when.count(), id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
   ++live_count_;
   return id;
 }
@@ -22,8 +26,17 @@ void EventQueue::cancel(EventId id) {
   }
 }
 
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  callbacks_.reserve(n);
+  cancelled_.reserve(n);
+}
+
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+  while (!heap_.empty() && cancelled_[heap_.front().id]) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+  }
 }
 
 bool EventQueue::empty() const {
@@ -32,16 +45,21 @@ bool EventQueue::empty() const {
 }
 
 Seconds EventQueue::next_time() const {
-  require(!empty(), "EventQueue: next_time on empty queue");
-  return Seconds(heap_.top().time);
+  drop_cancelled();
+  require(!heap_.empty(), "EventQueue: next_time on empty queue");
+  return Seconds(heap_.front().time);
 }
 
 EventQueue::Fired EventQueue::pop() {
-  require(!empty(), "EventQueue: pop on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
+  drop_cancelled();
+  require(!heap_.empty(), "EventQueue: pop on empty queue");
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  heap_.pop_back();
   --live_count_;
-  return Fired{Seconds(top.time), std::move(callbacks_[top.id])};
+  EventFn fn = std::move(callbacks_[top.id]);
+  callbacks_[top.id] = nullptr;  // release captured state eagerly
+  return Fired{Seconds(top.time), std::move(fn)};
 }
 
 }  // namespace wrht::sim

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "wrht/common/units.hpp"
@@ -24,6 +23,10 @@ class EventQueue {
   /// Marks the event cancelled; it is skipped when popped. O(1).
   void cancel(EventId id);
 
+  /// Pre-sizes heap and callback storage for `n` total scheduled events
+  /// (not just concurrently-live ones — ids index into callback storage).
+  void reserve(std::size_t n);
+
   [[nodiscard]] bool empty() const;
   [[nodiscard]] std::size_t size() const { return live_count_; }
 
@@ -31,6 +34,8 @@ class EventQueue {
   [[nodiscard]] Seconds next_time() const;
 
   /// Pops and returns the earliest live event. Requires !empty().
+  /// The popped callback's slot is released, so captured state does not
+  /// accumulate for the lifetime of the queue.
   struct Fired {
     Seconds time;
     EventFn fn;
@@ -49,7 +54,9 @@ class EventQueue {
 
   void drop_cancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Min-heap maintained with std::push_heap/pop_heap over a plain vector
+  // (instead of std::priority_queue) so reserve() can pre-size it.
+  mutable std::vector<Entry> heap_;
   std::vector<EventFn> callbacks_;   // indexed by EventId
   std::vector<bool> cancelled_;      // indexed by EventId
   std::size_t live_count_ = 0;

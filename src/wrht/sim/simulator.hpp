@@ -23,6 +23,11 @@ class Simulator {
 
   void cancel(EventId id) { queue_.cancel(id); }
 
+  /// Pre-sizes the event queue for `n` total scheduled events. Purely an
+  /// allocation hint — callers that can bound their event count (e.g. the
+  /// packet simulator's initial injection burst) avoid heap regrowth.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
   /// Runs until no events remain. Returns the number of events fired.
   std::uint64_t run();
 

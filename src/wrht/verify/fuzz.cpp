@@ -2,18 +2,31 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 
 #include "wrht/collectives/registry.hpp"
 #include "wrht/common/error.hpp"
 #include "wrht/common/rng.hpp"
 #include "wrht/core/wrht_schedule.hpp"
+#include "wrht/optical/optical_backend.hpp"
+#include "wrht/plan/schedule_planner.hpp"
 #include "wrht/verify/differential.hpp"
 #include "wrht/verify/invariants.hpp"
 #include "wrht/verify/oracle.hpp"
+#include "wrht/verify/overlap.hpp"
 
 namespace wrht::verify {
 
 namespace {
+
+constexpr const char* kPlannerPrefix = "plan:";
+
+std::optional<plan::CandidateKind> planner_kind(const std::string& algorithm) {
+  if (algorithm == "plan:wrht") return plan::CandidateKind::kWrht;
+  if (algorithm == "plan:flat_a2a") return plan::CandidateKind::kFlatAllToAll;
+  if (algorithm == "plan:static_ring") return plan::CandidateKind::kStaticRing;
+  return std::nullopt;
+}
 
 /// Builder-specific preconditions: clamp a raw sample into the domain the
 /// algorithm accepts so the fuzzer explores valid configurations only.
@@ -23,7 +36,8 @@ void legalize(FuzzCase& c) {
   c.group_size = std::max<std::uint32_t>(c.group_size, 2);
   c.wavelengths = std::max<std::uint32_t>(c.wavelengths, 1);
   if (c.algorithm == "ring" || c.algorithm == "hring" ||
-      c.algorithm == "halving_doubling") {
+      c.algorithm == "halving_doubling" ||
+      c.algorithm == "plan:static_ring" || c.algorithm == "plan:flat_a2a") {
     // Reduce-scatter-based builders need at least one element per node.
     c.elements = std::max<std::size_t>(c.elements, c.num_nodes);
   }
@@ -42,8 +56,35 @@ FuzzCase sample(Rng& rng, const std::vector<std::string>& algorithms,
       rng.uniform_int(2, std::max<std::uint32_t>(2, std::min<std::uint32_t>(
                                                         c.num_nodes, 16))));
   c.wavelengths = static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+  if (options.draw_reconfig_policy) {
+    switch (rng.uniform_int(0, 2)) {
+      case 0: c.reconfig_policy = net::ReconfigPolicy::kEveryRound; break;
+      case 1: c.reconfig_policy = net::ReconfigPolicy::kOnRetune; break;
+      default: c.reconfig_policy = net::ReconfigPolicy::kOverlapped; break;
+    }
+  }
   legalize(c);
   return c;
+}
+
+net::ReconfigPolicy parse_policy(const std::string& token) {
+  if (token == "every_round") return net::ReconfigPolicy::kEveryRound;
+  if (token == "on_retune") return net::ReconfigPolicy::kOnRetune;
+  if (token == "overlapped") return net::ReconfigPolicy::kOverlapped;
+  throw InvalidArgument("FuzzCase::parse: unknown reconfig policy '" + token +
+                        "'");
+}
+
+/// Prices `schedule` on the optical ring engine under `policy`.
+double priced_seconds(const coll::Schedule& schedule, std::uint32_t ring_size,
+                      std::uint32_t wavelengths, net::ReconfigPolicy policy) {
+  optics::OpticalConfig config;
+  config.wavelengths = wavelengths;
+  config.reconfig_policy = policy;
+  config.validate_node_capacity = false;
+  const optics::RingBackend backend(ring_size, config, /*rng_seed=*/2023,
+                                    /*collect_utilization=*/false);
+  return backend.execute(schedule).total_time.count();
 }
 
 /// Greedy shrink: repeatedly try to move each dimension toward its
@@ -56,7 +97,8 @@ FuzzFailure shrink_failure(const FuzzCase& first, const CheckResult& found) {
         candidate.num_nodes == best.config.num_nodes &&
         candidate.elements == best.config.elements &&
         candidate.group_size == best.config.group_size &&
-        candidate.wavelengths == best.config.wavelengths) {
+        candidate.wavelengths == best.config.wavelengths &&
+        candidate.reconfig_policy == best.config.reconfig_policy) {
       return false;
     }
     const CheckResult r = check_case(candidate);
@@ -78,6 +120,11 @@ FuzzFailure shrink_failure(const FuzzCase& first, const CheckResult& found) {
     { FuzzCase t = best.config; t.group_size -= 1; progress |= try_case(t); }
     { FuzzCase t = best.config; t.wavelengths = (t.wavelengths + 1) / 2; progress |= try_case(t); }
     { FuzzCase t = best.config; t.wavelengths -= 1; progress |= try_case(t); }
+    // Policy last: a failure that survives under the serial default is the
+    // simplest reproducer.
+    { FuzzCase t = best.config;
+      t.reconfig_policy = net::ReconfigPolicy::kEveryRound;
+      progress |= try_case(t); }
   }
   return best;
 }
@@ -88,25 +135,78 @@ std::string FuzzCase::to_string() const {
   return algorithm + "(N=" + std::to_string(num_nodes) +
          ", elements=" + std::to_string(elements) +
          ", m=" + std::to_string(group_size) +
-         ", w=" + std::to_string(wavelengths) + ")";
+         ", w=" + std::to_string(wavelengths) +
+         ", policy=" + net::to_string(reconfig_policy) + ")";
+}
+
+std::string FuzzCase::serialize() const {
+  return algorithm + " " + std::to_string(num_nodes) + " " +
+         std::to_string(elements) + " " + std::to_string(group_size) + " " +
+         std::to_string(wavelengths) + " " + net::to_string(reconfig_policy);
+}
+
+FuzzCase FuzzCase::parse(const std::string& line) {
+  std::istringstream in(line);
+  FuzzCase c;
+  std::string policy;
+  in >> c.algorithm >> c.num_nodes >> c.elements >> c.group_size >>
+      c.wavelengths >> policy;
+  require(!in.fail(), "FuzzCase::parse: malformed line '" + line +
+                          "' (want: algorithm N elements m w policy)");
+  std::string rest;
+  in >> rest;
+  require(rest.empty(), "FuzzCase::parse: trailing tokens in '" + line + "'");
+  c.reconfig_policy = parse_policy(policy);
+  require(c.num_nodes >= 2 && c.elements >= 1 && c.group_size >= 2 &&
+              c.wavelengths >= 1,
+          "FuzzCase::parse: out-of-domain values in '" + line + "'");
+  return c;
 }
 
 CheckResult check_case(const FuzzCase& c) {
   core::register_wrht_algorithm();
   CheckResult result;
 
-  coll::AllreduceParams params;
-  params.num_nodes = c.num_nodes;
-  params.elements = c.elements;
-  params.group_size = c.group_size;
-  params.wavelengths = c.wavelengths;
   std::optional<coll::Schedule> schedule;
-  try {
-    schedule.emplace(coll::Registry::instance().build(c.algorithm, params));
-  } catch (const Error& e) {
-    result.add("fuzz.build",
-               c.to_string() + " failed to build: " + e.what());
-    return result;
+  if (const auto kind = planner_kind(c.algorithm)) {
+    // Planner candidate: feasibility prediction and builder must agree,
+    // and the built schedule is subjected to the same oracles below.
+    plan::PlannerOptions popts;
+    popts.wavelengths = c.wavelengths;
+    popts.policy = c.reconfig_policy;
+    const plan::Candidate prediction =
+        plan::predict(*kind, c.num_nodes, c.elements, popts);
+    try {
+      schedule.emplace(
+          plan::build_candidate(*kind, c.num_nodes, c.elements, popts));
+      if (!prediction.feasible) {
+        result.add("fuzz.plan.feasibility",
+                   c.to_string() + " built although predict() said '" +
+                       prediction.note + "'");
+        return result;
+      }
+    } catch (const Error& e) {
+      if (prediction.feasible) {
+        result.add("fuzz.plan.feasibility",
+                   c.to_string() +
+                       " was predicted feasible but failed to build: " +
+                       e.what());
+      }
+      return result;
+    }
+  } else {
+    coll::AllreduceParams params;
+    params.num_nodes = c.num_nodes;
+    params.elements = c.elements;
+    params.group_size = c.group_size;
+    params.wavelengths = c.wavelengths;
+    try {
+      schedule.emplace(coll::Registry::instance().build(c.algorithm, params));
+    } catch (const Error& e) {
+      result.add("fuzz.build",
+                 c.to_string() + " failed to build: " + e.what());
+      return result;
+    }
   }
 
   // Data-level proof: the schedule must compute the global sum.
@@ -129,19 +229,48 @@ CheckResult check_case(const FuzzCase& c) {
         *schedule, c.num_nodes, c.group_size, c.wavelengths));
   }
 
-  // Differential pricing: event-driven simulator vs Eq. (6).
+  // Differential pricing: event-driven simulator vs Eq. (6). The
+  // analytical side charges reconfiguration on every round, so the
+  // differential always prices kEveryRound regardless of the drawn policy.
   DifferentialOptions diff;
   diff.config.wavelengths = c.wavelengths;
   result.merge(check_differential(*schedule, diff).result);
+
+  // Reconfiguration-accounting draws: relaxed policies must never price
+  // slower than the paper's serial default, and overlapped runs must pass
+  // the full overlap-consistency invariant set.
+  if (c.reconfig_policy != net::ReconfigPolicy::kEveryRound) {
+    const double serial = priced_seconds(*schedule, c.num_nodes,
+                                         c.wavelengths,
+                                         net::ReconfigPolicy::kEveryRound);
+    const double relaxed = priced_seconds(*schedule, c.num_nodes,
+                                          c.wavelengths, c.reconfig_policy);
+    if (relaxed > serial * (1.0 + 1e-9)) {
+      result.add("fuzz.reconfig.monotonic",
+                 c.to_string() + ": " + net::to_string(c.reconfig_policy) +
+                     " priced " + std::to_string(relaxed) + "s > " +
+                     std::to_string(serial) + "s under every_round");
+    }
+  }
+  if (c.reconfig_policy == net::ReconfigPolicy::kOverlapped) {
+    OverlapOptions overlap;
+    overlap.wavelengths = c.wavelengths;
+    result.merge(check_overlap_consistency(*schedule, c.num_nodes, overlap));
+  }
 
   return result;
 }
 
 FuzzReport run_fuzz(const FuzzOptions& options) {
   core::register_wrht_algorithm();
-  const std::vector<std::string> algorithms =
+  std::vector<std::string> algorithms =
       options.algorithms.empty() ? coll::Registry::instance().names()
                                  : options.algorithms;
+  if (options.algorithms.empty() && options.draw_planner_candidates) {
+    for (const char* kind : {"wrht", "flat_a2a", "static_ring"}) {
+      algorithms.push_back(std::string(kPlannerPrefix) + kind);
+    }
+  }
   require(!algorithms.empty(), "run_fuzz: no algorithms to fuzz");
 
   Rng rng(options.seed);

@@ -1,16 +1,22 @@
 // Differential fuzzing over the collective registry.
 //
-// Draws random (algorithm, N, elements, m, w) configurations from a seeded
-// Rng, builds the schedule through coll::Registry, and subjects it to every
-// applicable oracle: the data-level correctness proof, the structural and
-// RWA invariants, the WRHT-specific hierarchy/step/wavelength checks, and
-// the simulator-vs-Eq.(6) differential. Failures are collected (never
-// thrown) and the first failing configuration is greedily shrunk toward a
-// minimal reproducer so the report names the smallest broken case, not a
-// 96-node haystack.
+// Draws random (algorithm, N, elements, m, w, reconfig-policy)
+// configurations from a seeded Rng, builds the schedule through
+// coll::Registry — or through plan::build_candidate for the planner
+// pseudo-algorithms "plan:wrht" / "plan:flat_a2a" / "plan:static_ring" —
+// and subjects it to every applicable oracle: the data-level correctness
+// proof, the structural and RWA invariants, the WRHT-specific
+// hierarchy/step/wavelength checks, the simulator-vs-Eq.(6) differential,
+// and (for non-default policies) the reconfiguration-accounting
+// monotonicity and overlap-consistency checks. Failures are collected
+// (never thrown) and the first failing configuration is greedily shrunk
+// toward a minimal reproducer so the report names the smallest broken
+// case, not a 96-node haystack.
 //
 // Everything is deterministic in the seed: the same FuzzOptions always
-// explores the same configurations in the same order.
+// explores the same configurations in the same order. Shrunk reproducers
+// serialize to one-line strings (FuzzCase::serialize/parse) so they can be
+// checked into tests/corpus/fuzz_regressions.txt and replayed in tier-1.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "wrht/net/reconfig_policy.hpp"
 #include "wrht/verify/report.hpp"
 
 namespace wrht::verify {
@@ -30,21 +37,41 @@ struct FuzzOptions {
   std::uint32_t max_nodes = 96;
   std::size_t max_elements = 512;
   /// Algorithms to draw from; empty means every registered algorithm
-  /// (WRHT is registered before sampling).
+  /// (WRHT is registered before sampling) plus — see below — the planner
+  /// pseudo-algorithms.
   std::vector<std::string> algorithms;
+  /// Mix the planner candidates ("plan:wrht", "plan:flat_a2a",
+  /// "plan:static_ring", built via plan::build_candidate and cross-checked
+  /// against plan::predict feasibility) into an empty `algorithms` draw.
+  bool draw_planner_candidates = true;
+  /// Draw a net::ReconfigPolicy per case instead of pinning kEveryRound.
+  bool draw_reconfig_policy = true;
   /// Greedily shrink the first failure toward a minimal reproducer.
   bool shrink = true;
 };
 
 /// One sampled configuration.
 struct FuzzCase {
+  /// coll::Registry name, or a "plan:<candidate>" pseudo-algorithm.
   std::string algorithm;
   std::uint32_t num_nodes = 2;
   std::size_t elements = 1;
   std::uint32_t group_size = 2;
   std::uint32_t wavelengths = 64;
+  /// Reconfiguration accounting the pricing checks run under. The Eq. (6)
+  /// differential always prices kEveryRound (its analytical side assumes
+  /// it); non-default policies add monotonicity and, for kOverlapped, the
+  /// overlap-consistency invariants on top.
+  net::ReconfigPolicy reconfig_policy = net::ReconfigPolicy::kEveryRound;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// One-line corpus form: "algorithm N elements m w policy". Round-trips
+  /// through parse(); used by tests/corpus/fuzz_regressions.txt.
+  [[nodiscard]] std::string serialize() const;
+  /// Parses serialize() output (leading/trailing spaces tolerated). Throws
+  /// InvalidArgument on malformed lines.
+  static FuzzCase parse(const std::string& line);
 };
 
 struct FuzzFailure {

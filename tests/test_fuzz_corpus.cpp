@@ -1,0 +1,99 @@
+// Tier-1 replay of the checked-in fuzz regression corpus.
+//
+// Every line of tests/corpus/fuzz_regressions.txt is a FuzzCase that once
+// failed (and was shrunk) or pins a boundary the fuzzer's new draw
+// dimensions (reconfig policy, planner candidates) must keep covering.
+// Replaying them here means a reintroduced bug fails fast in tier-1
+// instead of waiting for the seeded fuzz sweep to re-draw it.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "wrht/common/error.hpp"
+#include "wrht/verify/fuzz.hpp"
+
+namespace wrht {
+namespace {
+
+std::vector<verify::FuzzCase> load_corpus() {
+  const std::string path =
+      std::string(WRHT_REPO_ROOT) + "/tests/corpus/fuzz_regressions.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<verify::FuzzCase> cases;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    cases.push_back(verify::FuzzCase::parse(line));
+  }
+  return cases;
+}
+
+TEST(FuzzCorpus, EveryRegressionCasePasses) {
+  const std::vector<verify::FuzzCase> cases = load_corpus();
+  ASSERT_FALSE(cases.empty());
+  for (const verify::FuzzCase& c : cases) {
+    const verify::CheckResult result = verify::check_case(c);
+    EXPECT_TRUE(result.ok()) << c.to_string() << "\n" << result.summary();
+  }
+}
+
+TEST(FuzzCorpus, CorpusCoversNewDrawDimensions) {
+  const std::vector<verify::FuzzCase> cases = load_corpus();
+  bool planner = false;
+  bool on_retune = false;
+  bool overlapped = false;
+  for (const verify::FuzzCase& c : cases) {
+    planner |= c.algorithm.rfind("plan:", 0) == 0;
+    on_retune |= c.reconfig_policy == net::ReconfigPolicy::kOnRetune;
+    overlapped |= c.reconfig_policy == net::ReconfigPolicy::kOverlapped;
+  }
+  EXPECT_TRUE(planner) << "corpus lost its planner-candidate entries";
+  EXPECT_TRUE(on_retune && overlapped)
+      << "corpus lost its non-default reconfig-policy entries";
+}
+
+TEST(FuzzCorpus, SerializeParseRoundTrips) {
+  for (const verify::FuzzCase& c : load_corpus()) {
+    const verify::FuzzCase again = verify::FuzzCase::parse(c.serialize());
+    EXPECT_EQ(again.algorithm, c.algorithm);
+    EXPECT_EQ(again.num_nodes, c.num_nodes);
+    EXPECT_EQ(again.elements, c.elements);
+    EXPECT_EQ(again.group_size, c.group_size);
+    EXPECT_EQ(again.wavelengths, c.wavelengths);
+    EXPECT_EQ(again.reconfig_policy, c.reconfig_policy);
+  }
+}
+
+TEST(FuzzCorpus, ParseRejectsMalformedLines) {
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2"), InvalidArgument);
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2 1 warp_speed"),
+               InvalidArgument);
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2 1 every_round extra"),
+               InvalidArgument);
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 0 1 2 1 every_round"),
+               InvalidArgument);
+}
+
+/// The extended sampler must actually emit the new dimensions.
+TEST(FuzzCorpus, SamplerDrawsPlannerCandidatesAndPolicies) {
+  verify::FuzzOptions options;
+  options.iterations = 60;
+  options.max_nodes = 12;
+  options.max_elements = 16;
+  const verify::FuzzReport report = verify::run_fuzz(options);
+  EXPECT_TRUE(report.ok()) << (report.minimal_failure
+                                   ? report.minimal_failure->config.to_string()
+                                   : "");
+  bool planner = false;
+  for (const auto& [algorithm, count] : report.cases_per_algorithm) {
+    planner |= algorithm.rfind("plan:", 0) == 0 && count > 0;
+  }
+  EXPECT_TRUE(planner) << "60 draws never sampled a planner candidate";
+}
+
+}  // namespace
+}  // namespace wrht

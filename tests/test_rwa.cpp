@@ -87,10 +87,10 @@ TEST(Rwa, HintRespected) {
 
 TEST(Rwa, ShortestDirectionChosenWithoutHint) {
   const Ring ring(10);
-  const RwaResult cw = assign_wavelengths(ring, {t(0, 3)}, RwaOptions{4});
+  const RwaResult cw = assign_wavelengths(ring, std::vector<Transfer>{t(0, 3)}, RwaOptions{4});
   ASSERT_TRUE(cw.ok);
   EXPECT_EQ(cw.paths[0].direction, Direction::kClockwise);
-  const RwaResult ccw = assign_wavelengths(ring, {t(0, 8)}, RwaOptions{4});
+  const RwaResult ccw = assign_wavelengths(ring, std::vector<Transfer>{t(0, 8)}, RwaOptions{4});
   ASSERT_TRUE(ccw.ok);
   EXPECT_EQ(ccw.paths[0].direction, Direction::kCounterClockwise);
 }
@@ -138,7 +138,7 @@ TEST(Rwa, RandomFitIsConflictFreeAndSeedStable) {
 TEST(Rwa, RandomFitRequiresRng) {
   const Ring ring(8);
   RwaOptions opt{4, 1, RwaPolicy::kRandomFit};
-  EXPECT_THROW(assign_wavelengths(ring, {t(0, 1)}, opt), InvalidArgument);
+  EXPECT_THROW(assign_wavelengths(ring, std::vector<Transfer>{t(0, 1)}, opt), InvalidArgument);
 }
 
 TEST(Rwa, AllToAllStaysNearLiangShenBound) {

@@ -1,0 +1,116 @@
+// Large-scale smoke tests (ctest label `large`, excluded from tier-1):
+// build WRHT schedules at the N = 10^5 / 256x256-torus scale the arena and
+// incremental work targets, verify them with the cheap oracles (structural
+// invariants plus a sampled data-level proof on a 1-element vector — WRHT
+// schedules are full-vector, so the element axis is structure-free and one
+// element proves the same linear combination), and hold the whole run
+// under a hard peak-RSS budget read from prof::peak_rss_bytes.
+//
+// These run as their own single-shard Release CI job: they are memory- and
+// minutes-scale, not unit-test-scale.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wrht/collectives/schedule.hpp"
+#include "wrht/core/planner.hpp"
+#include "wrht/core/torus_wrht.hpp"
+#include "wrht/core/wrht_schedule.hpp"
+#include "wrht/prof/prof.hpp"
+#include "wrht/topo/torus.hpp"
+#include "wrht/verify/invariants.hpp"
+#include "wrht/verify/oracle.hpp"
+
+namespace wrht {
+namespace {
+
+constexpr std::uint32_t kRingNodes = 100000;
+constexpr std::uint32_t kTorusSide = 256;
+constexpr std::uint32_t kWavelengths = 64;
+
+/// Hard budget for the whole binary (both schedules and their verifiers):
+/// the N = 10^5 ring schedule holds ~10^5-scale transfer lists on its
+/// arena, the 256x256 torus one is of comparable size, and the sampled
+/// oracle keeps one double per node. Measured peak is ~38 MB; the
+/// headroom absorbs allocator and libc variance across runners without
+/// letting an accidental O(N^2) path slip through.
+constexpr std::size_t kPeakRssBudgetBytes = 256ull * 1024 * 1024;
+
+TEST(ScaleSmoke, Ring100kWrhtScheduleBuildsAndVerifies) {
+  const core::WrhtPlan plan = core::plan_wrht(kRingNodes, kWavelengths);
+  core::WrhtOptions options;
+  options.group_size = plan.group_size;
+  options.wavelengths = kWavelengths;
+
+  // Element axis sampled at 1: rescale_elements (what the sweep cache
+  // does) proves structure is element-independent for full-vector
+  // schedules, so verifying at 1 element verifies them all.
+  const coll::Schedule schedule =
+      core::wrht_allreduce(kRingNodes, 1, options);
+  EXPECT_EQ(schedule.storage(), coll::ScheduleStorage::kArena);
+  EXPECT_TRUE(schedule.full_vector());
+  ASSERT_NE(schedule.arena(), nullptr);
+  // The arena must hold the transfer payload in O(few) chunks, not one
+  // malloc per transfer list.
+  EXPECT_LE(schedule.arena()->chunks(),
+            schedule.arena()->bytes_allocated() / (64 * 1024) + 8);
+
+  const verify::CheckResult structure =
+      verify::check_schedule_structure(schedule);
+  EXPECT_TRUE(structure.ok()) << structure.summary();
+
+  const verify::CheckResult steps = verify::check_wrht_step_count(
+      schedule, kRingNodes, plan.group_size, kWavelengths);
+  EXPECT_TRUE(steps.ok()) << steps.summary();
+
+  const verify::OracleReport oracle = verify::check_allreduce(schedule);
+  EXPECT_TRUE(oracle.ok()) << oracle.result.summary();
+  // N^2 cells puts the exact provenance proof far over its cap; the
+  // numeric proof is the sampled oracle here.
+  EXPECT_FALSE(oracle.provenance_checked);
+
+  EXPECT_LE(prof::peak_rss_bytes(), kPeakRssBudgetBytes);
+}
+
+TEST(ScaleSmoke, Torus256x256WrhtScheduleBuildsAndVerifies) {
+  const topo::Torus torus(kTorusSide, kTorusSide);
+  core::WrhtOptions options;
+  options.group_size = core::plan_wrht(kTorusSide, kWavelengths).group_size;
+  options.wavelengths = kWavelengths;
+
+  const coll::Schedule schedule =
+      core::torus_wrht_allreduce(torus, 1, options);
+  EXPECT_EQ(schedule.storage(), coll::ScheduleStorage::kArena);
+  EXPECT_EQ(schedule.num_nodes(), kTorusSide * kTorusSide);
+
+  const verify::CheckResult structure =
+      verify::check_schedule_structure(schedule);
+  EXPECT_TRUE(structure.ok()) << structure.summary();
+
+  const verify::OracleReport oracle = verify::check_allreduce(schedule);
+  EXPECT_TRUE(oracle.ok()) << oracle.result.summary();
+
+  EXPECT_LE(prof::peak_rss_bytes(), kPeakRssBudgetBytes);
+}
+
+/// The element-rescale patch at scale: re-targeting the 10^5-node build at
+/// a paper-sized vector must not touch the step structure or the RSS
+/// budget (counts mutate in place — no new storage).
+TEST(ScaleSmoke, Ring100kRescaleStaysInBudget) {
+  const core::WrhtPlan plan = core::plan_wrht(kRingNodes, kWavelengths);
+  core::WrhtOptions options;
+  options.group_size = plan.group_size;
+  options.wavelengths = kWavelengths;
+
+  coll::Schedule schedule = core::wrht_allreduce(kRingNodes, 1, options);
+  const std::size_t steps_before = schedule.num_steps();
+  schedule.rescale_elements(25557032);  // ResNet50 parameters
+  EXPECT_EQ(schedule.num_steps(), steps_before);
+  EXPECT_EQ(schedule.elements(), 25557032u);
+  EXPECT_TRUE(schedule.full_vector());
+  EXPECT_LE(prof::peak_rss_bytes(), kPeakRssBudgetBytes);
+}
+
+}  // namespace
+}  // namespace wrht

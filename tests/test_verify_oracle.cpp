@@ -65,7 +65,7 @@ coll::Schedule mutate(const coll::Schedule& src, EditFn edit) {
 TEST(VerifyOracle, CatchesDroppedTransfer) {
   const coll::Schedule good = coll::ring_allreduce(8, 64);
   const coll::Schedule bad =
-      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+      mutate(good, [](std::size_t s, coll::TransferList& ts) {
         if (s == 2) ts.pop_back();
       });
   const OracleReport report = verify::check_allreduce(bad);
@@ -76,7 +76,7 @@ TEST(VerifyOracle, CatchesDroppedTransfer) {
 TEST(VerifyOracle, CatchesDuplicatedReduce) {
   const coll::Schedule good = coll::ring_allreduce(8, 64);
   const coll::Schedule bad =
-      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+      mutate(good, [](std::size_t s, coll::TransferList& ts) {
         // Re-delivering a reduce double-counts its contributions; with
         // snapshot semantics the duplicate lands in the same step.
         if (s == 0) ts.push_back(ts.front());
@@ -94,7 +94,7 @@ TEST(VerifyOracle, CatchesDuplicatedReduce) {
 TEST(VerifyOracle, CatchesReduceTurnedIntoCopy) {
   const coll::Schedule good = coll::ring_allreduce(8, 64);
   const coll::Schedule bad =
-      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+      mutate(good, [](std::size_t s, coll::TransferList& ts) {
         if (s == 0) ts.front().kind = coll::TransferKind::kCopy;
       });
   EXPECT_FALSE(verify::check_allreduce(bad).ok());
@@ -144,7 +144,7 @@ TEST(VerifyOracle, CellLimitDisablesProvenanceButKeepsNumeric) {
 TEST(VerifyOracle, DeterministicInSeed) {
   const coll::Schedule good = coll::ring_allreduce(8, 64);
   const coll::Schedule bad =
-      mutate(good, [](std::size_t s, std::vector<coll::Transfer>& ts) {
+      mutate(good, [](std::size_t s, coll::TransferList& ts) {
         if (s == 1) ts.pop_back();
       });
   const OracleReport a = verify::check_allreduce(bad);
