@@ -1,0 +1,170 @@
+// Policy bake-off for the shared-fabric service (wrht::svc): the same
+// seeded workload trace is replayed against every admission policy at a
+// sweep of offered loads, from a nearly idle fabric to a saturating
+// heavy-tailed bursty one. The headline is the p99 job completion time —
+// the SLO currency a multi-tenant fabric is operated on.
+//
+// The bench gates its own conclusion (exit 1 otherwise):
+//   * at light load every policy admits immediately, so FIFO and
+//     weighted-fair tie on p99 JCT;
+//   * at the saturating bursty load, backfill or weighted-fair beats
+//     FIFO's head-of-line blocking on p99 JCT;
+//   * at least two distinct policies win somewhere across the sweep —
+//     i.e. there is no single best admission policy.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_common.hpp"
+#include "wrht/svc/service.hpp"
+#include "wrht/svc/workload.hpp"
+
+namespace {
+
+using namespace wrht;
+
+struct Load {
+  std::string name;
+  Seconds mean_interarrival{0.0};
+  double burstiness = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const bool tiny = bench::tiny();
+  const std::uint32_t fabric = tiny ? 16 : 64;
+  const std::uint32_t nodes = tiny ? 16 : 64;
+  const std::uint32_t num_jobs = tiny ? 32 : 128;
+
+  // Offered loads, light to saturating. Mean service time per job is on
+  // the order of 0.1 s (dnn-zoo payloads, 1-3 iterations), so the light
+  // load leaves the fabric idle almost always and the last one queues
+  // deeply during bursts.
+  std::vector<Load> loads;
+  if (tiny) {
+    loads = {{"light", Seconds(1.0), 0.0},
+             {"heavy", Seconds(0.05), 0.3},
+             {"bursty-saturated", Seconds(0.01), 0.5}};
+  } else {
+    loads = {{"light", Seconds(1.0), 0.0},
+             {"medium", Seconds(0.1), 0.1},
+             {"heavy", Seconds(0.02), 0.3},
+             {"bursty-saturated", Seconds(0.008), 0.5}};
+  }
+
+  std::printf(
+      "=== Shared-fabric admission-policy bake-off ===\n(fabric = %u "
+      "wavelengths, %u jobs per load over %u-node all-reduces, identical "
+      "seeded trace per load)\n\n",
+      fabric, num_jobs, nodes);
+
+  Table table({"Load", "Policy", "p50 JCT (ms)", "p99 JCT (ms)",
+               "mean wait (ms)", "util (%)", "makespan (s)"});
+  CsvWriter csv(bench::csv_path("ablation_svc_policies"),
+                {"load", "mean_interarrival_s", "burstiness", "policy",
+                 "jobs", "makespan_s", "utilization", "p50_jct_s",
+                 "p99_jct_s", "mean_wait_s"});
+
+  // load name -> policy name -> p99 JCT.
+  std::map<std::string, std::map<std::string, double>> p99;
+  std::set<std::string> winners;
+
+  for (const Load& load : loads) {
+    svc::WorkloadConfig workload;
+    workload.num_jobs = num_jobs;
+    workload.num_nodes = nodes;
+    workload.fabric_wavelengths = fabric;
+    workload.mean_interarrival = load.mean_interarrival;
+    workload.burstiness = load.burstiness;
+    const std::vector<svc::Job> jobs = svc::generate_workload(workload);
+
+    std::string winner;
+    double winner_p99 = 0.0;
+    for (const svc::PolicyKind kind : svc::all_policies()) {
+      svc::ServiceConfig config;
+      config.fabric_wavelengths = fabric;
+      config.policy = kind;
+      config.counters = &bench::metrics();
+      svc::FabricService service(config);
+      const svc::ServiceReport report = service.run(jobs);
+
+      const std::string policy = svc::to_string(kind);
+      p99[load.name][policy] = report.p99_jct.count();
+      if (winner.empty() || report.p99_jct.count() < winner_p99) {
+        winner = policy;
+        winner_p99 = report.p99_jct.count();
+      }
+      table.add_row({load.name, policy,
+                     Table::num(report.p50_jct.count() * 1e3, 2),
+                     Table::num(report.p99_jct.count() * 1e3, 2),
+                     Table::num(report.mean_queue_wait.count() * 1e3, 2),
+                     Table::num(report.utilization * 100.0, 1),
+                     Table::num(report.makespan.count(), 3)});
+      csv.add_row({load.name, Table::num(load.mean_interarrival.count(), 6),
+                   Table::num(load.burstiness, 2), policy,
+                   std::to_string(report.records.size()),
+                   Table::num(report.makespan.count(), 6),
+                   Table::num(report.utilization, 6),
+                   Table::num(report.p50_jct.count(), 6),
+                   Table::num(report.p99_jct.count(), 6),
+                   Table::num(report.mean_queue_wait.count(), 6)});
+    }
+    winners.insert(winner);
+    std::printf("load %-18s -> best p99 JCT: %s (%.2f ms)\n",
+                load.name.c_str(), winner.c_str(), winner_p99 * 1e3);
+  }
+  std::cout << "\n" << table << "\n";
+
+  // --- Gates: the bench fails if its own story does not hold. ---
+  int failed = 0;
+
+  // 1. Light load: admission is immediate for everyone, so FIFO and
+  //    weighted-fair tie (0.1% tolerance).
+  const double fifo_light = p99["light"]["fifo"];
+  const double fair_light = p99["light"]["weighted-fair"];
+  if (std::abs(fifo_light - fair_light) >
+      1e-3 * std::max(fifo_light, fair_light)) {
+    std::printf(
+        "GATE FAIL: at light load fifo (%.6fs) and weighted-fair (%.6fs) "
+        "should tie on p99 JCT\n",
+        fifo_light, fair_light);
+    failed = 1;
+  }
+
+  // 2. Saturating bursty load: head-of-line blocking must cost FIFO the
+  //    tail — backfill or weighted-fair wins p99 by at least 2%.
+  const std::string saturated = loads.back().name;
+  const double fifo_sat = p99[saturated]["fifo"];
+  const double best_sat = std::min(p99[saturated]["backfill"],
+                                   p99[saturated]["weighted-fair"]);
+  if (!(best_sat < 0.98 * fifo_sat)) {
+    std::printf(
+        "GATE FAIL: at %s load, backfill/weighted-fair (%.6fs) should beat "
+        "fifo (%.6fs) on p99 JCT\n",
+        saturated.c_str(), best_sat, fifo_sat);
+    failed = 1;
+  }
+
+  // 3. No single policy wins the whole sweep.
+  if (winners.size() < 2) {
+    std::printf(
+        "GATE FAIL: expected at least 2 distinct policy winners across the "
+        "load sweep, got %zu\n",
+        winners.size());
+    failed = 1;
+  }
+
+  if (failed == 0) {
+    std::printf(
+        "gates passed: light-load tie, tail win over FIFO at saturation, "
+        "%zu distinct winners\n",
+        winners.size());
+  }
+  std::printf("CSV written to %s\n",
+              bench::csv_path("ablation_svc_policies").c_str());
+  bench::write_metrics_csv("ablation_svc_policies");
+  return failed;
+}

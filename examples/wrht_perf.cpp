@@ -44,6 +44,8 @@
 #include "wrht/prof/perf_report.hpp"
 #include "wrht/prof/prof.hpp"
 #include "wrht/sim/simulator.hpp"
+#include "wrht/svc/service.hpp"
+#include "wrht/svc/workload.hpp"
 #include "wrht/topo/ring.hpp"
 #include "wrht/verify/oracle.hpp"
 
@@ -442,6 +444,40 @@ int main(int argc, char** argv) {
       }
       report.add_sample_metrics("event_kernel.wall_s", walls, "s");
       report.add_sample_metrics("event_kernel.events_per_s", rates, "/s");
+    }
+
+    // Service tick: one FabricService run end to end — workload arrival,
+    // admission, lease allocation, closed-form pricing, completion — on a
+    // long-lived simulator. Job throughput is the operator-facing rate.
+    {
+      svc::WorkloadConfig workload;
+      workload.num_jobs = opt.tiny ? 24 : 96;
+      workload.num_nodes = opt.tiny ? 16 : 64;
+      workload.fabric_wavelengths = opt.tiny ? 16 : 64;
+      workload.mean_interarrival = Seconds(0.01);
+      workload.burstiness = 0.3;
+      const std::vector<svc::Job> jobs = svc::generate_workload(workload);
+      svc::ServiceConfig svc_config;
+      svc_config.fabric_wavelengths = workload.fabric_wavelengths;
+      svc_config.policy = svc::PolicyKind::kWeightedFair;
+      svc::FabricService service(svc_config);
+
+      std::vector<double> walls, rates;
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.svc_tick");
+        std::size_t completed = 0;
+        const double wall = time_once([&] {
+          completed = service.run(jobs).records.size();
+        });
+        if (completed != jobs.size()) {
+          throw Error("wrht_perf: svc_tick dropped jobs");
+        }
+        walls.push_back(wall);
+        rates.push_back(static_cast<double>(completed) /
+                        (wall > 0.0 ? wall : 1e-12));
+      }
+      report.add_sample_metrics("svc_tick.wall_s", walls, "s");
+      report.add_sample_metrics("svc_tick.jobs_per_s", rates, "/s");
     }
 
     // Parallel sweep: grid-point throughput and worker-pool efficiency.

@@ -39,6 +39,13 @@ BENCHES=(
   ablation_reconfig
   ablation_overlap
   ablation_utilization
+  ablation_svc_policies
+)
+# Bench binaries whose CSV name differs from the binary name
+# (bench_svc_policies writes ablation_svc_policies.csv and gates its own
+# policy-ranking claims, exiting non-zero when they fail).
+declare -A BIN_OVERRIDE=(
+  [ablation_svc_policies]=bench_svc_policies
 )
 declare -A EXPECTED_ROWS=(
   [table1_steps]=4
@@ -53,10 +60,11 @@ declare -A EXPECTED_ROWS=(
   [ablation_reconfig]=3
   [ablation_overlap]=4
   [ablation_utilization]=8
+  [ablation_svc_policies]=12
 )
 
 targets=()
-for b in "${BENCHES[@]}"; do targets+=("bench_$b"); done
+for b in "${BENCHES[@]}"; do targets+=("${BIN_OVERRIDE[$b]:-bench_$b}"); done
 targets+=(bench_micro)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${targets[@]}"
 
@@ -66,15 +74,16 @@ cd "$WORK"
 
 fail=0
 for b in "${BENCHES[@]}"; do
-  echo "--- bench_$b (tiny)"
-  if ! WRHT_BENCH_TINY=1 "$BUILD_DIR/bench/bench_$b" > "bench_$b.log" 2>&1; then
-    echo "FAIL: bench_$b exited non-zero; last lines:"
-    tail -n 20 "bench_$b.log"
+  bin="${BIN_OVERRIDE[$b]:-bench_$b}"
+  echo "--- $bin (tiny)"
+  if ! WRHT_BENCH_TINY=1 "$BUILD_DIR/bench/$bin" > "$bin.log" 2>&1; then
+    echo "FAIL: $bin exited non-zero; last lines:"
+    tail -n 20 "$bin.log"
     fail=1
     continue
   fi
   if [[ ! -f "$b.csv" ]]; then
-    echo "FAIL: bench_$b did not write $b.csv"
+    echo "FAIL: $bin did not write $b.csv"
     fail=1
     continue
   fi
@@ -91,8 +100,8 @@ for b in "${BENCHES[@]}"; do
   if [[ "$rows" -ne "${EXPECTED_ROWS[$b]}" ]]; then
     # Fail fast: a wrong row count means the sweep grid itself truncated,
     # so later benches only bury the first culprit.
-    echo "FAIL: bench_$b: $b.csv has $rows rows, expected ${EXPECTED_ROWS[$b]}"
-    echo "bench smoke FAILED (row-count check tripped on bench_$b)"
+    echo "FAIL: $bin: $b.csv has $rows rows, expected ${EXPECTED_ROWS[$b]}"
+    echo "bench smoke FAILED (row-count check tripped on $bin)"
     exit 1
   fi
   echo "OK: $b.csv ($rows rows, header matches)"

@@ -1,0 +1,25 @@
+#include "wrht/common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "wrht/common/log.hpp"
+
+namespace wrht {
+
+unsigned thread_count_from_env(const char* name, unsigned fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end != env && *end == '\0' && errno == 0 && parsed > 0 &&
+      parsed <= static_cast<long>(kMaxEnvThreads)) {
+    return static_cast<unsigned>(parsed);
+  }
+  WRHT_LOG_WARN << name << "='" << env << "' is not a positive integer (max "
+                << kMaxEnvThreads << "); falling back to " << fallback;
+  return fallback;
+}
+
+}  // namespace wrht

@@ -1,0 +1,23 @@
+// Environment-variable parsing shared by every threaded subsystem.
+//
+// WRHT_RWA_THREADS and WRHT_SWEEP_THREADS (and any future worker knob)
+// share one validation story: only a fully-consumed positive integer in
+// range counts; "0", "-3", "abc", "8x" and overflows warn and fall back
+// instead of silently misbehaving (0 workers would deadlock a pool, a
+// negative cast to unsigned would spawn billions).
+#pragma once
+
+namespace wrht {
+
+/// Hard ceiling on any worker count read from the environment.
+inline constexpr unsigned kMaxEnvThreads = 65536;
+
+/// Reads the environment variable `name` as a worker count. Returns the
+/// parsed value when it is a fully-consumed positive integer at most
+/// kMaxEnvThreads. An unset variable returns `fallback` silently; a set
+/// but invalid value (zero, negative, trailing garbage, overflow) logs a
+/// warning naming the variable and the fallback, then returns `fallback`.
+[[nodiscard]] unsigned thread_count_from_env(const char* name,
+                                             unsigned fallback);
+
+}  // namespace wrht

@@ -60,6 +60,10 @@ RunReport PacketBackend::execute(const coll::Schedule& schedule,
 ElectricalConfig electrical_config_from(const net::BackendConfig& config) {
   ElectricalConfig out;
   out.convention = config.convention;
+  // The electrical fabric has no wavelengths; a lease slices its links in
+  // proportion to the wavelength budget the config advertises.
+  out.lease = config.lease;
+  out.lease_fabric_width = config.lease.full() ? 0 : config.wavelengths;
   return out;
 }
 

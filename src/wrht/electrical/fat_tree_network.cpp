@@ -25,6 +25,9 @@ FatTreeNetwork::FatTreeNetwork(std::uint32_t num_hosts,
       flow_sim_(link_capacities(tree_, config_)) {
   require(config.bytes_per_element >= 1,
           "FatTreeNetwork: bytes_per_element must be >= 1");
+  require(config.lease.full() || config.lease_fabric_width > 0,
+          "FatTreeNetwork: a sliced lease needs lease_fabric_width");
+  config.lease.validate(config.lease_fabric_width);
 }
 
 FatTreeNetwork::StepTiming FatTreeNetwork::evaluate_step(

@@ -16,6 +16,7 @@
 #include "wrht/common/units.hpp"
 #include "wrht/electrical/flow_sim.hpp"
 #include "wrht/net/rate_convention.hpp"
+#include "wrht/net/resource_lease.hpp"
 #include "wrht/obs/run_report.hpp"
 #include "wrht/obs/trace.hpp"
 #include "wrht/topo/fat_tree.hpp"
@@ -34,8 +35,18 @@ struct ElectricalConfig {
   /// on the same convention for a fair optical/electrical comparison.
   net::RateConvention convention = net::RateConvention::kPaperConvention;
 
+  /// Multi-tenant link share (see net/resource_lease.hpp): the fabric has
+  /// no wavelength notion, so a lease of k wavelengths out of a
+  /// `lease_fabric_width`-wide fabric grants this job k/width of every
+  /// link's bandwidth — the fair share a wavelength-proportional slicer
+  /// converges to. The default full lease (or width 0) leaves every link
+  /// at full rate, byte-identical to pre-lease runs.
+  net::ResourceLease lease{};
+  std::uint32_t lease_fabric_width = 0;
+
   [[nodiscard]] double bytes_per_second() const {
-    return net::effective_bytes_per_second(link_rate.count(), convention);
+    return net::effective_bytes_per_second(link_rate.count(), convention) *
+           lease.share(lease_fabric_width);
   }
 
   // Fluent builders mirroring optics::OpticalConfig; aggregate
@@ -62,6 +73,12 @@ struct ElectricalConfig {
   }
   ElectricalConfig& with_convention(net::RateConvention v) {
     convention = v;
+    return *this;
+  }
+  ElectricalConfig& with_lease(net::ResourceLease v,
+                               std::uint32_t fabric_width) {
+    lease = v;
+    lease_fabric_width = fabric_width;
     return *this;
   }
 };

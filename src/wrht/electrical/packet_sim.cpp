@@ -15,6 +15,9 @@ PacketLevelNetwork::PacketLevelNetwork(std::uint32_t num_hosts,
     : tree_(num_hosts, config.router_ports), config_(config) {
   require(config.packet_size.count() >= 1,
           "PacketLevelNetwork: packet size must be positive");
+  require(config.lease.full() || config.lease_fabric_width > 0,
+          "PacketLevelNetwork: a sliced lease needs lease_fabric_width");
+  config.lease.validate(config.lease_fabric_width);
 }
 
 namespace {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "wrht/collectives/registry.hpp"
+#include "wrht/common/env.hpp"
 #include "wrht/common/error.hpp"
 #include "wrht/common/log.hpp"
 #include "wrht/core/wrht_schedule.hpp"
@@ -227,24 +228,7 @@ class ScheduleCache {
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (const char* env = std::getenv("WRHT_SWEEP_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(env, &end, 10);
-    // Accept only a fully-consumed positive integer that fits; "0", "-3",
-    // "abc", "8x" and overflows all fall back to hardware concurrency with
-    // a warning instead of silently misbehaving (0 workers would deadlock
-    // the pool, a negative cast to unsigned would spawn billions).
-    if (end != env && *end == '\0' && errno == 0 && parsed > 0 &&
-        parsed <= 65536) {
-      return static_cast<unsigned>(parsed);
-    }
-    WRHT_LOG_WARN << "WRHT_SWEEP_THREADS='" << env
-                  << "' is not a positive integer (max 65536); "
-                     "falling back to hardware concurrency ("
-                  << hw << ")";
-  }
-  return hw;
+  return thread_count_from_env("WRHT_SWEEP_THREADS", hw);
 }
 
 std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {

@@ -6,6 +6,13 @@ namespace wrht::net {
 
 Backend::~Backend() = default;
 
+RunReport Backend::execute_at(const coll::Schedule& schedule,
+                              const obs::Probe& probe, Seconds start) const {
+  RunReport report = execute(schedule, probe);
+  for (StepReport& step : report.step_reports) step.start += start;
+  return report;
+}
+
 ScopedUtilization::ScopedUtilization(const obs::Probe& probe, bool collect)
     : probe_(probe) {
   if (collect && probe_.occupancy == nullptr) probe_.occupancy = &sampler_;

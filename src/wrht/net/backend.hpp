@@ -75,6 +75,17 @@ class Backend {
   [[nodiscard]] RunReport execute(const coll::Schedule& schedule) const {
     return execute(schedule, obs::Probe{});
   }
+
+  /// Prices `schedule` as if it began at absolute time `start`: step starts
+  /// in the report are >= start while total_time stays the run's duration.
+  /// Every engine here is time-invariant, so the default implementation —
+  /// execute() then shift the step timeline — is exact; engines with a
+  /// native clock offset (the optical ring) override it to run shifted.
+  /// The service layer (wrht::svc) uses this to place each admitted job's
+  /// timeline at its grant time on the shared fabric clock.
+  [[nodiscard]] virtual RunReport execute_at(const coll::Schedule& schedule,
+                                             const obs::Probe& probe,
+                                             Seconds start) const;
 };
 
 /// Emits the backend-neutral "net.*" counters every adapter shares:

@@ -20,6 +20,7 @@
 #include "wrht/net/backend.hpp"
 #include "wrht/net/rate_convention.hpp"
 #include "wrht/net/reconfig_policy.hpp"
+#include "wrht/net/resource_lease.hpp"
 
 namespace wrht::net {
 
@@ -57,9 +58,19 @@ struct BackendConfig {
   /// breakdown/utilization fields (backends whose capabilities() report
   /// reports_utilization). Off by default: unobserved runs stay free.
   bool collect_utilization = false;
+  /// Fabric slice this job may touch (multi-tenant runs; see
+  /// net/resource_lease.hpp). Optical backends constrain RWA to
+  /// [lease.w_lo, lease.w_hi); electrical backends scale every link to
+  /// the lease's share of `wavelengths`. The default full lease keeps
+  /// every backend byte-identical to pre-lease behaviour.
+  ResourceLease lease{};
 
   BackendConfig& with_reconfig_policy(ReconfigPolicy v) {
     reconfig_policy = v;
+    return *this;
+  }
+  BackendConfig& with_lease(ResourceLease v) {
+    lease = v;
     return *this;
   }
 

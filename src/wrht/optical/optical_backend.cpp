@@ -43,15 +43,21 @@ net::BackendCapabilities RingBackend::capabilities() const {
 
 RunReport RingBackend::execute(const coll::Schedule& schedule,
                                const obs::Probe& probe) const {
+  return execute_at(schedule, probe, Seconds(0.0));
+}
+
+RunReport RingBackend::execute_at(const coll::Schedule& schedule,
+                                  const obs::Probe& probe,
+                                  Seconds start) const {
   const prof::ScopedTimer timer("backend.optical-ring.execute");
   net::count_schedule(probe, schedule);
   const net::ScopedUtilization util(probe, collect_utilization_);
   OpticalRunResult run;
   if (network_.config().rwa_policy == RwaPolicy::kRandomFit) {
     Rng rng(rng_seed_);
-    run = network_.execute(schedule, util.probe(), &rng);
+    run = network_.execute(schedule, util.probe(), &rng, start);
   } else {
-    run = network_.execute(schedule, util.probe());
+    run = network_.execute(schedule, util.probe(), nullptr, start);
   }
   RunReport report = run.to_report();
   util.finish(report);
@@ -107,6 +113,7 @@ OpticalConfig optical_config_from(const net::BackendConfig& config) {
   out.rwa_policy =
       config.random_fit_rwa ? RwaPolicy::kRandomFit : RwaPolicy::kFirstFit;
   out.rwa_threads = config.rwa_threads;
+  out.lease = config.lease;
   return out;
 }
 

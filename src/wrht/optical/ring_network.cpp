@@ -35,6 +35,7 @@ RingNetwork::RingNetwork(std::uint32_t num_nodes, OpticalConfig config)
           "RingNetwork: bytes_per_element must be >= 1");
   require(config.wavelength_rate.count() > 0.0,
           "RingNetwork: wavelength rate must be positive");
+  config.lease.validate(config.wavelengths);
 }
 
 Seconds RingNetwork::serialization_time(std::size_t elements) const {
@@ -63,8 +64,7 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
   PatternCost out{};
   if (step.transfers.empty()) return out;
 
-  const RwaOptions options{config_.wavelengths, config_.fibers_per_direction,
-                           config_.rwa_policy};
+  const RwaOptions options = config_.rwa_options();
 
   std::vector<std::vector<Lightpath>> round_paths;
   std::vector<std::vector<std::size_t>> round_members;
@@ -79,8 +79,9 @@ RingNetwork::PatternCost RingNetwork::evaluate_step(const coll::Step& step,
     if (!rwa.ok) {
       throw InfeasibleSchedule(
           "RingNetwork: step '" + step.label + "' needs more than " +
-          std::to_string(config_.wavelengths) +
-          " wavelengths and multi-round splitting is disabled");
+          std::to_string(config_.lease.width(config_.wavelengths)) +
+          " wavelengths (lease " + config_.lease.to_string() +
+          ") and multi-round splitting is disabled");
     }
     wavelengths_used = rwa.wavelengths_used;
     round_paths.push_back(std::move(rwa.paths));
@@ -169,8 +170,7 @@ void RingNetwork::warm_pattern_cache(const coll::Schedule& schedule) const {
   }
   if (steps.size() <= 1) return;
 
-  const RwaOptions options{config_.wavelengths, config_.fibers_per_direction,
-                           config_.rwa_policy};
+  const RwaOptions options = config_.rwa_options();
   std::vector<std::span<const coll::Transfer>> spans;
   spans.reserve(steps.size());
   for (const coll::Step* step : steps) spans.emplace_back(step->transfers);
@@ -185,8 +185,8 @@ void RingNetwork::warm_pattern_cache(const coll::Schedule& schedule) const {
 }
 
 OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
-                                      const obs::Probe& probe,
-                                      Rng* rng) const {
+                                      const obs::Probe& probe, Rng* rng,
+                                      Seconds start) const {
   require(schedule.num_nodes() <= ring_.size(),
           "RingNetwork: schedule spans more nodes than the ring");
   schedule.validate();
@@ -198,7 +198,7 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
 
   // Drive the steps through the event kernel: each step-completion event
   // evaluates (or cache-hits) the next step and schedules its completion.
-  sim::Simulator simulator;
+  sim::Simulator simulator(start);
   simulator.set_counters(probe.counters);
   std::size_t next_step = 0;
   const net::ReconfigPolicy policy = config_.reconfig_policy;
@@ -396,12 +396,14 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
     simulator.run();
   }
 
-  result.total_time = simulator.now();
+  // total_time is a duration, not an end timestamp — a job admitted at
+  // start != 0 still reports how long it ran.
+  result.total_time = simulator.now() - start;
   result.events_fired = simulator.events_fired();
   // Close the counter track so the last round's value does not hold past
   // the end of the run in the viewer.
   if (probe.trace != nullptr && result.total_rounds > 0) {
-    probe.counter_sample("wavelengths in use", result.total_time, 0.0);
+    probe.counter_sample("wavelengths in use", simulator.now(), 0.0);
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include "wrht/common/units.hpp"
 #include "wrht/net/rate_convention.hpp"
 #include "wrht/net/reconfig_policy.hpp"
+#include "wrht/net/resource_lease.hpp"
 #include "wrht/obs/run_report.hpp"
 #include "wrht/obs/trace.hpp"
 #include "wrht/optical/node.hpp"
@@ -49,6 +50,13 @@ struct OpticalConfig {
   /// Split wavelength-starved steps into sequential rounds instead of
   /// failing; each extra round pays the reconfiguration delay again.
   bool allow_multi_round_steps = true;
+
+  /// Wavelength slice this job may touch (multi-tenant fabrics; see
+  /// net/resource_lease.hpp). The default full lease is the historical
+  /// exclusive-fabric behaviour, byte-identical to pre-lease runs. RWA is
+  /// constrained to [lease.w_lo, lease.w_hi) on every fiber; a leased run
+  /// prices exactly like a full run on a lease-width fiber.
+  net::ResourceLease lease{};
 
   /// Workers for the batch RWA pre-pass over a schedule's distinct step
   /// patterns (0 = WRHT_RWA_THREADS / hardware concurrency; see
@@ -128,6 +136,20 @@ struct OpticalConfig {
     allow_multi_round_steps = v;
     return *this;
   }
+  OpticalConfig& with_lease(net::ResourceLease v) {
+    lease = v;
+    return *this;
+  }
+
+  /// RWA options for this config: the scan window is the leased slice.
+  [[nodiscard]] RwaOptions rwa_options() const {
+    RwaOptions options;
+    options.wavelengths = lease.clamp_hi(wavelengths);
+    options.fibers_per_direction = fibers_per_direction;
+    options.policy = rwa_policy;
+    options.wavelength_lo = lease.full() ? 0 : lease.w_lo;
+    return options;
+  }
   OpticalConfig& with_node_hardware(NodeHardware v) {
     node_hardware = v;
     return *this;
@@ -198,9 +220,16 @@ class RingNetwork {
   /// Observed variant: emits one trace span per step with child spans per
   /// RWA round, and accumulates "optical.*" counters. An empty probe makes
   /// this identical to the unobserved overload.
+  ///
+  /// `start` offsets the internal clock: step starts (and trace spans) are
+  /// absolute times >= start, while total_time stays the run's duration.
+  /// The engine is time-invariant, so a shifted run prices identically —
+  /// the offset exists so a long-lived fabric simulation (wrht::svc) can
+  /// place a job's timeline at its admission time.
   [[nodiscard]] OpticalRunResult execute(const coll::Schedule& schedule,
                                          const obs::Probe& probe,
-                                         Rng* rng = nullptr) const;
+                                         Rng* rng = nullptr,
+                                         Seconds start = Seconds(0.0)) const;
 
   /// Cost of one round carrying a largest transfer of `elements` elements:
   /// reconfiguration + O/E/O + serialization (Eq. 6 per-step term).

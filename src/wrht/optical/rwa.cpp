@@ -8,6 +8,7 @@
 #include <numeric>
 #include <thread>
 
+#include "wrht/common/env.hpp"
 #include "wrht/common/error.hpp"
 #include "wrht/common/log.hpp"
 #include "wrht/prof/prof.hpp"
@@ -100,7 +101,8 @@ bool try_assign(const topo::Ring& ring, const coll::Transfer& t,
 
   if (opt.policy == RwaPolicy::kFirstFit) {
     for (std::uint32_t fiber = 0; fiber < opt.fibers_per_direction; ++fiber) {
-      for (std::uint32_t lambda = 0; lambda < opt.wavelengths; ++lambda) {
+      for (std::uint32_t lambda = opt.wavelength_lo; lambda < opt.wavelengths;
+           ++lambda) {
         if (place_if_fits(occupancy, dir, fiber, lambda, span, t, out)) {
           return true;
         }
@@ -110,9 +112,14 @@ bool try_assign(const topo::Ring& ring, const coll::Transfer& t,
   }
 
   require(rng != nullptr, "RWA: random-fit needs an Rng");
-  std::vector<std::uint32_t> lambda_order(opt.wavelengths);
-  std::iota(lambda_order.begin(), lambda_order.end(), 0u);
-  for (std::uint32_t i = opt.wavelengths; i > 1; --i) {
+  // The permutation covers the leased slice only, and the Fisher-Yates
+  // draw sequence depends on the slice WIDTH alone — a leased random-fit
+  // run consumes the Rng exactly like a full run on a narrower fiber, so
+  // the slice-equivalence invariant holds for random-fit too.
+  const std::uint32_t slice = opt.wavelengths - opt.wavelength_lo;
+  std::vector<std::uint32_t> lambda_order(slice);
+  std::iota(lambda_order.begin(), lambda_order.end(), opt.wavelength_lo);
+  for (std::uint32_t i = slice; i > 1; --i) {
     const auto j = static_cast<std::uint32_t>(rng->uniform_int(0, i - 1));
     std::swap(lambda_order[i - 1], lambda_order[j]);
   }
@@ -134,6 +141,9 @@ RwaResult assign_wavelengths(const topo::Ring& ring,
   const prof::ScopedTimer timer("optical.rwa.assign");
   require(options.wavelengths >= 1 && options.fibers_per_direction >= 1,
           "RWA: need at least one wavelength and fiber");
+  require(options.wavelength_lo < options.wavelengths,
+          "RWA: leased slice [" + std::to_string(options.wavelength_lo) +
+              ", " + std::to_string(options.wavelengths) + ") is empty");
   RwaResult result;
   result.paths.resize(transfers.size());
   OccupancyMap occupancy(ring.size(), options);
@@ -154,6 +164,9 @@ RwaResult assign_wavelengths(const topo::Ring& ring,
 RoundsResult assign_rounds(const topo::Ring& ring,
                            std::span<const coll::Transfer> transfers,
                            const RwaOptions& options, Rng* rng) {
+  require(options.wavelength_lo < options.wavelengths,
+          "RWA: leased slice [" + std::to_string(options.wavelength_lo) +
+              ", " + std::to_string(options.wavelengths) + ") is empty");
   RoundsResult result;
   std::vector<std::size_t> remaining = order_by_hops(ring, transfers);
 
@@ -179,7 +192,7 @@ RoundsResult assign_rounds(const topo::Ring& ring,
       throw InfeasibleSchedule(
           "RWA: a transfer cannot be routed even in an empty round "
           "(wavelength budget " +
-          std::to_string(options.wavelengths) + ")");
+          std::to_string(options.wavelengths - options.wavelength_lo) + ")");
     }
     result.rounds.push_back(std::move(round));
     result.paths.push_back(std::move(paths));
@@ -191,22 +204,7 @@ RoundsResult assign_rounds(const topo::Ring& ring,
 unsigned resolve_rwa_threads(unsigned threads) {
   if (threads > 0) return threads;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  if (const char* env = std::getenv("WRHT_RWA_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    const long parsed = std::strtol(env, &end, 10);
-    // Same validation as WRHT_SWEEP_THREADS: only a fully-consumed positive
-    // integer within range counts; anything else warns and falls back.
-    if (end != env && *end == '\0' && errno == 0 && parsed > 0 &&
-        parsed <= 65536) {
-      return static_cast<unsigned>(parsed);
-    }
-    WRHT_LOG_WARN << "WRHT_RWA_THREADS='" << env
-                  << "' is not a positive integer (max 65536); "
-                     "falling back to hardware concurrency ("
-                  << hw << ")";
-  }
-  return hw;
+  return thread_count_from_env("WRHT_RWA_THREADS", hw);
 }
 
 std::vector<RoundsResult> assign_rounds_batch(const std::vector<RwaStep>& steps,

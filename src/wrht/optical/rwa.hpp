@@ -36,6 +36,13 @@ struct RwaOptions {
   std::uint32_t wavelengths = 64;
   std::uint32_t fibers_per_direction = 1;
   RwaPolicy policy = RwaPolicy::kFirstFit;
+  /// First wavelength index the assignment may use: both policies scan
+  /// [wavelength_lo, wavelengths) only, so a tenant holding a
+  /// net::ResourceLease on that slice never collides with its neighbours.
+  /// The default 0 (with `wavelengths` = fiber width) is the historical
+  /// exclusive-fabric behaviour. Assigned Lightpath::wavelength indices
+  /// stay absolute (fiber-relative, not slice-relative).
+  std::uint32_t wavelength_lo = 0;
 };
 
 struct RwaResult {

@@ -52,6 +52,7 @@ TorusNetwork::TorusNetwork(const topo::Torus& torus, OpticalConfig config)
       row_ring_(torus.cols()),
       col_ring_(torus.rows()) {
   require(config.wavelengths >= 1, "TorusNetwork: need >= 1 wavelength");
+  config.lease.validate(config.wavelengths);
 }
 
 OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
@@ -66,8 +67,7 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
           "TorusNetwork: schedule spans more nodes than the torus");
   schedule.validate();
 
-  const RwaOptions options{config_.wavelengths, config_.fibers_per_direction,
-                           config_.rwa_policy};
+  const RwaOptions options = config_.rwa_options();
 
   OpticalRunResult result;
   result.steps = schedule.num_steps();

@@ -20,10 +20,20 @@ EventId EventQueue::schedule(Seconds when, EventFn fn) {
 
 void EventQueue::cancel(EventId id) {
   require(id < cancelled_.size(), "EventQueue: unknown event id");
+  // cancelled_ doubles as a fired marker (pop() sets it), so cancelling an
+  // already-fired id neither double-decrements live_count_ nor resurrects
+  // the slot.
   if (!cancelled_[id]) {
     cancelled_[id] = true;
     --live_count_;
   }
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  callbacks_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
 }
 
 void EventQueue::reserve(std::size_t n) {
@@ -58,7 +68,8 @@ EventQueue::Fired EventQueue::pop() {
   heap_.pop_back();
   --live_count_;
   EventFn fn = std::move(callbacks_[top.id]);
-  callbacks_[top.id] = nullptr;  // release captured state eagerly
+  callbacks_[top.id] = nullptr;   // release captured state eagerly
+  cancelled_[top.id] = true;      // a late cancel() of this id is a no-op
   return Fired{Seconds(top.time), std::move(fn)};
 }
 

@@ -21,7 +21,14 @@ class EventQueue {
   EventId schedule(Seconds when, EventFn fn);
 
   /// Marks the event cancelled; it is skipped when popped. O(1).
+  /// Cancelling an id that already fired (or was already cancelled) is a
+  /// no-op — long-lived service loops cancel completion events without
+  /// tracking whether they raced the firing.
   void cancel(EventId id);
+
+  /// Drops every event (fired, live and cancelled) and releases their
+  /// storage; ids from before the clear are no longer valid.
+  void clear();
 
   /// Pre-sizes heap and callback storage for `n` total scheduled events
   /// (not just concurrently-live ones — ids index into callback storage).

@@ -4,6 +4,11 @@
 
 namespace wrht::sim {
 
+void Simulator::reset(Seconds start) {
+  queue_.clear();
+  now_ = start;
+}
+
 EventId Simulator::schedule_in(Seconds delay, EventFn fn) {
   require(delay.count() >= 0.0, "Simulator: negative delay");
   return queue_.schedule(now_ + delay, std::move(fn));

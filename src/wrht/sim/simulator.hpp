@@ -12,8 +12,19 @@ namespace wrht::sim {
 
 class Simulator {
  public:
+  Simulator() = default;
+  /// Starts the clock at `start` instead of zero — a job entering a
+  /// long-lived fabric simulation mid-stream prices against absolute time.
+  explicit Simulator(Seconds start) : now_(start) {}
+
   /// Current simulation time.
   [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Drops every pending event and rewinds the clock to `start`. The
+  /// lifetime events_fired() counter survives — it tracks the simulator,
+  /// not one run. Makes an engine-owned simulator reusable across
+  /// execute() calls without reconstructing captured state.
+  void reset(Seconds start = Seconds(0.0));
 
   /// Schedules `fn` to fire `delay` after the current time.
   EventId schedule_in(Seconds delay, EventFn fn);

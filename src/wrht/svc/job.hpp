@@ -1,0 +1,55 @@
+// One all-reduce training job offered to the shared fabric.
+//
+// A job names a DNN workload (gradient payload + iteration count), the
+// number of ranks it spans, and the contiguous wavelength slice width it
+// needs. The service grants exactly the requested width as a
+// net::ResourceLease and prices each gradient synchronization with the
+// wrht::plan closed forms at that width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "wrht/common/units.hpp"
+#include "wrht/net/resource_lease.hpp"
+#include "wrht/plan/schedule_planner.hpp"
+
+namespace wrht::svc {
+
+struct Job {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  /// Model the gradient payload came from ("" for synthetic payloads).
+  std::string model;
+  /// Ranks participating in the all-reduce (>= 2).
+  std::uint32_t num_nodes = 0;
+  /// Gradient elements per synchronization (float32).
+  std::size_t elements = 0;
+  /// Gradient synchronizations before the job completes (>= 1).
+  std::uint32_t iterations = 1;
+  /// Contiguous wavelengths requested; granted exactly, never partially.
+  std::uint32_t width = 1;
+  /// Larger runs first under the priority policy; ignored elsewhere.
+  std::uint32_t priority = 0;
+  /// Absolute offered time on the fabric clock.
+  Seconds arrival{0.0};
+};
+
+/// A completed job with its placement and timeline on the fabric clock.
+struct JobRecord {
+  Job job;
+  /// Slice the job ran on ([w_lo, w_lo + width) at the job's tenant).
+  net::ResourceLease lease;
+  /// All-reduce algorithm the planner picked at the granted width.
+  plan::CandidateKind algorithm = plan::CandidateKind::kWrht;
+  Seconds grant{0.0};
+  Seconds completion{0.0};
+
+  [[nodiscard]] Seconds queue_wait() const { return grant - job.arrival; }
+  [[nodiscard]] Seconds service_time() const { return completion - grant; }
+  /// Job completion time, the SLO currency: queueing + service.
+  [[nodiscard]] Seconds jct() const { return completion - job.arrival; }
+};
+
+}  // namespace wrht::svc

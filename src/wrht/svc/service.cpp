@@ -1,0 +1,252 @@
+#include "wrht/svc/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "wrht/common/error.hpp"
+#include "wrht/common/stats.hpp"
+#include "wrht/prof/prof.hpp"
+
+namespace wrht::svc {
+
+WavelengthAllocator::WavelengthAllocator(std::uint32_t fabric_width)
+    : fabric_(fabric_width) {
+  require(fabric_ >= 1, "WavelengthAllocator: empty fabric");
+  free_.push_back(Interval{0, fabric_});
+}
+
+bool WavelengthAllocator::fits(std::uint32_t width) const {
+  for (const Interval& iv : free_) {
+    if (iv.hi - iv.lo >= width) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> WavelengthAllocator::allocate(
+    std::uint32_t width) {
+  require(width >= 1, "WavelengthAllocator: zero-width allocation");
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].hi - free_[i].lo < width) continue;
+    const std::uint32_t lo = free_[i].lo;
+    free_[i].lo += width;
+    if (free_[i].lo == free_[i].hi) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return lo;
+  }
+  return std::nullopt;
+}
+
+void WavelengthAllocator::release(std::uint32_t w_lo, std::uint32_t width) {
+  require(width >= 1 && w_lo + width <= fabric_,
+          "WavelengthAllocator: release outside the fabric");
+  const Interval freed{w_lo, w_lo + width};
+  // Insertion point: first free interval at or past the freed slice.
+  std::size_t i = 0;
+  while (i < free_.size() && free_[i].lo < freed.lo) ++i;
+  require((i == 0 || free_[i - 1].hi <= freed.lo) &&
+              (i == free_.size() || freed.hi <= free_[i].lo),
+          "WavelengthAllocator: double free or overlapping release");
+  free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(i), freed);
+  // Coalesce with the right neighbour, then the left.
+  if (i + 1 < free_.size() && free_[i].hi == free_[i + 1].lo) {
+    free_[i].hi = free_[i + 1].hi;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  }
+  if (i > 0 && free_[i - 1].hi == free_[i].lo) {
+    free_[i - 1].hi = free_[i].hi;
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+std::uint32_t WavelengthAllocator::free_width() const {
+  std::uint32_t total = 0;
+  for (const Interval& iv : free_) total += iv.hi - iv.lo;
+  return total;
+}
+
+std::string TenantStats::bottleneck() const {
+  return mean_queue_wait > mean_service_time ? "queue-bound"
+                                             : "service-bound";
+}
+
+std::string ServiceReport::to_string() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "policy=%s fabric=%uλ jobs=%zu makespan=%.3fs util=%.1f%% "
+                "p50_jct=%.3fs p99_jct=%.3fs mean_wait=%.3fs\n",
+                svc::to_string(policy).c_str(), fabric_wavelengths,
+                records.size(), makespan.count(), utilization * 100.0,
+                p50_jct.count(), p99_jct.count(), mean_queue_wait.count());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-8s %5s %10s %10s %11s %11s %s\n",
+                "tenant", "jobs", "p50_jct", "p99_jct", "mean_wait",
+                "mean_svc", "bottleneck");
+  out += line;
+  for (const TenantStats& t : tenants) {
+    std::snprintf(line, sizeof(line),
+                  "%-8u %5llu %9.3fs %9.3fs %10.3fs %10.3fs %s\n", t.tenant,
+                  static_cast<unsigned long long>(t.jobs), t.p50_jct.count(),
+                  t.p99_jct.count(), t.mean_queue_wait.count(),
+                  t.mean_service_time.count(), t.bottleneck().c_str());
+    out += line;
+  }
+  return out;
+}
+
+FabricService::FabricService(ServiceConfig config)
+    : config_(std::move(config)),
+      policy_(make_policy(config_.policy)),
+      allocator_(config_.fabric_wavelengths) {
+  simulator_.set_counters(config_.counters);
+}
+
+std::pair<Seconds, plan::CandidateKind> FabricService::price_iteration(
+    const Job& job) const {
+  plan::PlannerOptions options = config_.planner;
+  options.wavelengths = job.width;
+  std::optional<std::pair<Seconds, plan::CandidateKind>> best;
+  for (const plan::CandidateKind kind :
+       {plan::CandidateKind::kWrht, plan::CandidateKind::kFlatAllToAll,
+        plan::CandidateKind::kStaticRing}) {
+    const plan::Candidate c =
+        plan::predict(kind, job.num_nodes, job.elements, options);
+    if (!c.feasible) continue;
+    // Ties go to the earlier enum value, matching plan_allreduce().
+    if (!best || c.predicted_time < best->first) {
+      best = {c.predicted_time, kind};
+    }
+  }
+  require(best.has_value(), "FabricService: no feasible all-reduce plan for "
+                            "job at width " +
+                                std::to_string(job.width));
+  return *best;
+}
+
+void FabricService::try_admit() {
+  AdmissionContext ctx;
+  ctx.fits = [this](std::uint32_t width) { return allocator_.fits(width); };
+  ctx.weighted_consumption = [this](std::uint32_t tenant) {
+    const auto it = consumed_.find(tenant);
+    const double consumed = it == consumed_.end() ? 0.0 : it->second;
+    const auto weight = config_.tenant_weights.find(tenant);
+    return consumed /
+           (weight == config_.tenant_weights.end() ? 1.0 : weight->second);
+  };
+
+  for (std::size_t picked = policy_->select(queue_, ctx);
+       picked != AdmissionPolicy::kNone;
+       picked = policy_->select(queue_, ctx)) {
+    Job job = std::move(queue_[picked]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(picked));
+
+    const std::optional<std::uint32_t> w_lo = allocator_.allocate(job.width);
+    require(w_lo.has_value(),
+            "FabricService: policy admitted a job that does not fit");
+
+    JobRecord record;
+    record.lease = net::slice_lease(*w_lo, job.width, job.tenant);
+    const auto [iteration_time, algorithm] = price_iteration(job);
+    record.algorithm = algorithm;
+    record.grant = simulator_.now();
+    const Seconds service(iteration_time.count() * job.iterations);
+    record.completion = record.grant + service;
+    // Charge the grant immediately so weighted-fair sees in-flight work.
+    consumed_[job.tenant] += static_cast<double>(job.width) * service.count();
+    record.job = std::move(job);
+    if (config_.counters != nullptr) config_.counters->add("svc.grants", 1);
+
+    simulator_.schedule_in(service, [this, record]() {
+      allocator_.release(record.lease.w_lo, record.job.width);
+      completed_.push_back(record);
+      if (config_.counters != nullptr) {
+        config_.counters->add("svc.completions", 1);
+      }
+      try_admit();
+    });
+  }
+}
+
+ServiceReport FabricService::run(const std::vector<Job>& jobs) {
+  const prof::ScopedTimer timer("svc.run");
+  // Long-lived simulator, fresh run: satellite state rewinds, the
+  // lifetime events_fired counter keeps counting.
+  simulator_.reset();
+  allocator_ = WavelengthAllocator(config_.fabric_wavelengths);
+  queue_.clear();
+  completed_.clear();
+  consumed_.clear();
+
+  for (const Job& job : jobs) {
+    require(job.num_nodes >= 2, "FabricService: job needs >= 2 nodes");
+    require(job.iterations >= 1, "FabricService: job needs >= 1 iteration");
+    require(job.width >= 1 &&
+                job.width <= config_.fabric_wavelengths,
+            "FabricService: job " + std::to_string(job.id) + " wants " +
+                std::to_string(job.width) + " of " +
+                std::to_string(config_.fabric_wavelengths) + " wavelengths");
+    simulator_.schedule_at(job.arrival, [this, job]() {
+      queue_.push_back(job);
+      if (config_.counters != nullptr) config_.counters->add("svc.arrivals", 1);
+      try_admit();
+    });
+  }
+  simulator_.run();
+  require(queue_.empty(), "FabricService: run ended with jobs still queued");
+
+  ServiceReport report;
+  report.policy = config_.policy;
+  report.fabric_wavelengths = config_.fabric_wavelengths;
+  report.records = completed_;
+  if (report.records.empty()) return report;
+
+  std::vector<double> jct;
+  double wait_sum = 0.0;
+  double wavelength_seconds = 0.0;
+  std::map<std::uint32_t, std::vector<const JobRecord*>> by_tenant;
+  for (const JobRecord& r : report.records) {
+    jct.push_back(r.jct().count());
+    wait_sum += r.queue_wait().count();
+    wavelength_seconds +=
+        static_cast<double>(r.job.width) * r.service_time().count();
+    report.makespan = std::max(report.makespan, r.completion);
+    by_tenant[r.job.tenant].push_back(&r);
+  }
+  report.p50_jct = Seconds(percentile(jct, 0.5));
+  report.p99_jct = Seconds(percentile(jct, 0.99));
+  report.mean_queue_wait =
+      Seconds(wait_sum / static_cast<double>(report.records.size()));
+  if (report.makespan.count() > 0.0) {
+    report.utilization =
+        wavelength_seconds /
+        (static_cast<double>(config_.fabric_wavelengths) *
+         report.makespan.count());
+  }
+
+  for (const auto& [tenant, records] : by_tenant) {
+    TenantStats stats;
+    stats.tenant = tenant;
+    stats.jobs = records.size();
+    std::vector<double> tenant_jct;
+    double wait = 0.0;
+    double service = 0.0;
+    for (const JobRecord* r : records) {
+      tenant_jct.push_back(r->jct().count());
+      wait += r->queue_wait().count();
+      service += r->service_time().count();
+      stats.wavelength_seconds +=
+          static_cast<double>(r->job.width) * r->service_time().count();
+    }
+    const auto n = static_cast<double>(records.size());
+    stats.p50_jct = Seconds(percentile(tenant_jct, 0.5));
+    stats.p99_jct = Seconds(percentile(tenant_jct, 0.99));
+    stats.mean_queue_wait = Seconds(wait / n);
+    stats.mean_service_time = Seconds(service / n);
+    report.tenants.push_back(std::move(stats));
+  }
+  return report;
+}
+
+}  // namespace wrht::svc

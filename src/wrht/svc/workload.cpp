@@ -1,0 +1,97 @@
+#include "wrht/svc/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wrht/common/error.hpp"
+#include "wrht/common/rng.hpp"
+#include "wrht/dnn/zoo.hpp"
+
+namespace wrht::svc {
+
+namespace {
+
+/// Exponential gap with the configured mean (inverse-CDF of a uniform
+/// draw, clamped away from u = 1).
+Seconds exponential_gap(Rng& rng, Seconds mean) {
+  const double u = std::min(rng.uniform_real(0.0, 1.0), 1.0 - 1e-12);
+  return Seconds(-mean.count() * std::log1p(-u));
+}
+
+/// Bounded Pareto factor in [1, 50] with tail index 1.2 — heavy enough
+/// that a few inter-burst gaps dominate the trace, bounded so a single
+/// draw cannot push the makespan off to infinity.
+double pareto_factor(Rng& rng) {
+  const double u = std::min(rng.uniform_real(0.0, 1.0), 1.0 - 1e-12);
+  return std::min(std::pow(1.0 - u, -1.0 / 1.2), 50.0);
+}
+
+}  // namespace
+
+std::vector<Job> generate_workload(const WorkloadConfig& config) {
+  require(config.num_jobs >= 1, "generate_workload: num_jobs must be >= 1");
+  require(config.num_tenants >= 1,
+          "generate_workload: num_tenants must be >= 1");
+  require(config.num_nodes >= 2, "generate_workload: num_nodes must be >= 2");
+  require(config.fabric_wavelengths >= 8,
+          "generate_workload: fabric must be at least 8 wavelengths (width "
+          "classes are fabric/8 .. fabric)");
+  require(config.min_iterations >= 1 &&
+              config.min_iterations <= config.max_iterations,
+          "generate_workload: bad iteration range");
+  require(config.burstiness >= 0.0 && config.burstiness <= 1.0,
+          "generate_workload: burstiness must be in [0, 1]");
+  require(config.burst_length >= 1,
+          "generate_workload: burst_length must be >= 1");
+
+  Rng rng(config.seed);
+  const std::vector<dnn::Model> models = dnn::paper_workloads();
+  const std::uint32_t width_classes[4] = {
+      config.fabric_wavelengths / 8, config.fabric_wavelengths / 4,
+      config.fabric_wavelengths / 2, config.fabric_wavelengths};
+
+  std::vector<Job> jobs;
+  jobs.reserve(config.num_jobs);
+  Seconds clock{0.0};
+  std::uint32_t burst_left = 0;
+  while (jobs.size() < config.num_jobs) {
+    if (burst_left > 0) {
+      // Burst members land almost on top of each other: the queue fills
+      // faster than the fabric drains, which is the regime where the
+      // admission order matters.
+      clock += Seconds(exponential_gap(rng, config.mean_interarrival).count() *
+                       0.01);
+      --burst_left;
+    } else {
+      Seconds gap = exponential_gap(rng, config.mean_interarrival);
+      if (config.burstiness > 0.0) {
+        if (rng.uniform_real(0.0, 1.0) < config.burstiness) {
+          burst_left = config.burst_length - 1;
+        } else {
+          // Stretch the quiet period between bursts so the mean offered
+          // load stays comparable to the pure-Poisson trace.
+          gap = Seconds(gap.count() * pareto_factor(rng));
+        }
+      }
+      clock += gap;
+    }
+
+    Job job;
+    job.id = jobs.size();
+    job.tenant =
+        static_cast<std::uint32_t>(rng.uniform_int(0, config.num_tenants - 1));
+    const dnn::Model& model = models[jobs.size() % models.size()];
+    job.model = model.name();
+    job.num_nodes = config.num_nodes;
+    job.elements = static_cast<std::size_t>(model.parameter_count());
+    job.iterations = static_cast<std::uint32_t>(
+        rng.uniform_int(config.min_iterations, config.max_iterations));
+    job.width = width_classes[rng.uniform_int(0, 3)];
+    job.priority = static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+    job.arrival = clock;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace wrht::svc

@@ -1,0 +1,49 @@
+// Seeded synthetic workload generator for the shared-fabric service.
+//
+// Two arrival regimes over the dnn zoo models:
+//   * Poisson — independent exponential inter-arrival gaps at a chosen
+//     offered load.
+//   * heavy-tailed bursty — the same Poisson baseline, but each arrival
+//     may open a burst (a run of near-simultaneous jobs) and the gaps
+//     between bursts stretch by a bounded-Pareto factor. Mean load is
+//     comparable; the tail is what separates admission policies.
+//
+// Everything draws from one wrht::Rng, so a (config, seed) pair is a
+// reproducible trace — the policy bake-off bench compares policies on
+// byte-identical offered workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wrht/svc/job.hpp"
+
+namespace wrht::svc {
+
+struct WorkloadConfig {
+  std::uint32_t num_jobs = 64;
+  std::uint32_t num_tenants = 4;
+  /// Ranks per job (every job spans the same machine pool).
+  std::uint32_t num_nodes = 64;
+  /// Fabric width the slice demands are drawn against: jobs request
+  /// fabric/8, fabric/4, fabric/2 or the full fabric.
+  std::uint32_t fabric_wavelengths = 64;
+  /// Mean Poisson inter-arrival gap; smaller = higher offered load.
+  Seconds mean_interarrival{0.05};
+  /// Probability an arrival opens a burst of `burst_length` jobs landing
+  /// ~simultaneously. 0 keeps the trace pure Poisson.
+  double burstiness = 0.0;
+  std::uint32_t burst_length = 4;
+  /// Gradient syncs per job, uniform in [min_iterations, max_iterations].
+  std::uint32_t min_iterations = 1;
+  std::uint32_t max_iterations = 3;
+  std::uint64_t seed = 2023;
+};
+
+/// Generates `config.num_jobs` jobs in arrival order. Models cycle through
+/// the paper's evaluation set (BEiT-L, VGG16, AlexNet, ResNet50) with the
+/// payload drawn from the model's real gradient size; tenants, widths,
+/// priorities and iteration counts are drawn from the seeded Rng.
+[[nodiscard]] std::vector<Job> generate_workload(const WorkloadConfig& config);
+
+}  // namespace wrht::svc

@@ -35,6 +35,7 @@ void legalize(FuzzCase& c) {
   c.elements = std::max<std::size_t>(c.elements, 1);
   c.group_size = std::max<std::uint32_t>(c.group_size, 2);
   c.wavelengths = std::max<std::uint32_t>(c.wavelengths, 1);
+  if (c.leased()) c.w_hi = std::max(c.w_hi, c.w_lo + 1);
   if (c.algorithm == "ring" || c.algorithm == "hring" ||
       c.algorithm == "halving_doubling" ||
       c.algorithm == "plan:static_ring" || c.algorithm == "plan:flat_a2a") {
@@ -62,6 +63,15 @@ FuzzCase sample(Rng& rng, const std::vector<std::string>& algorithms,
       case 1: c.reconfig_policy = net::ReconfigPolicy::kOnRetune; break;
       default: c.reconfig_policy = net::ReconfigPolicy::kOverlapped; break;
     }
+  }
+  if (options.draw_leases && rng.uniform_int(0, 2) == 0) {
+    // Slice width up to the schedule's wavelength budget, so the draw
+    // covers both comfortable slices and multi-round starvation inside
+    // one; a nonzero w_lo makes the offset part of the invariant real.
+    const std::uint32_t width = static_cast<std::uint32_t>(
+        rng.uniform_int(1, c.wavelengths));
+    c.w_lo = static_cast<std::uint32_t>(rng.uniform_int(0, 12));
+    c.w_hi = c.w_lo + width;
   }
   legalize(c);
   return c;
@@ -98,7 +108,9 @@ FuzzFailure shrink_failure(const FuzzCase& first, const CheckResult& found) {
         candidate.elements == best.config.elements &&
         candidate.group_size == best.config.group_size &&
         candidate.wavelengths == best.config.wavelengths &&
-        candidate.reconfig_policy == best.config.reconfig_policy) {
+        candidate.reconfig_policy == best.config.reconfig_policy &&
+        candidate.w_lo == best.config.w_lo &&
+        candidate.w_hi == best.config.w_hi) {
       return false;
     }
     const CheckResult r = check_case(candidate);
@@ -120,6 +132,18 @@ FuzzFailure shrink_failure(const FuzzCase& first, const CheckResult& found) {
     { FuzzCase t = best.config; t.group_size -= 1; progress |= try_case(t); }
     { FuzzCase t = best.config; t.wavelengths = (t.wavelengths + 1) / 2; progress |= try_case(t); }
     { FuzzCase t = best.config; t.wavelengths -= 1; progress |= try_case(t); }
+    // Lease: drop it entirely first, else narrow the slice and slide it
+    // down toward wavelength 0.
+    if (best.config.leased()) {
+      { FuzzCase t = best.config; t.w_lo = 0; t.w_hi = 0;
+        progress |= try_case(t); }
+      { FuzzCase t = best.config;
+        t.w_hi = t.w_lo + std::max<std::uint32_t>(1, (t.w_hi - t.w_lo) / 2);
+        progress |= try_case(t); }
+      { FuzzCase t = best.config;
+        if (t.w_lo > 0) { t.w_lo -= 1; t.w_hi -= 1; progress |= try_case(t); }
+      }
+    }
     // Policy last: a failure that survives under the serial default is the
     // simplest reproducer.
     { FuzzCase t = best.config;
@@ -132,17 +156,28 @@ FuzzFailure shrink_failure(const FuzzCase& first, const CheckResult& found) {
 }  // namespace
 
 std::string FuzzCase::to_string() const {
-  return algorithm + "(N=" + std::to_string(num_nodes) +
-         ", elements=" + std::to_string(elements) +
-         ", m=" + std::to_string(group_size) +
-         ", w=" + std::to_string(wavelengths) +
-         ", policy=" + net::to_string(reconfig_policy) + ")";
+  std::string s = algorithm + "(N=" + std::to_string(num_nodes) +
+                  ", elements=" + std::to_string(elements) +
+                  ", m=" + std::to_string(group_size) +
+                  ", w=" + std::to_string(wavelengths) +
+                  ", policy=" + net::to_string(reconfig_policy);
+  if (leased()) {
+    s += ", lease=[" + std::to_string(w_lo) + ", " + std::to_string(w_hi) +
+         ")";
+  }
+  return s + ")";
 }
 
 std::string FuzzCase::serialize() const {
-  return algorithm + " " + std::to_string(num_nodes) + " " +
-         std::to_string(elements) + " " + std::to_string(group_size) + " " +
-         std::to_string(wavelengths) + " " + net::to_string(reconfig_policy);
+  std::string s = algorithm + " " + std::to_string(num_nodes) + " " +
+                  std::to_string(elements) + " " +
+                  std::to_string(group_size) + " " +
+                  std::to_string(wavelengths) + " " +
+                  net::to_string(reconfig_policy);
+  if (leased()) {
+    s += " " + std::to_string(w_lo) + " " + std::to_string(w_hi);
+  }
+  return s;
 }
 
 FuzzCase FuzzCase::parse(const std::string& line) {
@@ -151,11 +186,26 @@ FuzzCase FuzzCase::parse(const std::string& line) {
   std::string policy;
   in >> c.algorithm >> c.num_nodes >> c.elements >> c.group_size >>
       c.wavelengths >> policy;
-  require(!in.fail(), "FuzzCase::parse: malformed line '" + line +
-                          "' (want: algorithm N elements m w policy)");
-  std::string rest;
-  in >> rest;
-  require(rest.empty(), "FuzzCase::parse: trailing tokens in '" + line + "'");
+  require(!in.fail(),
+          "FuzzCase::parse: malformed line '" + line +
+              "' (want: algorithm N elements m w policy [w_lo w_hi])");
+  // Optional lease slice: exactly two more integer tokens.
+  std::string lo_token;
+  if (in >> lo_token) {
+    std::istringstream lease(lo_token);
+    lease >> c.w_lo;
+    const bool lo_ok = !lease.fail() && lease.eof();
+    in >> c.w_hi;
+    require(lo_ok && !in.fail(),
+            "FuzzCase::parse: malformed lease tokens in '" + line +
+                "' (want: w_lo w_hi)");
+    require(c.w_lo < c.w_hi, "FuzzCase::parse: empty lease slice in '" +
+                                 line + "'");
+    std::string rest;
+    in >> rest;
+    require(rest.empty(),
+            "FuzzCase::parse: trailing tokens in '" + line + "'");
+  }
   c.reconfig_policy = parse_policy(policy);
   require(c.num_nodes >= 2 && c.elements >= 1 && c.group_size >= 2 &&
               c.wavelengths >= 1,
@@ -227,6 +277,69 @@ CheckResult check_case(const FuzzCase& c) {
                                        c.wavelengths));
     result.merge(check_wrht_wavelength_discipline(
         *schedule, c.num_nodes, c.group_size, c.wavelengths));
+  }
+
+  // Slice equivalence: confining the run to the leased [w_lo, w_hi) of a
+  // w_hi-wavelength fabric must price EXACTLY like owning a dedicated
+  // (w_hi - w_lo)-wavelength fabric — same time, steps and rounds, every
+  // step's wavelengths_used offset by w_lo. This is the contract that lets
+  // the svc layer slice one fabric across tenants without re-deriving any
+  // engine behaviour.
+  if (c.leased()) {
+    const std::uint32_t slice = c.w_hi - c.w_lo;
+    optics::OpticalConfig base;
+    base.reconfig_policy = c.reconfig_policy;
+    base.validate_node_capacity = false;
+    optics::OpticalConfig leased = base;
+    leased.wavelengths = c.w_hi;
+    leased.lease = net::ResourceLease{c.w_lo, c.w_hi, /*tenant=*/0};
+    optics::OpticalConfig narrow = base;
+    narrow.wavelengths = slice;
+    const optics::RingBackend leased_backend(c.num_nodes, leased,
+                                             /*rng_seed=*/2023,
+                                             /*collect_utilization=*/false);
+    const optics::RingBackend narrow_backend(c.num_nodes, narrow,
+                                             /*rng_seed=*/2023,
+                                             /*collect_utilization=*/false);
+    try {
+      const RunReport a = leased_backend.execute(*schedule, obs::Probe{});
+      const RunReport b = narrow_backend.execute(*schedule, obs::Probe{});
+      if (a.total_time != b.total_time || a.steps != b.steps ||
+          a.step_reports.size() != b.step_reports.size()) {
+        result.add("fuzz.lease.equivalence",
+                   c.to_string() + ": leased run (" +
+                       std::to_string(a.total_time.count()) + "s, " +
+                       std::to_string(a.steps) + " steps) != full run on a " +
+                       std::to_string(slice) + "-wavelength fabric (" +
+                       std::to_string(b.total_time.count()) + "s, " +
+                       std::to_string(b.steps) + " steps)");
+      } else {
+        for (std::size_t s = 0; s < a.step_reports.size(); ++s) {
+          const StepReport& sa = a.step_reports[s];
+          const StepReport& sb = b.step_reports[s];
+          const std::uint32_t expect_used =
+              sb.wavelengths_used == 0 ? 0 : sb.wavelengths_used + c.w_lo;
+          if (sa.duration != sb.duration || sa.rounds != sb.rounds ||
+              sa.wavelengths_used != expect_used) {
+            result.add(
+                "fuzz.lease.equivalence",
+                c.to_string() + ": step " + std::to_string(s) +
+                    " diverges under the lease (duration " +
+                    std::to_string(sa.duration.count()) + "s vs " +
+                    std::to_string(sb.duration.count()) + "s, rounds " +
+                    std::to_string(sa.rounds) + " vs " +
+                    std::to_string(sb.rounds) + ", wavelengths_used " +
+                    std::to_string(sa.wavelengths_used) + " vs expected " +
+                    std::to_string(expect_used) + ")");
+            break;
+          }
+        }
+      }
+    } catch (const Error& e) {
+      result.add("fuzz.lease.equivalence",
+                 c.to_string() + ": leased/narrow execution failed: " +
+                     e.what());
+    }
   }
 
   // Differential pricing: event-driven simulator vs Eq. (6). The

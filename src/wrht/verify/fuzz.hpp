@@ -1,14 +1,18 @@
 // Differential fuzzing over the collective registry.
 //
-// Draws random (algorithm, N, elements, m, w, reconfig-policy)
-// configurations from a seeded Rng, builds the schedule through
+// Draws random (algorithm, N, elements, m, w, reconfig-policy,
+// wavelength-lease) configurations from a seeded Rng, builds the schedule
+// through
 // coll::Registry — or through plan::build_candidate for the planner
 // pseudo-algorithms "plan:wrht" / "plan:flat_a2a" / "plan:static_ring" —
 // and subjects it to every applicable oracle: the data-level correctness
 // proof, the structural and RWA invariants, the WRHT-specific
 // hierarchy/step/wavelength checks, the simulator-vs-Eq.(6) differential,
-// and (for non-default policies) the reconfiguration-accounting
-// monotonicity and overlap-consistency checks. Failures are collected
+// (for non-default policies) the reconfiguration-accounting monotonicity
+// and overlap-consistency checks, and (for leased draws) the
+// slice-equivalence invariant — a run confined to [w_lo, w_hi) of a
+// shared fabric prices exactly like a full run on a dedicated
+// (w_hi - w_lo)-wavelength one. Failures are collected
 // (never thrown) and the first failing configuration is greedily shrunk
 // toward a minimal reproducer so the report names the smallest broken
 // case, not a 96-node haystack.
@@ -46,6 +50,10 @@ struct FuzzOptions {
   bool draw_planner_candidates = true;
   /// Draw a net::ReconfigPolicy per case instead of pinning kEveryRound.
   bool draw_reconfig_policy = true;
+  /// Draw leased wavelength slices (about a third of cases): the run is
+  /// confined to [w_lo, w_hi) of a w_hi-wavelength fabric and must price
+  /// identically to a full run on a (w_hi - w_lo)-wavelength fabric.
+  bool draw_leases = true;
   /// Greedily shrink the first failure toward a minimal reproducer.
   bool shrink = true;
 };
@@ -63,10 +71,20 @@ struct FuzzCase {
   /// it); non-default policies add monotonicity and, for kOverlapped, the
   /// overlap-consistency invariants on top.
   net::ReconfigPolicy reconfig_policy = net::ReconfigPolicy::kEveryRound;
+  /// Leased wavelength slice [w_lo, w_hi) on a w_hi-wavelength fabric;
+  /// w_lo == w_hi == 0 (the ResourceLease sentinel) means no lease draw.
+  /// When set, check_case adds the slice-equivalence invariant: the leased
+  /// run must match a full-fabric run on a (w_hi - w_lo)-wavelength fiber
+  /// exactly (time, steps, rounds; wavelengths_used offset by w_lo).
+  std::uint32_t w_lo = 0;
+  std::uint32_t w_hi = 0;
+
+  [[nodiscard]] bool leased() const { return w_lo != 0 || w_hi != 0; }
 
   [[nodiscard]] std::string to_string() const;
 
-  /// One-line corpus form: "algorithm N elements m w policy". Round-trips
+  /// One-line corpus form: "algorithm N elements m w policy" for unleased
+  /// cases, with " w_lo w_hi" appended for leased ones. Round-trips
   /// through parse(); used by tests/corpus/fuzz_regressions.txt.
   [[nodiscard]] std::string serialize() const;
   /// Parses serialize() output (leading/trailing spaces tolerated). Throws

@@ -1,0 +1,72 @@
+#include "wrht/common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace wrht {
+namespace {
+
+constexpr const char* kVar = "WRHT_TEST_THREADS";
+
+/// Sets kVar for one test and restores the pristine (unset) state after.
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv(kVar); }
+
+  static void set(const std::string& value) {
+    setenv(kVar, value.c_str(), /*overwrite=*/1);
+  }
+};
+
+TEST_F(EnvTest, UnsetReturnsFallback) {
+  unsetenv(kVar);
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+}
+
+TEST_F(EnvTest, ValidPositiveIntegerParses) {
+  set("12");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 12u);
+  set("1");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 1u);
+  set(std::to_string(kMaxEnvThreads));
+  EXPECT_EQ(thread_count_from_env(kVar, 7), kMaxEnvThreads);
+}
+
+TEST_F(EnvTest, ZeroFallsBack) {
+  // 0 workers would deadlock a pool; never accepted.
+  set("0");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+}
+
+TEST_F(EnvTest, NegativeFallsBack) {
+  // A negative cast to unsigned would spawn billions of workers.
+  set("-3");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+}
+
+TEST_F(EnvTest, TrailingGarbageFallsBack) {
+  set("8x");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+  set("8 ");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+  set("abc");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+  set("");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+}
+
+TEST_F(EnvTest, AboveCeilingFallsBack) {
+  set(std::to_string(kMaxEnvThreads + 1));
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+}
+
+TEST_F(EnvTest, LongOverflowFallsBack) {
+  // Larger than any long: strtol sets errno = ERANGE.
+  set("99999999999999999999999999");
+  EXPECT_EQ(thread_count_from_env(kVar, 7), 7u);
+}
+
+}  // namespace
+}  // namespace wrht

@@ -81,6 +81,50 @@ TEST(EventQueue, Validation) {
   EXPECT_THROW(q.next_time(), InvalidArgument);
 }
 
+TEST(EventQueue, CancelOfFiredEventIsNoOp) {
+  EventQueue q;
+  const EventId fired = q.schedule(Seconds(1.0), [] {});
+  const EventId live = q.schedule(Seconds(2.0), [] {});
+  q.pop().fn();
+  EXPECT_EQ(q.size(), 1u);
+  // Cancelling the already-fired id must not decrement the live count (a
+  // double-decrement here used to corrupt size() and could underflow it).
+  q.cancel(fired);
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(fired);
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(live);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelEveryFiredEventKeepsSizeConsistent) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule(Seconds(i), [] {}));
+  }
+  while (!q.empty()) q.pop().fn();
+  for (const EventId id : ids) q.cancel(id);  // all no-ops
+  EXPECT_EQ(q.size(), 0u);
+  q.schedule(Seconds(9.0), [] {});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(Seconds(1.0), [] {});
+  q.schedule(Seconds(2.0), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // Ids restart from zero; the queue is fully reusable.
+  const EventId id = q.schedule(Seconds(3.0), [] {});
+  EXPECT_EQ(id, 0u);
+  EXPECT_DOUBLE_EQ(q.next_time().count(), 3.0);
+}
+
 TEST(EventQueue, ManyEventsStaySorted) {
   EventQueue q;
   std::vector<double> fired;

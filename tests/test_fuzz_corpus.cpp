@@ -54,6 +54,16 @@ TEST(FuzzCorpus, CorpusCoversNewDrawDimensions) {
   EXPECT_TRUE(planner) << "corpus lost its planner-candidate entries";
   EXPECT_TRUE(on_retune && overlapped)
       << "corpus lost its non-default reconfig-policy entries";
+
+  bool leased = false;
+  bool leased_offset = false;
+  for (const verify::FuzzCase& c : cases) {
+    leased |= c.leased();
+    leased_offset |= c.leased() && c.w_lo > 0;
+  }
+  EXPECT_TRUE(leased) << "corpus lost its leased-slice entries";
+  EXPECT_TRUE(leased_offset)
+      << "corpus lost its offset (w_lo > 0) leased-slice entries";
 }
 
 TEST(FuzzCorpus, SerializeParseRoundTrips) {
@@ -65,6 +75,8 @@ TEST(FuzzCorpus, SerializeParseRoundTrips) {
     EXPECT_EQ(again.group_size, c.group_size);
     EXPECT_EQ(again.wavelengths, c.wavelengths);
     EXPECT_EQ(again.reconfig_policy, c.reconfig_policy);
+    EXPECT_EQ(again.w_lo, c.w_lo);
+    EXPECT_EQ(again.w_hi, c.w_hi);
   }
 }
 
@@ -76,6 +88,36 @@ TEST(FuzzCorpus, ParseRejectsMalformedLines) {
                InvalidArgument);
   EXPECT_THROW(verify::FuzzCase::parse("wrht 0 1 2 1 every_round"),
                InvalidArgument);
+  // Lease tokens come in pairs, name a non-empty slice, and end the line.
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2 1 every_round 3"),
+               InvalidArgument);
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2 1 every_round 5 3"),
+               InvalidArgument);
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2 1 every_round 0 0"),
+               InvalidArgument);
+  EXPECT_THROW(verify::FuzzCase::parse("wrht 5 1 2 1 every_round 3 5 9"),
+               InvalidArgument);
+}
+
+/// A leased draw and a sentinel (no-lease) case must both round-trip.
+TEST(FuzzCorpus, LeasedCaseSerializeRoundTrips) {
+  verify::FuzzCase c;
+  c.algorithm = "ring";
+  c.num_nodes = 8;
+  c.elements = 8;
+  c.wavelengths = 2;
+  c.w_lo = 3;
+  c.w_hi = 5;
+  EXPECT_EQ(c.serialize(), "ring 8 8 2 2 every_round 3 5");
+  const verify::FuzzCase again = verify::FuzzCase::parse(c.serialize());
+  EXPECT_EQ(again.w_lo, 3u);
+  EXPECT_EQ(again.w_hi, 5u);
+  EXPECT_TRUE(again.leased());
+
+  c.w_lo = 0;
+  c.w_hi = 0;
+  EXPECT_EQ(c.serialize(), "ring 8 8 2 2 every_round");
+  EXPECT_FALSE(verify::FuzzCase::parse(c.serialize()).leased());
 }
 
 /// The extended sampler must actually emit the new dimensions.

@@ -87,6 +87,94 @@ TEST(Simulator, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, RunUntilFiresEventExactlyAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(Seconds(2.0), [&] { fired.push_back(2.0); });
+  sim.schedule_at(Seconds(2.0 + 1e-9), [&] { fired.push_back(2.000000001); });
+  // The event at exactly the deadline fires; the one epsilon past survives.
+  EXPECT_EQ(sim.run_until(Seconds(2.0)), 1u);
+  EXPECT_EQ(fired, (std::vector<double>{2.0}));
+  EXPECT_FALSE(sim.idle());
+  // A second call with the same deadline is a no-op: nothing is due.
+  EXPECT_EQ(sim.run_until(Seconds(2.0)), 0u);
+  // The survivor fires on the next window.
+  EXPECT_EQ(sim.run_until(Seconds(3.0)), 1u);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now().count(), 3.0);
+}
+
+TEST(Simulator, RunUntilDeadlineSpawnsAtDeadlineStillFire) {
+  Simulator sim;
+  int fired = 0;
+  // An event at the deadline that schedules another zero-delay event: the
+  // child lands exactly at the deadline too, so it fires in the same call.
+  sim.schedule_at(Seconds(5.0), [&] {
+    ++fired;
+    sim.schedule_in(Seconds(0.0), [&] { ++fired; });
+  });
+  EXPECT_EQ(sim.run_until(Seconds(5.0)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelAfterFireIsSafe) {
+  Simulator sim;
+  const EventId id = sim.schedule_in(Seconds(1.0), [] {});
+  sim.schedule_in(Seconds(2.0), [] {});
+  sim.run_until(Seconds(1.0));
+  sim.cancel(id);  // already fired: must be a no-op
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(Simulator, ResetRewindsClockAndDropsEvents) {
+  Simulator sim;
+  bool stale = false;
+  sim.schedule_in(Seconds(1.0), [] {});
+  sim.run();
+  sim.schedule_in(Seconds(5.0), [&] { stale = true; });
+  EXPECT_DOUBLE_EQ(sim.now().count(), 1.0);
+
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now().count(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  // The lifetime counter survives a reset; the pending event does not.
+  EXPECT_EQ(sim.events_fired(), 1u);
+  sim.run();
+  EXPECT_FALSE(stale);
+
+  // Reuse after reset behaves like a fresh simulator.
+  std::vector<double> times;
+  sim.schedule_in(Seconds(2.0), [&] { times.push_back(sim.now().count()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{2.0}));
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(Simulator, ResetToNonZeroStart) {
+  Simulator sim;
+  sim.schedule_in(Seconds(1.0), [] {});
+  sim.run();
+  sim.reset(Seconds(100.0));
+  EXPECT_DOUBLE_EQ(sim.now().count(), 100.0);
+  // The new epoch enforces its own past: earlier times are rejected.
+  EXPECT_THROW(sim.schedule_at(Seconds(99.0), [] {}), InvalidArgument);
+  double fired_at = -1.0;
+  sim.schedule_in(Seconds(1.5), [&] { fired_at = sim.now().count(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 101.5);
+}
+
+TEST(Simulator, StartOffsetConstructor) {
+  Simulator sim(Seconds(10.0));
+  EXPECT_DOUBLE_EQ(sim.now().count(), 10.0);
+  double fired_at = -1.0;
+  sim.schedule_in(Seconds(0.5), [&] { fired_at = sim.now().count(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.5);
+}
+
 TEST(Simulator, ZeroDelaySameTimeOrdering) {
   Simulator sim;
   std::vector<int> order;
