@@ -1,0 +1,246 @@
+// Telemetry conformance for the shared-fabric service (wrht::svc +
+// wrht::obs): the same seeded bursty workload runs with telemetry off and
+// with every instrument on (metrics + events + trace), for every
+// admission policy. The bench gates the accounting identities that make
+// the telemetry trustworthy (exit 1 otherwise):
+//
+//   * off-by-default is free: the enabled run's ServiceReport equals the
+//     disabled run's bit-for-bit — instruments observe, never perturb;
+//   * the event log is deterministic: two enabled runs of the same
+//     (config, seed) produce byte-identical svc-events-1 JSONL;
+//   * busy-time identity: the sum of per-tenant wavelength-seconds equals
+//     the fabric total to float re-association error (1e-12 relative);
+//   * replay identity: parsing the JSONL back and replaying it through
+//     summarize_records() reproduces the live report's job/consumption
+//     counters exactly (timestamps round-trip via %.17g).
+//
+// Artifacts: ablation_svc_telemetry.csv (one row per policy),
+// svc_events.jsonl + svc_telemetry_timeseries.csv + svc_trace.json from
+// the fifo run (the bench-smoke harness pins their schemas).
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "wrht/obs/event_log.hpp"
+#include "wrht/obs/metrics.hpp"
+#include "wrht/obs/trace_json.hpp"
+#include "wrht/svc/replay.hpp"
+#include "wrht/svc/service.hpp"
+#include "wrht/svc/workload.hpp"
+
+namespace {
+
+using namespace wrht;
+
+/// Exact (bitwise on doubles) equality of the aggregates and per-record
+/// timelines two paths must agree on. `timeline_only` relaxes to the
+/// fields an event-log replay can reconstruct (no planner/model echo, no
+/// SLO targets).
+bool reports_match(const svc::ServiceReport& a, const svc::ServiceReport& b,
+                   bool timeline_only, const char* label) {
+  const auto fail = [&](const std::string& what) {
+    std::printf("GATE FAIL [%s]: %s\n", label, what.c_str());
+    return false;
+  };
+  if (a.policy != b.policy) return fail("policy mismatch");
+  if (a.fabric_wavelengths != b.fabric_wavelengths) {
+    return fail("fabric mismatch");
+  }
+  if (a.records.size() != b.records.size()) {
+    return fail("job count " + std::to_string(a.records.size()) + " vs " +
+                std::to_string(b.records.size()));
+  }
+  if (a.makespan.count() != b.makespan.count()) return fail("makespan");
+  if (a.utilization != b.utilization) return fail("utilization");
+  if (a.p50_jct.count() != b.p50_jct.count()) return fail("p50_jct");
+  if (a.p99_jct.count() != b.p99_jct.count()) return fail("p99_jct");
+  if (a.mean_queue_wait.count() != b.mean_queue_wait.count()) {
+    return fail("mean_queue_wait");
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const svc::JobRecord& ra = a.records[i];
+    const svc::JobRecord& rb = b.records[i];
+    if (ra.job.id != rb.job.id || ra.job.tenant != rb.job.tenant ||
+        ra.job.width != rb.job.width ||
+        ra.job.arrival.count() != rb.job.arrival.count() ||
+        ra.lease.w_lo != rb.lease.w_lo || ra.lease.w_hi != rb.lease.w_hi ||
+        ra.grant.count() != rb.grant.count() ||
+        ra.completion.count() != rb.completion.count()) {
+      return fail("record " + std::to_string(i) + " (job " +
+                  std::to_string(ra.job.id) + ") timeline mismatch");
+    }
+    if (!timeline_only && ra.algorithm != rb.algorithm) {
+      return fail("record " + std::to_string(i) + " algorithm mismatch");
+    }
+  }
+  if (a.tenants.size() != b.tenants.size()) return fail("tenant count");
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    const svc::TenantStats& ta = a.tenants[i];
+    const svc::TenantStats& tb = b.tenants[i];
+    if (ta.tenant != tb.tenant || ta.jobs != tb.jobs ||
+        ta.p50_jct.count() != tb.p50_jct.count() ||
+        ta.p99_jct.count() != tb.p99_jct.count() ||
+        ta.mean_queue_wait.count() != tb.mean_queue_wait.count() ||
+        ta.mean_service_time.count() != tb.mean_service_time.count() ||
+        ta.wavelength_seconds != tb.wavelength_seconds) {
+      return fail("tenant " + std::to_string(ta.tenant) + " stats mismatch");
+    }
+    if (!timeline_only &&
+        (ta.slo_target.count() != tb.slo_target.count() ||
+         ta.slo_violations != tb.slo_violations ||
+         ta.slo_burn != tb.slo_burn)) {
+      return fail("tenant " + std::to_string(ta.tenant) + " SLO mismatch");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const bool tiny = bench::tiny();
+  const std::uint32_t fabric = tiny ? 16 : 64;
+  const std::uint32_t nodes = tiny ? 16 : 64;
+  const std::uint32_t num_jobs = tiny ? 32 : 96;
+
+  svc::WorkloadConfig workload;
+  workload.num_jobs = num_jobs;
+  workload.num_nodes = nodes;
+  workload.fabric_wavelengths = fabric;
+  workload.mean_interarrival = Seconds(0.02);
+  workload.burstiness = 0.3;
+  const std::vector<svc::Job> jobs = svc::generate_workload(workload);
+
+  std::printf(
+      "=== Service telemetry conformance ===\n(fabric = %u wavelengths, %u "
+      "jobs over %u-node all-reduces, bursty load, seed %llu)\n\n",
+      fabric, num_jobs, nodes,
+      static_cast<unsigned long long>(workload.seed));
+
+  Table table({"Policy", "Jobs", "Events", "Retuned", "Samples",
+               "p99 JCT (ms)", "util (%)", "Replay"});
+  CsvWriter csv(bench::csv_path("ablation_svc_telemetry"),
+                {"policy", "jobs", "makespan_s", "utilization", "p50_jct_s",
+                 "p99_jct_s", "events", "retuned_lanes", "samples",
+                 "replay_exact"});
+
+  int failed = 0;
+  for (const svc::PolicyKind kind : svc::all_policies()) {
+    const std::string policy = svc::to_string(kind);
+
+    svc::ServiceConfig config;
+    config.fabric_wavelengths = fabric;
+    config.policy = kind;
+    config.counters = &bench::metrics();
+    // Two tenants get JCT targets so the burn gauges exercise.
+    config.slo_targets[0] = Seconds(0.5);
+    config.slo_targets[1] = Seconds(1.0);
+
+    // Baseline: telemetry off.
+    svc::FabricService off(config);
+    const svc::ServiceReport report_off = off.run(jobs);
+
+    // Everything on.
+    config.telemetry.metrics = true;
+    config.telemetry.events = true;
+    config.telemetry.trace = true;
+    config.telemetry.seed = workload.seed;
+    svc::FabricService on(config);
+    const svc::ServiceReport report_on = on.run(jobs);
+
+    // Gate 1: instruments observe, never perturb.
+    if (!reports_match(report_off, report_on, /*timeline_only=*/false,
+                       ("disabled==enabled " + policy).c_str())) {
+      failed = 1;
+    }
+
+    // Gate 2: the event log is a deterministic function of (config, seed).
+    const std::string jsonl = on.event_log()->to_jsonl();
+    {
+      svc::FabricService again(config);
+      const svc::ServiceReport report_again = again.run(jobs);
+      (void)report_again;
+      if (again.event_log()->to_jsonl() != jsonl) {
+        std::printf(
+            "GATE FAIL [determinism %s]: two runs of the same (config, "
+            "seed) produced different event logs\n",
+            policy.c_str());
+        failed = 1;
+      }
+    }
+
+    // Gate 3: busy-time identity (tenant sums reassociate the fabric sum,
+    // so allow float re-association error only).
+    double fabric_busy = 0.0;
+    for (const svc::JobRecord& r : report_on.records) {
+      fabric_busy +=
+          static_cast<double>(r.job.width) * r.service_time().count();
+    }
+    double tenant_busy = 0.0;
+    for (const svc::TenantStats& t : report_on.tenants) {
+      tenant_busy += t.wavelength_seconds;
+    }
+    if (std::abs(fabric_busy - tenant_busy) > 1e-12 * fabric_busy) {
+      std::printf(
+          "GATE FAIL [busy identity %s]: sum of per-tenant busy time "
+          "(%.17g ws) != fabric busy time (%.17g ws)\n",
+          policy.c_str(), tenant_busy, fabric_busy);
+      failed = 1;
+    }
+
+    // Gate 4: replay through the serialized text reproduces the report.
+    std::istringstream in(jsonl);
+    const obs::EventLog parsed = obs::EventLog::read_jsonl(in);
+    const svc::ReplaySummary replay = svc::replay_events(parsed);
+    bool replay_ok = reports_match(report_on, replay.report,
+                                   /*timeline_only=*/true,
+                                   ("replay " + policy).c_str());
+    if (replay.report.records.size() != report_on.records.size()) {
+      replay_ok = false;
+    }
+    if (!replay_ok) failed = 1;
+
+    const std::uint64_t retuned = static_cast<std::uint64_t>(
+        on.metrics()->value(*on.metrics()->find("svc.retuned_lanes")));
+    const std::size_t samples =
+        on.metrics()->series(*on.metrics()->find("svc.queue_depth")).size();
+
+    table.add_row({policy, std::to_string(report_on.records.size()),
+                   std::to_string(on.event_log()->size()),
+                   std::to_string(retuned), std::to_string(samples),
+                   Table::num(report_on.p99_jct.count() * 1e3, 2),
+                   Table::num(report_on.utilization * 100.0, 1),
+                   replay_ok ? "exact" : "MISMATCH"});
+    csv.add_row({policy, std::to_string(report_on.records.size()),
+                 Table::num(report_on.makespan.count(), 6),
+                 Table::num(report_on.utilization, 6),
+                 Table::num(report_on.p50_jct.count(), 6),
+                 Table::num(report_on.p99_jct.count(), 6),
+                 std::to_string(on.event_log()->size()),
+                 std::to_string(retuned), std::to_string(samples),
+                 replay_ok ? "1" : "0"});
+
+    // Fifo's artifacts feed the smoke harness and the analyze example.
+    if (kind == svc::PolicyKind::kFifo) {
+      on.event_log()->write_file("svc_events.jsonl");
+      on.metrics()->write_series_csv("svc_telemetry_timeseries.csv");
+      on.trace()->write_file("svc_trace.json");
+      std::printf("%s", replay.to_string().c_str());
+      print_slo_report(report_on);
+      std::printf("\n");
+    }
+  }
+  std::cout << "\n" << table << "\n";
+
+  if (failed == 0) {
+    std::printf(
+        "gates passed: disabled==enabled, deterministic event logs, "
+        "busy-time identity, exact replay (all %zu policies)\n",
+        svc::all_policies().size());
+  }
+  std::printf("CSV written to %s\n",
+              bench::csv_path("ablation_svc_telemetry").c_str());
+  bench::write_metrics_csv("ablation_svc_telemetry");
+  return failed;
+}

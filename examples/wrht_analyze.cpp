@@ -5,6 +5,7 @@
 //
 //   $ ./wrht_analyze [nodes] [elements] [wavelengths] [algorithm] [backend]
 //                    [--json PATH]
+//   $ ./wrht_analyze --service EVENTS.jsonl
 //
 // Defaults reproduce a Fig. 5 configuration (N = 1024, w = 64, WRHT on the
 // optical ring). The tool double-checks the accounting identities the
@@ -13,6 +14,15 @@
 // example smoke test doubles as an acceptance check. --json additionally
 // dumps the machine-readable RunReport (steps, counters, utilization) to
 // PATH for downstream tooling.
+//
+// --service switches to post-hoc service analysis: it replays a
+// svc-events-1 JSONL event log (written by `wrht_svc --events` or the
+// telemetry bench), rebuilds the queue-depth and utilization time series
+// plus the full per-tenant report from the events alone, and prints the
+// bottleneck verdict. Replay runs through the same summarize_records()
+// arithmetic as the live service, so the numbers match the original run
+// exactly.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,25 +36,61 @@
 #include "wrht/exp/sweep.hpp"
 #include "wrht/net/registry.hpp"
 #include "wrht/obs/analysis.hpp"
+#include "wrht/obs/event_log.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/svc/replay.hpp"
+
+namespace {
+
+int analyze_service(const std::string& events_path) {
+  using namespace wrht;
+  const obs::EventLog log = obs::EventLog::read_file(events_path);
+  std::printf("replaying %s: %zu events, policy=%s, fabric=%uλ\n\n",
+              events_path.c_str(), log.size(), log.context().policy.c_str(),
+              log.context().fabric_wavelengths);
+  const svc::ReplaySummary summary = svc::replay_events(log);
+  std::cout << summary.to_string();
+
+  // A few time-series samples so the signal shape is visible in a
+  // terminal (the full series is in the summary for tooling).
+  const std::size_t n = summary.queue_depth.size();
+  if (n > 0) {
+    std::printf("\nqueue depth over time (%zu transitions, every %zu-th):\n",
+                n, std::max<std::size_t>(1, n / 8));
+    for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 8)) {
+      std::printf("  t=%8.4fs  depth=%-4.0f in_use=%.0f\n",
+                  summary.queue_depth[i].time.count(),
+                  summary.queue_depth[i].value,
+                  summary.wavelengths_in_use[i].value);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wrht;
-  // --json PATH may appear anywhere; everything else is positional.
+  // --json PATH / --service PATH may appear anywhere; everything else is
+  // positional.
   std::string json_path;
+  std::string service_path;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--service") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "usage: %s [nodes] [elements] [wavelengths] "
-                             "[algorithm] [backend] [--json PATH]\n", argv[0]);
+                             "[algorithm] [backend] [--json PATH] | "
+                             "--service EVENTS.jsonl\n", argv[0]);
         return 2;
       }
-      json_path = argv[++i];
+      (arg == "--json" ? json_path : service_path) = argv[++i];
     } else {
       pos.emplace_back(argv[i]);
     }
   }
+  if (!service_path.empty()) return analyze_service(service_path);
   const std::uint32_t nodes =
       !pos.empty() ? static_cast<std::uint32_t>(std::atoi(pos[0].c_str()))
                    : 1024;

@@ -480,6 +480,57 @@ int main(int argc, char** argv) {
       report.add_sample_metrics("svc_tick.jobs_per_s", rates, "/s");
     }
 
+    // Service tick with full telemetry (metrics + events + trace) on the
+    // bench_svc_policies bursty-saturated load — the per-rep
+    // enabled/disabled ratio, interleaved so frequency drift hits both
+    // sides. The baselines pin the ratio so telemetry overhead cannot
+    // silently creep past its budget (<5% is the target on this workload
+    // at full scale).
+    {
+      svc::WorkloadConfig workload;
+      workload.num_jobs = opt.tiny ? 32 : 128;
+      workload.num_nodes = opt.tiny ? 16 : 64;
+      workload.fabric_wavelengths = opt.tiny ? 16 : 64;
+      workload.mean_interarrival = Seconds(opt.tiny ? 0.01 : 0.008);
+      workload.burstiness = 0.5;
+      const std::vector<svc::Job> jobs = svc::generate_workload(workload);
+      svc::ServiceConfig svc_config;
+      svc_config.fabric_wavelengths = workload.fabric_wavelengths;
+      svc_config.policy = svc::PolicyKind::kWeightedFair;
+      svc::FabricService off(svc_config);
+      svc_config.telemetry.metrics = true;
+      svc_config.telemetry.events = true;
+      svc_config.telemetry.trace = true;
+      svc::FabricService on(svc_config);
+
+      std::vector<double> walls, ratios;
+      for (std::uint32_t r = 0; r < opt.reps; ++r) {
+        const prof::ScopedTimer timer("suite.svc_telemetry_tick");
+        // Min-of-K per rep: a single 2-3 ms run is dominated by scheduler
+        // and frequency noise, and a ratio of two noisy one-shots swings
+        // by several percent. The min over interleaved pairs estimates
+        // the undisturbed cost of each side.
+        double wall_off = 1e9, wall_on = 1e9;
+        for (int k = 0; k < 5; ++k) {
+          std::size_t completed = 0;
+          wall_off = std::min(wall_off, time_once([&] {
+            completed = off.run(jobs).records.size();
+          }));
+          wall_on = std::min(wall_on, time_once([&] {
+            completed += on.run(jobs).records.size();
+          }));
+          if (completed != 2 * jobs.size()) {
+            throw Error("wrht_perf: svc_telemetry_tick dropped jobs");
+          }
+        }
+        walls.push_back(wall_on);
+        ratios.push_back(wall_on / (wall_off > 0.0 ? wall_off : 1e-12));
+      }
+      report.add_sample_metrics("svc_telemetry_tick.wall_s", walls, "s");
+      report.add_sample_metrics("svc_telemetry_tick.overhead_ratio", ratios,
+                                "x");
+    }
+
     // Parallel sweep: grid-point throughput and worker-pool efficiency.
     {
       exp::SweepSpec spec;

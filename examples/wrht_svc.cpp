@@ -1,7 +1,9 @@
 // wrht_svc: run a seeded multi-tenant workload through the shared-fabric
 // service and print the per-tenant SLO / bottleneck report.
 //
-//   $ ./wrht_svc [jobs] [wavelengths] [policy|all] [interarrival_ms] [burstiness]
+//   $ ./wrht_svc [jobs] [wavelengths] [policy|all] [interarrival_ms]
+//                [burstiness] [--trace PATH] [--metrics PATH]
+//                [--events PATH] [--slo TENANT=SECONDS ...]
 //
 // Defaults: 64 jobs, 64 wavelengths, every policy, 20 ms mean gap, 0.3
 // burstiness. `policy` is one of fifo, priority, backfill, weighted-fair,
@@ -9,27 +11,88 @@
 // whether their SLO is queue-bound (admission is the bottleneck — change
 // policy or buy width) or service-bound (the all-reduce itself dominates —
 // wider slices or a better schedule).
+//
+// Telemetry flags opt into the wrht::obs service instruments (off by
+// default, and the report is byte-identical either way):
+//   --trace PATH    Chrome-trace timeline: one lane per tenant plus queue
+//                   depth / wavelengths-in-use / fragmentation counter
+//                   tracks. Load in chrome://tracing or Perfetto.
+//   --metrics PATH  long-format CSV of every instrument's time series,
+//                   sampled on a virtual-time cadence.
+//   --events PATH   svc-events-1 JSONL event log (replayable with
+//                   `wrht_analyze --service PATH`).
+//   --slo T=S       give tenant T a JCT target of S seconds (repeatable);
+//                   prints the SLO attainment table.
+// With `all`, each policy overwrites the same files; the last policy's
+// telemetry survives.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "wrht/obs/event_log.hpp"
+#include "wrht/obs/metrics.hpp"
+#include "wrht/obs/trace_json.hpp"
 #include "wrht/svc/service.hpp"
 #include "wrht/svc/workload.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [jobs] [wavelengths] [policy|all] [interarrival_ms] "
+               "[burstiness] [--trace PATH] [--metrics PATH] [--events PATH] "
+               "[--slo TENANT=SECONDS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wrht;
 
+  std::string trace_path;
+  std::string metrics_path;
+  std::string events_path;
+  std::map<std::uint32_t, Seconds> slo_targets;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" || arg == "--metrics" || arg == "--events" ||
+        arg == "--slo") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string value = argv[++i];
+      if (arg == "--trace") {
+        trace_path = value;
+      } else if (arg == "--metrics") {
+        metrics_path = value;
+      } else if (arg == "--events") {
+        events_path = value;
+      } else {
+        const std::size_t eq = value.find('=');
+        if (eq == std::string::npos) return usage(argv[0]);
+        slo_targets[static_cast<std::uint32_t>(
+            std::atoi(value.substr(0, eq).c_str()))] =
+            Seconds(std::atof(value.substr(eq + 1).c_str()));
+      }
+    } else {
+      pos.push_back(arg);
+    }
+  }
+
   svc::WorkloadConfig workload;
   workload.num_jobs =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+      !pos.empty() ? static_cast<std::uint32_t>(std::atoi(pos[0].c_str())) : 64;
   workload.fabric_wavelengths =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 64;
-  const std::string policy_arg = argc > 3 ? argv[3] : "all";
+      pos.size() > 1 ? static_cast<std::uint32_t>(std::atoi(pos[1].c_str()))
+                     : 64;
+  const std::string policy_arg = pos.size() > 2 ? pos[2] : "all";
   workload.mean_interarrival =
-      Seconds((argc > 4 ? std::atof(argv[4]) : 20.0) * 1e-3);
-  workload.burstiness = argc > 5 ? std::atof(argv[5]) : 0.3;
+      Seconds((pos.size() > 3 ? std::atof(pos[3].c_str()) : 20.0) * 1e-3);
+  workload.burstiness = pos.size() > 4 ? std::atof(pos[4].c_str()) : 0.3;
 
   std::vector<svc::PolicyKind> policies;
   if (policy_arg == "all") {
@@ -53,10 +116,32 @@ int main(int argc, char** argv) {
     svc::ServiceConfig config;
     config.fabric_wavelengths = workload.fabric_wavelengths;
     config.policy = kind;
+    config.slo_targets = slo_targets;
+    config.telemetry.trace = !trace_path.empty();
+    config.telemetry.metrics = !metrics_path.empty();
+    config.telemetry.events = !events_path.empty();
+    config.telemetry.seed = workload.seed;
     svc::FabricService service(config);
     const svc::ServiceReport report = service.run(jobs);
     std::printf("\n");
     std::cout << report.to_string();
+    if (!slo_targets.empty()) svc::print_slo_report(report);
+
+    if (service.trace() != nullptr) {
+      service.trace()->write_file(trace_path);
+      std::printf("trace written to %s (load in chrome://tracing)\n",
+                  trace_path.c_str());
+    }
+    if (service.metrics() != nullptr) {
+      service.metrics()->write_series_csv(metrics_path);
+      std::printf("metric time series written to %s\n", metrics_path.c_str());
+    }
+    if (service.event_log() != nullptr) {
+      service.event_log()->write_file(events_path);
+      std::printf("event log written to %s (replay with wrht_analyze "
+                  "--service)\n",
+                  events_path.c_str());
+    }
   }
   return 0;
 }

@@ -40,12 +40,14 @@ BENCHES=(
   ablation_overlap
   ablation_utilization
   ablation_svc_policies
+  ablation_svc_telemetry
 )
 # Bench binaries whose CSV name differs from the binary name
 # (bench_svc_policies writes ablation_svc_policies.csv and gates its own
 # policy-ranking claims, exiting non-zero when they fail).
 declare -A BIN_OVERRIDE=(
   [ablation_svc_policies]=bench_svc_policies
+  [ablation_svc_telemetry]=bench_svc_telemetry
 )
 declare -A EXPECTED_ROWS=(
   [table1_steps]=4
@@ -61,6 +63,7 @@ declare -A EXPECTED_ROWS=(
   [ablation_overlap]=4
   [ablation_utilization]=8
   [ablation_svc_policies]=12
+  [ablation_svc_telemetry]=4
 )
 
 targets=()
@@ -121,6 +124,52 @@ if [[ -f ablation_overlap.csv ]]; then
   fi
   echo "OK: ablation_overlap.csv column schema pinned"
 fi
+
+# Telemetry side-channel artifacts from bench_svc_telemetry: the event log
+# must lead with its svc-events-1 schema marker and hold exactly the row
+# count its own header promises, and the time-series CSV must keep the
+# metrics export schema. Each check fails fast naming the offending file —
+# downstream tooling (wrht_analyze --service, CI artifact consumers) parses
+# these by schema, so a drifted file is worse than a missing one.
+if [[ ! -f svc_events.jsonl ]]; then
+  echo "FAIL: bench_svc_telemetry did not write svc_events.jsonl"
+  exit 1
+fi
+if ! head -n 1 svc_events.jsonl | grep -q '"schema": "svc-events-1"'; then
+  echo "FAIL: svc_events.jsonl is missing the svc-events-1 schema marker"
+  echo "  header: $(head -n 1 svc_events.jsonl)"
+  exit 1
+fi
+declared_events="$(head -n 1 svc_events.jsonl \
+  | sed -n 's/.*"events": \([0-9]*\).*/\1/p')"
+actual_events="$(($(wc -l < svc_events.jsonl) - 1))"
+if [[ -z "$declared_events" || "$actual_events" -ne "$declared_events" ]]; then
+  echo "FAIL: svc_events.jsonl declares ${declared_events:-?} events but" \
+       "holds $actual_events lines after the header"
+  exit 1
+fi
+echo "OK: svc_events.jsonl (schema marker + $actual_events events)"
+
+timeseries_schema='metric,kind,t_s,value'
+if [[ ! -f svc_telemetry_timeseries.csv ]]; then
+  echo "FAIL: bench_svc_telemetry did not write svc_telemetry_timeseries.csv"
+  exit 1
+fi
+timeseries_header="$(head -n 1 svc_telemetry_timeseries.csv)"
+if [[ "$timeseries_header" != "$timeseries_schema" ]]; then
+  echo "FAIL: svc_telemetry_timeseries.csv header schema drifted"
+  echo "  expected: $timeseries_schema"
+  echo "  emitted : $timeseries_header"
+  exit 1
+fi
+echo "OK: svc_telemetry_timeseries.csv column schema pinned"
+
+# Stash the telemetry artifacts outside the temp dir (deleted on exit) so
+# CI can upload them alongside the smoke logs.
+mkdir -p "$BUILD_DIR/telemetry_artifacts"
+cp svc_events.jsonl svc_telemetry_timeseries.csv svc_trace.json \
+   ablation_svc_telemetry.csv "$BUILD_DIR/telemetry_artifacts/"
+echo "OK: telemetry artifacts staged in $BUILD_DIR/telemetry_artifacts"
 
 # Microbenchmark smoke: one repetition at minimal min_time just proves every
 # registered benchmark still runs to completion.

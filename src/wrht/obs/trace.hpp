@@ -33,6 +33,10 @@ struct TraceSpan {
   std::uint32_t track = 0;
   /// Key/value annotations (rounds, wavelengths, flows, link load, ...).
   std::vector<std::pair<std::string, std::string>> args;
+  /// Numeric annotations, emitted as JSON numbers after `args`; the
+  /// value is formatted once at write() time instead of being
+  /// stringified by the emitter.
+  std::vector<std::pair<std::string, double>> num_args;
 };
 
 /// One sample on a numeric counter track (wavelengths in use, link load,

@@ -100,6 +100,11 @@ void ChromeTraceSink::write(std::ostream& out) const {
       first_arg = false;
       out << "\"" << escape(key) << "\":\"" << escape(value) << "\"";
     }
+    for (const auto& [key, value] : s.num_args) {
+      if (!first_arg) out << ",";
+      first_arg = false;
+      out << "\"" << escape(key) << "\":" << format_value(value);
+    }
     out << "}}";
   }
 

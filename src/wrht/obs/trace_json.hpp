@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "wrht/obs/trace.hpp"
@@ -26,6 +27,18 @@ class ChromeTraceSink final : public TraceSink {
 
   void span(const TraceSpan& s) override;
   void counter(const CounterSample& s) override;
+  // Rvalue overloads so per-event callers (the FabricService telemetry
+  // hooks construct a temporary per sample) move their strings in instead
+  // of re-allocating them.
+  void span(TraceSpan&& s) { spans_.push_back(std::move(s)); }
+  void counter(CounterSample&& s) { counters_.push_back(std::move(s)); }
+
+  /// Pre-sizes the span/counter storage; a service that knows its job
+  /// count can avoid mid-run reallocation.
+  void reserve(std::size_t spans, std::size_t counters) {
+    spans_.reserve(spans);
+    counters_.reserve(counters);
+  }
 
   /// Labels `track` in the viewer (emitted as thread_name metadata).
   void set_track_name(std::uint32_t track, const std::string& name);

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <utility>
 
 #include "wrht/common/error.hpp"
 #include "wrht/common/stats.hpp"
+#include "wrht/obs/event_log.hpp"
+#include "wrht/obs/metrics.hpp"
+#include "wrht/obs/trace_json.hpp"
 #include "wrht/prof/prof.hpp"
 
 namespace wrht::svc {
@@ -66,6 +70,12 @@ std::uint32_t WavelengthAllocator::free_width() const {
   return total;
 }
 
+std::uint32_t WavelengthAllocator::largest_free() const {
+  std::uint32_t widest = 0;
+  for (const Interval& iv : free_) widest = std::max(widest, iv.hi - iv.lo);
+  return widest;
+}
+
 std::string TenantStats::bottleneck() const {
   return mean_queue_wait > mean_service_time ? "queue-bound"
                                              : "service-bound";
@@ -96,11 +106,392 @@ std::string ServiceReport::to_string() const {
   return out;
 }
 
+std::string slo_report(const ServiceReport& report) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "SLO attainment (policy=%s, fabric=%uλ, %zu jobs)\n",
+                svc::to_string(report.policy).c_str(),
+                report.fabric_wavelengths, report.records.size());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-8s %5s %10s %10s %11s %7s\n", "tenant",
+                "jobs", "target", "p99_jct", "violations", "burn");
+  out += line;
+  for (const TenantStats& t : report.tenants) {
+    if (t.slo_target.count() > 0.0) {
+      std::snprintf(line, sizeof(line),
+                    "%-8u %5llu %9.3fs %9.3fs %11llu %6.1f%%%s\n", t.tenant,
+                    static_cast<unsigned long long>(t.jobs),
+                    t.slo_target.count(), t.p99_jct.count(),
+                    static_cast<unsigned long long>(t.slo_violations),
+                    t.slo_burn * 100.0, t.slo_burn > 0.0 ? "  <- burning" : "");
+    } else {
+      std::snprintf(line, sizeof(line), "%-8u %5llu %10s %9.3fs %11s %7s\n",
+                    t.tenant, static_cast<unsigned long long>(t.jobs), "-",
+                    t.p99_jct.count(), "-", "-");
+    }
+    out += line;
+  }
+  return out;
+}
+
+void print_slo_report(const ServiceReport& report) {
+  const std::string out = slo_report(report);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the opt-in instrument bundle. One instance lives for the
+// duration of a run() when any TelemetryConfig flag is set; the disabled
+// path only ever tests the null pointer.
+
+struct FabricService::Telemetry {
+  using Id = obs::MetricsRegistry::Id;
+
+  explicit Telemetry(const TelemetryConfig& cfg)
+      : config(cfg),
+        metrics(obs::MetricsRegistry::Options{cfg.series_capacity}),
+        trace("wrht-svc") {
+    submitted = metrics.counter("svc.submitted");
+    admitted = metrics.counter("svc.admitted");
+    granted = metrics.counter("svc.granted");
+    completed = metrics.counter("svc.completed");
+    retunes = metrics.counter("svc.retuned_lanes");
+    queue_depth = metrics.gauge("svc.queue_depth");
+    in_use = metrics.gauge("svc.wavelengths_in_use");
+    fragmentation = metrics.gauge("svc.fragmentation");
+    wait_hist = metrics.histogram("svc.queue_wait_s");
+    service_hist = metrics.histogram("svc.service_time_s");
+    jct_hist = metrics.histogram("svc.jct_s");
+    // A fully free fabric is unfragmented by convention.
+    metrics.set(fragmentation, 1.0);
+  }
+
+  TelemetryConfig config;
+  obs::MetricsRegistry metrics;
+  obs::EventLog events;
+  obs::ChromeTraceSink trace;
+
+  Id submitted, admitted, granted, completed, retunes;
+  Id queue_depth, in_use, fragmentation;
+  Id wait_hist, service_hist, jct_hist;
+  /// Rolling burn-rate gauge per tenant with an SLO target.
+  std::map<std::uint32_t, Id> tenant_burn;
+  /// Completed / SLO-missed jobs, indexed by tenant (grown on demand);
+  /// on_complete runs per job, so these stay flat vectors rather than
+  /// maps.
+  std::vector<std::uint64_t> tenant_done;
+  std::vector<std::uint64_t> tenant_missed;
+  /// Admission cause, formatted once — on_admit runs per job and the
+  /// policy name never changes mid-run.
+  std::string admit_cause;
+  /// True when the hooks append to `events` (the events export was
+  /// requested, or the trace needs them as its source).
+  bool record_events = false;
+  /// Set once build_trace() has materialized `trace` from `events`.
+  bool trace_built = false;
+  /// Live sampling cadence: starts at config.sample_cadence and doubles
+  /// whenever a full ring's worth of ticks has fired, so a long-makespan
+  /// run degrades resolution instead of burning a tick per cadence
+  /// forever (total sampler work is O(capacity * log makespan)).
+  Seconds cadence{0.0};
+  std::size_t ticks_at_cadence = 0;
+  /// Last tenant to run on each wavelength, +1 (0 = never granted). A
+  /// grant over lanes last held by another tenant is a retune: the MRRs
+  /// on those lanes must re-lock to the new tenant's carriers.
+  std::vector<std::uint32_t> lane_owner;
+  /// Jobs submitted to run() but not yet completed; the periodic sampler
+  /// stops rescheduling itself when this reaches zero so the simulator
+  /// can drain.
+  std::uint64_t outstanding = 0;
+};
+
 FabricService::FabricService(ServiceConfig config)
     : config_(std::move(config)),
       policy_(make_policy(config_.policy)),
       allocator_(config_.fabric_wavelengths) {
   simulator_.set_counters(config_.counters);
+}
+
+FabricService::~FabricService() = default;
+
+const obs::MetricsRegistry* FabricService::metrics() const {
+  return telemetry_ && telemetry_->config.metrics ? &telemetry_->metrics
+                                                  : nullptr;
+}
+
+const obs::EventLog* FabricService::event_log() const {
+  return telemetry_ && telemetry_->config.events ? &telemetry_->events
+                                                 : nullptr;
+}
+
+const obs::ChromeTraceSink* FabricService::trace() const {
+  if (!telemetry_ || !telemetry_->config.trace) return nullptr;
+  // The trace is an export artifact: it is materialized from the event
+  // log on first access instead of span-by-span inside the simulation
+  // hooks, so the enabled run() pays only for recording events.
+  if (!telemetry_->trace_built) build_trace();
+  return &telemetry_->trace;
+}
+
+void FabricService::telemetry_begin(const std::vector<Job>& jobs) {
+  telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
+  Telemetry& t = *telemetry_;
+  t.outstanding = jobs.size();
+  t.lane_owner.assign(config_.fabric_wavelengths, 0);
+  // The JSONL header already records the policy; the cause repeats just
+  // the name (short enough for SSO — this string is copied per admit).
+  t.admit_cause = policy_->name();
+  t.cadence = config_.telemetry.sample_cadence;
+  t.events.set_context(obs::EventLog::Context{config_.fabric_wavelengths,
+                                              svc::to_string(config_.policy),
+                                              config_.telemetry.seed});
+  // The event log doubles as the trace's source of truth, so it records
+  // whenever either export is requested.
+  t.record_events = t.config.events || t.config.trace;
+  if (t.record_events) t.events.reserve(6 * jobs.size());
+  for (const auto& [tenant, target] : config_.slo_targets) {
+    (void)target;
+    t.tenant_burn[tenant] =
+        t.metrics.gauge("svc.tenant" + std::to_string(tenant) + ".slo_burn");
+  }
+}
+
+void FabricService::telemetry_sample() {
+  Telemetry& t = *telemetry_;
+  t.metrics.sample(simulator_.now());
+  if (t.outstanding > 0) {
+    if (++t.ticks_at_cadence >= t.config.series_capacity) {
+      // The ring is full at this resolution: further ticks at the same
+      // cadence would only drop the oldest samples one by one. Halve the
+      // resolution instead so the series keeps covering the whole run.
+      t.ticks_at_cadence = 0;
+      t.cadence = Seconds(t.cadence.count() * 2.0);
+    }
+    simulator_.schedule_in(t.cadence, [this]() { telemetry_sample(); });
+  }
+}
+
+namespace {
+
+double fragmentation_of(const WavelengthAllocator& allocator) {
+  const std::uint32_t total = allocator.free_width();
+  if (total == 0) return 1.0;
+  return static_cast<double>(allocator.largest_free()) /
+         static_cast<double>(total);
+}
+
+}  // namespace
+
+void FabricService::on_submit(const Job& job) {
+  Telemetry& t = *telemetry_;
+  const Seconds now = simulator_.now();
+  t.metrics.add(t.submitted);
+  t.metrics.set(t.queue_depth, static_cast<double>(queue_.size()));
+  if (t.record_events) {
+    t.events.record(obs::ServiceEvent{obs::ServiceEvent::Kind::kSubmit, now,
+                                      job.id, job.tenant, 0, 0, "arrival"});
+  }
+}
+
+void FabricService::on_admit(const Job& job) {
+  Telemetry& t = *telemetry_;
+  t.metrics.add(t.admitted);
+  t.metrics.set(t.queue_depth, static_cast<double>(queue_.size()));
+  if (t.record_events) {
+    t.events.record(obs::ServiceEvent{obs::ServiceEvent::Kind::kAdmit,
+                                      simulator_.now(), job.id, job.tenant, 0,
+                                      0, t.admit_cause});
+  }
+}
+
+void FabricService::on_grant(const JobRecord& record) {
+  Telemetry& t = *telemetry_;
+  const Seconds now = simulator_.now();
+  const std::uint32_t w_lo = record.lease.w_lo;
+  const std::uint32_t w_hi = record.lease.w_hi;
+  const std::uint32_t owner = record.job.tenant + 1;
+
+  std::uint32_t retuned = 0;
+  for (std::uint32_t w = w_lo; w < w_hi; ++w) {
+    if (t.lane_owner[w] != 0 && t.lane_owner[w] != owner) ++retuned;
+    t.lane_owner[w] = owner;
+  }
+  if (retuned > 0) {
+    t.metrics.add(t.retunes, static_cast<double>(retuned));
+    if (t.record_events) {
+      t.events.record(obs::ServiceEvent{
+          obs::ServiceEvent::Kind::kRetune, now, record.job.id,
+          record.job.tenant, w_lo, w_hi,
+          "lanes=" + std::to_string(retuned)});
+    }
+  }
+
+  t.metrics.add(t.granted);
+  t.metrics.set(t.in_use, static_cast<double>(config_.fabric_wavelengths -
+                                              allocator_.free_width()));
+  t.metrics.set(t.fragmentation, fragmentation_of(allocator_));
+  if (t.record_events) {
+    const std::string alg = "alg=" + plan::to_string(record.algorithm);
+    t.events.record(obs::ServiceEvent{obs::ServiceEvent::Kind::kGrant, now,
+                                      record.job.id, record.job.tenant, w_lo,
+                                      w_hi, alg});
+    t.events.record(obs::ServiceEvent{obs::ServiceEvent::Kind::kStart, now,
+                                      record.job.id, record.job.tenant, w_lo,
+                                      w_hi, "service"});
+  }
+}
+
+void FabricService::on_complete(const JobRecord& record) {
+  Telemetry& t = *telemetry_;
+  const Seconds now = simulator_.now();
+  t.metrics.add(t.completed);
+  t.metrics.set(t.in_use, static_cast<double>(config_.fabric_wavelengths -
+                                              allocator_.free_width()));
+  t.metrics.set(t.fragmentation, fragmentation_of(allocator_));
+  t.metrics.observe(t.wait_hist, record.queue_wait().count());
+  t.metrics.observe(t.service_hist, record.service_time().count());
+  t.metrics.observe(t.jct_hist, record.jct().count());
+
+  const std::uint32_t tenant = record.job.tenant;
+  if (tenant >= t.tenant_done.size()) {
+    t.tenant_done.resize(tenant + 1, 0);
+    t.tenant_missed.resize(tenant + 1, 0);
+  }
+  ++t.tenant_done[tenant];
+  const auto target = config_.slo_targets.find(tenant);
+  if (target != config_.slo_targets.end()) {
+    if (record.jct() > target->second) ++t.tenant_missed[tenant];
+    t.metrics.set(t.tenant_burn[tenant],
+                  static_cast<double>(t.tenant_missed[tenant]) /
+                      static_cast<double>(t.tenant_done[tenant]));
+  }
+
+  if (t.record_events) {
+    t.events.record(obs::ServiceEvent{obs::ServiceEvent::Kind::kComplete, now,
+                                      record.job.id, tenant,
+                                      record.lease.w_lo, record.lease.w_hi,
+                                      "release"});
+  }
+  require(t.outstanding > 0, "FabricService: completion without submission");
+  --t.outstanding;
+}
+
+// Materializes the Chrome trace from the event log: one span per
+// completed job on its tenant's lane, plus fabric-level counter tracks
+// (queue depth, wavelengths in use, fragmentation) stepped at every
+// transition. Running this once per export instead of emitting from the
+// per-job hooks keeps the enabled run() overhead down to event
+// recording, which svc_telemetry_tick budgets; the values are exact
+// because every signal here is piecewise-constant between transitions
+// and the events carry the same timestamps the hooks saw.
+void FabricService::build_trace() const {
+  Telemetry& t = *telemetry_;
+  t.trace_built = true;
+
+  t.trace.set_track_name(0, "fabric");
+  std::set<std::uint32_t> tenants;
+  std::size_t completes = 0;
+  for (const obs::ServiceEvent& e : t.events.events()) {
+    if (e.kind == obs::ServiceEvent::Kind::kSubmit) tenants.insert(e.tenant);
+    if (e.kind == obs::ServiceEvent::Kind::kComplete) ++completes;
+  }
+  for (const std::uint32_t tenant : tenants) {
+    t.trace.set_track_name(tenant + 1, "tenant " + std::to_string(tenant));
+  }
+  t.trace.reserve(completes, t.events.size());
+
+  // Per-job state between submit and complete; the grant cause carries
+  // the chosen algorithm ("alg=wrht").
+  struct Open {
+    Seconds submit{0.0};
+    Seconds grant{0.0};
+    const std::string* alg = nullptr;
+  };
+  std::map<std::uint64_t, Open> open;
+
+  // Lane occupancy replica: fragmentation needs the free-interval shape,
+  // not just the free count. Integer counts make the reconstructed
+  // ratios bit-identical to what the live hooks computed.
+  std::vector<std::uint8_t> used(config_.fabric_wavelengths, 0);
+  const auto fragmentation = [&used]() -> double {
+    std::uint32_t free_total = 0, largest = 0, run = 0;
+    for (const std::uint8_t u : used) {
+      if (u == 0) {
+        ++free_total;
+        largest = std::max(largest, ++run);
+      } else {
+        run = 0;
+      }
+    }
+    if (free_total == 0) return 1.0;
+    return static_cast<double>(largest) / static_cast<double>(free_total);
+  };
+
+  std::uint64_t depth = 0;
+  std::uint32_t in_use = 0;
+  for (const obs::ServiceEvent& e : t.events.events()) {
+    switch (e.kind) {
+      case obs::ServiceEvent::Kind::kSubmit: {
+        Open& o = open[e.job];
+        o.submit = e.time;
+        ++depth;
+        t.trace.counter(obs::CounterSample{
+            "queue depth", e.time, static_cast<double>(depth), 0});
+        break;
+      }
+      case obs::ServiceEvent::Kind::kAdmit:
+        if (depth > 0) --depth;
+        break;
+      case obs::ServiceEvent::Kind::kPreempt:
+        ++depth;
+        break;
+      case obs::ServiceEvent::Kind::kGrant: {
+        Open& o = open[e.job];
+        o.grant = e.time;
+        o.alg = &e.cause;
+        for (std::uint32_t w = e.w_lo; w < e.w_hi; ++w) used[w] = 1;
+        in_use += e.w_hi - e.w_lo;
+        t.trace.counter(obs::CounterSample{
+            "queue depth", e.time, static_cast<double>(depth), 0});
+        t.trace.counter(obs::CounterSample{
+            "wavelengths in use", e.time, static_cast<double>(in_use), 0});
+        t.trace.counter(
+            obs::CounterSample{"fragmentation", e.time, fragmentation(), 0});
+        break;
+      }
+      case obs::ServiceEvent::Kind::kStart:
+      case obs::ServiceEvent::Kind::kRetune:
+        break;
+      case obs::ServiceEvent::Kind::kComplete: {
+        const auto it = open.find(e.job);
+        if (it == open.end()) break;
+        const Open& o = it->second;
+        obs::TraceSpan span;
+        span.name = "job " + std::to_string(e.job);
+        span.category = "svc-job";
+        span.start = o.grant;
+        span.duration = e.time - o.grant;
+        span.track = e.tenant + 1;
+        if (o.alg != nullptr && o.alg->rfind("alg=", 0) == 0) {
+          span.args.emplace_back("alg", o.alg->substr(4));
+        }
+        span.num_args.emplace_back("tenant", static_cast<double>(e.tenant));
+        span.num_args.emplace_back("w_lo", static_cast<double>(e.w_lo));
+        span.num_args.emplace_back("w_hi", static_cast<double>(e.w_hi));
+        span.num_args.emplace_back("wait_s", (o.grant - o.submit).count());
+        t.trace.span(std::move(span));
+        for (std::uint32_t w = e.w_lo; w < e.w_hi; ++w) used[w] = 0;
+        in_use -= std::min(in_use, e.w_hi - e.w_lo);
+        t.trace.counter(obs::CounterSample{
+            "wavelengths in use", e.time, static_cast<double>(in_use), 0});
+        t.trace.counter(
+            obs::CounterSample{"fragmentation", e.time, fragmentation(), 0});
+        open.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 std::pair<Seconds, plan::CandidateKind> FabricService::price_iteration(
@@ -141,6 +532,7 @@ void FabricService::try_admit() {
        picked = policy_->select(queue_, ctx)) {
     Job job = std::move(queue_[picked]);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(picked));
+    if (telemetry_) on_admit(job);
 
     const std::optional<std::uint32_t> w_lo = allocator_.allocate(job.width);
     require(w_lo.has_value(),
@@ -157,6 +549,7 @@ void FabricService::try_admit() {
     consumed_[job.tenant] += static_cast<double>(job.width) * service.count();
     record.job = std::move(job);
     if (config_.counters != nullptr) config_.counters->add("svc.grants", 1);
+    if (telemetry_) on_grant(record);
 
     simulator_.schedule_in(service, [this, record]() {
       allocator_.release(record.lease.w_lo, record.job.width);
@@ -164,6 +557,7 @@ void FabricService::try_admit() {
       if (config_.counters != nullptr) {
         config_.counters->add("svc.completions", 1);
       }
+      if (telemetry_) on_complete(record);
       try_admit();
     });
   }
@@ -178,6 +572,8 @@ ServiceReport FabricService::run(const std::vector<Job>& jobs) {
   queue_.clear();
   completed_.clear();
   consumed_.clear();
+  telemetry_.reset();
+  if (config_.telemetry.any()) telemetry_begin(jobs);
 
   for (const Job& job : jobs) {
     require(job.num_nodes >= 2, "FabricService: job needs >= 2 nodes");
@@ -190,16 +586,31 @@ ServiceReport FabricService::run(const std::vector<Job>& jobs) {
     simulator_.schedule_at(job.arrival, [this, job]() {
       queue_.push_back(job);
       if (config_.counters != nullptr) config_.counters->add("svc.arrivals", 1);
+      if (telemetry_) on_submit(job);
       try_admit();
     });
+  }
+  // The sampler rides the same event queue: extra read-only events that
+  // change no admission decision, scheduled after the arrivals so
+  // same-instant ties resolve identically run to run.
+  if (telemetry_ && config_.telemetry.metrics) {
+    simulator_.schedule_at(Seconds(0.0), [this]() { telemetry_sample(); });
   }
   simulator_.run();
   require(queue_.empty(), "FabricService: run ended with jobs still queued");
 
+  return summarize_records(config_.policy, config_.fabric_wavelengths,
+                           completed_, config_.slo_targets);
+}
+
+ServiceReport summarize_records(
+    PolicyKind policy, std::uint32_t fabric_wavelengths,
+    std::vector<JobRecord> records,
+    const std::map<std::uint32_t, Seconds>& slo_targets) {
   ServiceReport report;
-  report.policy = config_.policy;
-  report.fabric_wavelengths = config_.fabric_wavelengths;
-  report.records = completed_;
+  report.policy = policy;
+  report.fabric_wavelengths = fabric_wavelengths;
+  report.records = std::move(records);
   if (report.records.empty()) return report;
 
   std::vector<double> jct;
@@ -221,29 +632,37 @@ ServiceReport FabricService::run(const std::vector<Job>& jobs) {
   if (report.makespan.count() > 0.0) {
     report.utilization =
         wavelength_seconds /
-        (static_cast<double>(config_.fabric_wavelengths) *
-         report.makespan.count());
+        (static_cast<double>(fabric_wavelengths) * report.makespan.count());
   }
 
-  for (const auto& [tenant, records] : by_tenant) {
+  for (const auto& [tenant, tenant_records] : by_tenant) {
     TenantStats stats;
     stats.tenant = tenant;
-    stats.jobs = records.size();
+    stats.jobs = tenant_records.size();
     std::vector<double> tenant_jct;
     double wait = 0.0;
     double service = 0.0;
-    for (const JobRecord* r : records) {
+    for (const JobRecord* r : tenant_records) {
       tenant_jct.push_back(r->jct().count());
       wait += r->queue_wait().count();
       service += r->service_time().count();
       stats.wavelength_seconds +=
           static_cast<double>(r->job.width) * r->service_time().count();
     }
-    const auto n = static_cast<double>(records.size());
+    const auto n = static_cast<double>(tenant_records.size());
     stats.p50_jct = Seconds(percentile(tenant_jct, 0.5));
     stats.p99_jct = Seconds(percentile(tenant_jct, 0.99));
     stats.mean_queue_wait = Seconds(wait / n);
     stats.mean_service_time = Seconds(service / n);
+    const auto target = slo_targets.find(tenant);
+    if (target != slo_targets.end()) {
+      stats.slo_target = target->second;
+      for (const JobRecord* r : tenant_records) {
+        if (r->jct() > stats.slo_target) ++stats.slo_violations;
+      }
+      stats.slo_burn =
+          static_cast<double>(stats.slo_violations) / n;
+    }
     report.tenants.push_back(std::move(stats));
   }
   return report;

@@ -1,0 +1,109 @@
+// EventLog (svc-events-1) unit tests: kind round-trips, JSONL write/read
+// round-trips (including exact double timestamps and escaped causes), and
+// schema-marker rejection of foreign files.
+#include "wrht/obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::obs {
+namespace {
+
+EventLog sample_log() {
+  EventLog log;
+  log.set_context(EventLog::Context{16, "backfill", 2023});
+  log.record(ServiceEvent{ServiceEvent::Kind::kSubmit, Seconds(0.0), 1, 0, 0,
+                          0, "arrival"});
+  log.record(ServiceEvent{ServiceEvent::Kind::kAdmit, Seconds(0.0), 1, 0, 0,
+                          0, "policy=backfill"});
+  log.record(ServiceEvent{ServiceEvent::Kind::kGrant,
+                          Seconds(0.1000000000000001), 1, 0, 4, 12,
+                          "alg=wrht"});
+  log.record(ServiceEvent{ServiceEvent::Kind::kComplete, Seconds(1.0 / 3.0),
+                          1, 0, 4, 12, "release"});
+  return log;
+}
+
+TEST(EventLog, KindNamesRoundTrip) {
+  for (const auto kind :
+       {ServiceEvent::Kind::kSubmit, ServiceEvent::Kind::kAdmit,
+        ServiceEvent::Kind::kPreempt, ServiceEvent::Kind::kGrant,
+        ServiceEvent::Kind::kStart, ServiceEvent::Kind::kComplete,
+        ServiceEvent::Kind::kRetune}) {
+    EXPECT_EQ(event_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)event_kind_from_string("nonsense"), Error);
+}
+
+TEST(EventLog, JsonlRoundTripsExactly) {
+  const EventLog log = sample_log();
+  std::istringstream in(log.to_jsonl());
+  const EventLog parsed = EventLog::read_jsonl(in);
+
+  EXPECT_EQ(parsed.context(), log.context());
+  ASSERT_EQ(parsed.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(parsed.events()[i], log.events()[i]) << "event " << i;
+    // The %.17g timestamps must reconstruct the exact double — the replay
+    // identity in bench_svc_telemetry depends on this.
+    EXPECT_EQ(parsed.events()[i].time.count(), log.events()[i].time.count());
+  }
+  // Re-serializing the parsed log reproduces the bytes.
+  EXPECT_EQ(parsed.to_jsonl(), log.to_jsonl());
+}
+
+TEST(EventLog, FileRoundTrip) {
+  const std::string path = "event_log_test.jsonl";
+  sample_log().write_file(path);
+  const EventLog parsed = EventLog::read_file(path);
+  EXPECT_EQ(parsed.to_jsonl(), sample_log().to_jsonl());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)EventLog::read_file(path), Error);  // gone
+}
+
+TEST(EventLog, CausesWithSpecialCharactersSurvive) {
+  EventLog log;
+  log.set_context(EventLog::Context{4, "fifo", 1});
+  log.record(ServiceEvent{ServiceEvent::Kind::kSubmit, Seconds(0.0), 7, 2, 0,
+                          0, "quote \" backslash \\ tab \t newline \n"});
+  std::istringstream in(log.to_jsonl());
+  const EventLog parsed = EventLog::read_jsonl(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.events()[0].cause,
+            "quote \" backslash \\ tab \t newline \n");
+}
+
+TEST(EventLog, RejectsForeignOrMalformedStreams) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW((void)EventLog::read_jsonl(in), Error);  // no header
+  }
+  {
+    std::istringstream in(
+        "{\"schema\": \"other-schema-9\", \"fabric_wavelengths\": 4, "
+        "\"policy\": \"fifo\", \"seed\": 1, \"events\": 0}\n");
+    EXPECT_THROW((void)EventLog::read_jsonl(in), Error);  // wrong schema
+  }
+  {
+    std::istringstream in(
+        "{\"schema\": \"svc-events-1\", \"fabric_wavelengths\": 4, "
+        "\"policy\": \"fifo\", \"seed\": 1, \"events\": 1}\n"
+        "{\"kind\": \"submit\"}\n");
+    EXPECT_THROW((void)EventLog::read_jsonl(in), Error);  // missing fields
+  }
+}
+
+TEST(EventLog, ClearDropsEventsButKeepsContext) {
+  EventLog log = sample_log();
+  EXPECT_FALSE(log.empty());
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.context().policy, "backfill");
+}
+
+}  // namespace
+}  // namespace wrht::obs
