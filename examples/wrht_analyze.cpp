@@ -22,6 +22,19 @@
 // bottleneck verdict. Replay runs through the same summarize_records()
 // arithmetic as the live service, so the numbers match the original run
 // exactly.
+//
+// --blame PATH attaches the transfer-level probe to the run, extracts the
+// critical path, attributes the makespan to blame categories
+// (reconfiguration / conversion / transmission / processing / straggler
+// wait), runs the what-if re-pricings, and writes the byte-deterministic
+// wrht-blame-1 JSON to PATH. The accounting identity (sum of categories ==
+// makespan) is checked by verify::check_blame_identity and a violation
+// fails the run. --blame-trace PATH additionally exports the critical
+// path as a Chrome trace whose rounds are chained with flow arrows.
+//
+// --diff BASE OTHER compares two wrht-blame-1 files (run- or
+// service-kind) and localizes any movement to categories, lanes, and
+// tenants; exit 1 when OTHER regressed against BASE.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -29,18 +42,45 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "wrht/collectives/registry.hpp"
 #include "wrht/core/planner.hpp"
+#include "wrht/diag/blame.hpp"
+#include "wrht/diag/blame_json.hpp"
 #include "wrht/exp/sweep.hpp"
 #include "wrht/net/registry.hpp"
 #include "wrht/obs/analysis.hpp"
 #include "wrht/obs/event_log.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/obs/trace_json.hpp"
+#include "wrht/obs/transfer_log.hpp"
 #include "wrht/svc/replay.hpp"
+#include "wrht/verify/blame.hpp"
 
 namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [nodes] [elements] [wavelengths] [algorithm] "
+               "[backend] [--json PATH] [--blame PATH] [--blame-trace PATH] "
+               "| --service EVENTS.jsonl | --diff BASE.json OTHER.json\n",
+               argv0);
+  return 2;
+}
+
+int diff_blame_files(const std::string& base_path,
+                     const std::string& other_path) {
+  using namespace wrht;
+  const diag::ParsedBlame base = diag::read_blame_file(base_path);
+  const diag::ParsedBlame other = diag::read_blame_file(other_path);
+  const diag::BlameDiff diff = diag::diff_blame(base, other);
+  std::printf("base:  %s (%s)\nother: %s (%s)\n", base_path.c_str(),
+              base.source.c_str(), other_path.c_str(), other.source.c_str());
+  std::cout << diff.to_string();
+  return diff.regressed ? 1 : 0;
+}
 
 int analyze_service(const std::string& events_path) {
   using namespace wrht;
@@ -71,25 +111,42 @@ int analyze_service(const std::string& events_path) {
 
 int main(int argc, char** argv) {
   using namespace wrht;
-  // --json PATH / --service PATH may appear anywhere; everything else is
-  // positional.
+  // Flags may appear anywhere; everything else is positional. Anything
+  // dash-prefixed that is not a known flag is an error, not a positional.
   std::string json_path;
   std::string service_path;
+  std::string blame_path;
+  std::string blame_trace_path;
+  std::string diff_base;
+  std::string diff_other;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--service") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: %s [nodes] [elements] [wavelengths] "
-                             "[algorithm] [backend] [--json PATH] | "
-                             "--service EVENTS.jsonl\n", argv[0]);
-        return 2;
+    if (arg == "--json" || arg == "--service" || arg == "--blame" ||
+        arg == "--blame-trace") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string value = argv[++i];
+      if (arg == "--json") {
+        json_path = value;
+      } else if (arg == "--service") {
+        service_path = value;
+      } else if (arg == "--blame") {
+        blame_path = value;
+      } else {
+        blame_trace_path = value;
       }
-      (arg == "--json" ? json_path : service_path) = argv[++i];
+    } else if (arg == "--diff") {
+      if (i + 2 >= argc) return usage(argv[0]);
+      diff_base = argv[++i];
+      diff_other = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      return usage(argv[0]);
     } else {
       pos.emplace_back(argv[i]);
     }
   }
+  if (!diff_base.empty()) return diff_blame_files(diff_base, diff_other);
   if (!service_path.empty()) return analyze_service(service_path);
   const std::uint32_t nodes =
       !pos.empty() ? static_cast<std::uint32_t>(std::atoi(pos[0].c_str()))
@@ -130,8 +187,12 @@ int main(int argc, char** argv) {
   // Bring our own sampler so the full analysis (per-resource accounts,
   // critical path) is available, not just the RunReport summary fields.
   obs::OccupancySampler sampler;
+  obs::TransferLog transfers;
   obs::Probe probe;
   probe.occupancy = &sampler;
+  if (!blame_path.empty() || !blame_trace_path.empty()) {
+    probe.transfers = &transfers;
+  }
   RunReport report = backend->execute(schedule, probe);
 
   const obs::UtilizationAnalysis analysis =
@@ -141,6 +202,52 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     report.write_json_file(json_path);
     std::printf("\nrun report written to %s\n", json_path.c_str());
+  }
+
+  if (!blame_path.empty() || !blame_trace_path.empty()) {
+    const diag::BlameReport blame = diag::build_blame(transfers);
+    std::printf("\n%s", blame.to_string().c_str());
+
+    // What-if re-pricings: a sound upper bound on the speedup from
+    // removing one category (the DAG is re-longest-pathed, so cross-lane
+    // slack is honoured), plus the policy counterfactual.
+    std::vector<std::pair<std::string, double>> what_if;
+    for (const diag::BlameCategory category :
+         {diag::BlameCategory::kReconfiguration,
+          diag::BlameCategory::kConversion,
+          diag::BlameCategory::kTransmission,
+          diag::BlameCategory::kStragglerWait}) {
+      what_if.emplace_back("zero_" + diag::to_string(category),
+                           diag::what_if_zero(transfers, category).count());
+    }
+    what_if.emplace_back("policy_on_retune",
+                         diag::what_if_on_retune(transfers).count());
+    std::printf("what-if makespans:\n");
+    for (const auto& [label, seconds] : what_if) {
+      std::printf("  %-24s %12.6e s (%+.1f%%)\n", label.c_str(), seconds,
+                  blame.total_time.count() > 0.0
+                      ? 100.0 * (seconds - blame.total_time.count()) /
+                            blame.total_time.count()
+                      : 0.0);
+    }
+
+    const verify::CheckResult identity = verify::check_blame_identity(blame);
+    if (!identity.ok()) {
+      std::fprintf(stderr, "%s\n", identity.summary().c_str());
+      return 1;
+    }
+    if (!blame_path.empty()) {
+      diag::write_blame_file(blame, what_if, blame_path);
+      std::printf("blame report written to %s\n", blame_path.c_str());
+    }
+    if (!blame_trace_path.empty()) {
+      obs::ChromeTraceSink sink("wrht-blame");
+      diag::export_critical_path(blame, sink);
+      sink.write_file(blame_trace_path);
+      std::printf("critical-path trace written to %s "
+                  "(load in chrome://tracing)\n",
+                  blame_trace_path.c_str());
+    }
   }
 
   // Accounting identities (the acceptance criteria for the analysis

@@ -34,10 +34,12 @@
 
 #include "wrht/collectives/ring_allreduce.hpp"
 #include "wrht/core/planner.hpp"
+#include "wrht/diag/blame.hpp"
 #include "wrht/core/torus_wrht.hpp"
 #include "wrht/core/wrht_schedule.hpp"
 #include "wrht/exp/sweep.hpp"
 #include "wrht/net/registry.hpp"
+#include "wrht/obs/transfer_log.hpp"
 #include "wrht/optical/rwa.hpp"
 #include "wrht/plan/schedule_planner.hpp"
 #include "wrht/prof/baseline.hpp"
@@ -339,6 +341,21 @@ int main(int argc, char** argv) {
   const coll::Schedule oracle_sched =
       coll::ring_allreduce(oracle_n, oracle_elems);
 
+  // Transfer-level timeline for the blame_build micro, captured once
+  // outside the timed region (the metric prices the DAG analysis, not the
+  // engine run that feeds it).
+  obs::TransferLog blame_log;
+  {
+    net::BackendConfig config;
+    config.num_nodes = optical_n;
+    config.wavelengths = 16;
+    obs::Probe probe;
+    probe.transfers = &blame_log;
+    (void)net::BackendRegistry::instance()
+        .create("optical-ring", config)
+        ->execute(optical_sched, probe);
+  }
+
   const auto backend_run = [](const std::string& name, std::uint32_t nodes,
                               std::uint32_t wavelengths,
                               const coll::Schedule& schedule) {
@@ -401,6 +418,13 @@ int main(int argc, char** argv) {
          const verify::OracleReport report =
              verify::check_allreduce(oracle_sched, verify::OracleOptions{});
          if (!report.ok()) throw Error("wrht_perf: oracle failed");
+       }},
+      {"blame_build",
+       [&] {
+         const diag::BlameReport blame = diag::build_blame(blame_log);
+         if (blame.attributed() <= 0.0) {
+           throw Error("wrht_perf: blame_build attributed zero time");
+         }
        }},
   };
 

@@ -21,6 +21,10 @@
 //                   sampled on a virtual-time cadence.
 //   --events PATH   svc-events-1 JSONL event log (replayable with
 //                   `wrht_analyze --service PATH`).
+//   --blame PATH    per-tenant JCT blame (queueing / fragmentation /
+//                   reconfiguration / conversion / transmission) as a
+//                   "service"-kind wrht-blame-1 JSON; the accounting
+//                   identity is checked and a violation fails the run.
 //   --slo T=S       give tenant T a JCT target of S seconds (repeatable);
 //                   prints the SLO attainment table.
 // With `all`, each policy overwrites the same files; the last policy's
@@ -32,11 +36,13 @@
 #include <string>
 #include <vector>
 
+#include "wrht/diag/svc_blame.hpp"
 #include "wrht/obs/event_log.hpp"
 #include "wrht/obs/metrics.hpp"
 #include "wrht/obs/trace_json.hpp"
 #include "wrht/svc/service.hpp"
 #include "wrht/svc/workload.hpp"
+#include "wrht/verify/blame.hpp"
 
 namespace {
 
@@ -44,7 +50,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [jobs] [wavelengths] [policy|all] [interarrival_ms] "
                "[burstiness] [--trace PATH] [--metrics PATH] [--events PATH] "
-               "[--slo TENANT=SECONDS]\n",
+               "[--blame PATH] [--slo TENANT=SECONDS]\n",
                argv0);
   return 2;
 }
@@ -57,12 +63,13 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string events_path;
+  std::string blame_path;
   std::map<std::uint32_t, Seconds> slo_targets;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" || arg == "--metrics" || arg == "--events" ||
-        arg == "--slo") {
+        arg == "--blame" || arg == "--slo") {
       if (i + 1 >= argc) return usage(argv[0]);
       const std::string value = argv[++i];
       if (arg == "--trace") {
@@ -71,6 +78,8 @@ int main(int argc, char** argv) {
         metrics_path = value;
       } else if (arg == "--events") {
         events_path = value;
+      } else if (arg == "--blame") {
+        blame_path = value;
       } else {
         const std::size_t eq = value.find('=');
         if (eq == std::string::npos) return usage(argv[0]);
@@ -78,6 +87,9 @@ int main(int argc, char** argv) {
             std::atoi(value.substr(0, eq).c_str()))] =
             Seconds(std::atof(value.substr(eq + 1).c_str()));
       }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      return usage(argv[0]);
     } else {
       pos.push_back(arg);
     }
@@ -141,6 +153,21 @@ int main(int argc, char** argv) {
       std::printf("event log written to %s (replay with wrht_analyze "
                   "--service)\n",
                   events_path.c_str());
+    }
+    if (!blame_path.empty()) {
+      const diag::ServiceBlame blame = diag::build_service_blame(
+          report, config.planner, config.fabric_wavelengths);
+      std::printf("\n%s", blame.to_string().c_str());
+      const verify::CheckResult identity =
+          verify::check_blame_identity(blame);
+      if (!identity.ok()) {
+        std::fprintf(stderr, "%s\n", identity.summary().c_str());
+        return 1;
+      }
+      diag::write_service_blame_file(blame, blame_path);
+      std::printf("blame report written to %s (diff with wrht_analyze "
+                  "--diff)\n",
+                  blame_path.c_str());
     }
   }
   return 0;

@@ -68,7 +68,7 @@ declare -A EXPECTED_ROWS=(
 
 targets=()
 for b in "${BENCHES[@]}"; do targets+=("${BIN_OVERRIDE[$b]:-bench_$b}"); done
-targets+=(bench_micro)
+targets+=(bench_micro wrht_analyze)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${targets[@]}"
 
 WORK="$(mktemp -d)"
@@ -164,11 +164,44 @@ if [[ "$timeseries_header" != "$timeseries_schema" ]]; then
 fi
 echo "OK: svc_telemetry_timeseries.csv column schema pinned"
 
+# Causal blame smoke: wrht_analyze --blame must emit a wrht-blame-1 report
+# whose accounting identity holds. The CLI gates the identity itself
+# (verify::check_blame_identity, exit 1 on breakage); the schema marker and
+# the attributed==total sum are re-checked here on the emitted bytes so a
+# writer that drifts away from what the CLI validated still trips the smoke.
+echo "--- wrht_analyze --blame"
+if ! "$BUILD_DIR/examples/wrht_analyze" 32 4096 8 wrht optical-ring \
+    --blame smoke_blame.json > wrht_analyze_blame.log 2>&1; then
+  echo "FAIL: wrht_analyze --blame exited non-zero (identity gate?); last lines:"
+  tail -n 20 wrht_analyze_blame.log
+  exit 1
+fi
+if ! head -n 2 smoke_blame.json | grep -q '"schema": "wrht-blame-1"'; then
+  echo "FAIL: smoke_blame.json is missing the wrht-blame-1 schema marker"
+  echo "  head: $(head -n 2 smoke_blame.json | tr '\n' ' ')"
+  exit 1
+fi
+blame_total="$(sed -n 's/.*"total_time": \([^,]*\),*$/\1/p' smoke_blame.json \
+  | head -n 1)"
+blame_attr="$(sed -n 's/.*"attributed_time": \([^,]*\),*$/\1/p' \
+  smoke_blame.json | head -n 1)"
+if [[ -z "$blame_total" || -z "$blame_attr" ]] || \
+   ! awk -v t="$blame_total" -v a="$blame_attr" \
+       'BEGIN { d = t - a; if (d < 0) d = -d;
+                tol = 1e-9 * (t > 0 ? t : 1);
+                exit (d <= tol) ? 0 : 1 }'; then
+  echo "FAIL: smoke_blame.json blame identity broken:" \
+       "attributed ${blame_attr:-?} != total ${blame_total:-?}"
+  exit 1
+fi
+echo "OK: smoke_blame.json (schema marker + identity: $blame_attr s)"
+
 # Stash the telemetry artifacts outside the temp dir (deleted on exit) so
 # CI can upload them alongside the smoke logs.
 mkdir -p "$BUILD_DIR/telemetry_artifacts"
 cp svc_events.jsonl svc_telemetry_timeseries.csv svc_trace.json \
-   ablation_svc_telemetry.csv "$BUILD_DIR/telemetry_artifacts/"
+   ablation_svc_telemetry.csv smoke_blame.json \
+   "$BUILD_DIR/telemetry_artifacts/"
 echo "OK: telemetry artifacts staged in $BUILD_DIR/telemetry_artifacts"
 
 # Microbenchmark smoke: one repetition at minimal min_time just proves every

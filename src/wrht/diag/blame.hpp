@@ -1,0 +1,147 @@
+// Causal blame attribution over a transfer-level run timeline.
+//
+// An engine observed with obs::TransferLog emits the full dependency
+// structure of a run: steps are barriers, each step runs one or more lanes
+// (independently progressing resource chains — the flat ring, each torus
+// row/column, the electrical fabric), each lane serializes its rounds, and
+// each round decomposes into the exact cost components the engine charged.
+// build_blame() rebuilds that DAG, extracts the critical path (per step:
+// the bounding lane's round chain), and attributes the makespan to blame
+// categories with an accounting identity — the category attributions sum
+// to the measured total, asserted by verify::check_blame_identity and the
+// wrht_analyze --blame gate.
+//
+// what_if_zero() / what_if_on_retune() re-longest-path the DAG with one
+// cost component removed, yielding a sound predicted-speedup upper bound
+// (removing cost from every round can only shorten each lane chain, and
+// the recomputation re-maxes the lanes per step, so no serialization the
+// real engine would face is dropped). The kOnRetune variant replicates the
+// retune-aware pricing exactly, so its prediction matches an actual
+// re-simulation under net::ReconfigPolicy::kOnRetune.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wrht/common/units.hpp"
+#include "wrht/obs/transfer_log.hpp"
+
+namespace wrht::obs {
+class ChromeTraceSink;
+}  // namespace wrht::obs
+
+namespace wrht::diag {
+
+/// Where a second of (make)span went. The first two only occur in service
+/// (per-job JCT) blame; the rest decompose engine rounds.
+enum class BlameCategory : std::uint8_t {
+  kQueueing = 0,        ///< waiting although the fabric could not fit us
+  kFragmentation,       ///< enough free width existed, but not contiguous
+  kReconfiguration,     ///< MRR retune delay charged on the critical path
+  kConversion,          ///< O/E/O conversion
+  kTransmission,        ///< payload serialization
+  kProcessing,          ///< electrical router store-and-forward
+  kStragglerWait,       ///< waiting for a slower lane / residual slack
+};
+
+inline constexpr std::size_t kNumBlameCategories = 7;
+
+/// Stable lower-case name ("queueing", "fragmentation", ...), used as the
+/// wrht-blame-1 JSON keys.
+[[nodiscard]] std::string to_string(BlameCategory category);
+
+/// All categories in enum order (iteration helper).
+[[nodiscard]] const std::array<BlameCategory, kNumBlameCategories>&
+all_blame_categories();
+
+/// Per-category seconds; the workhorse accumulator of the module.
+struct BlameTotals {
+  std::array<double, kNumBlameCategories> seconds{};
+
+  [[nodiscard]] double& operator[](BlameCategory c) {
+    return seconds[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double operator[](BlameCategory c) const {
+    return seconds[static_cast<std::size_t>(c)];
+  }
+  /// Sum over categories in enum order.
+  [[nodiscard]] double total() const;
+  BlameTotals& operator+=(const BlameTotals& other);
+};
+
+/// One round on the critical path.
+struct CriticalRound {
+  std::uint32_t step = 0;
+  std::string lane;
+  std::uint32_t round = 0;
+  Seconds start{0.0};
+  Seconds duration{0.0};
+  Seconds reconfig{0.0};
+  Seconds conversion{0.0};
+  Seconds serialization{0.0};
+  Seconds processing{0.0};
+  bool retune = true;
+};
+
+/// One lane's run-wide resource attribution. `straggler` accumulates the
+/// lane's shortfall against each step's bounding lane — the diff currency
+/// that localizes "row3 got slower" even when the category mix is stable.
+struct LaneBlame {
+  std::string lane;
+  BlameTotals totals;  ///< own components + straggler shortfall
+  Seconds busy{0.0};   ///< sum of the lane's round durations
+};
+
+struct BlameReport {
+  // Provenance (TransferLog::Context).
+  std::string backend;
+  std::string reconfig_policy;
+  Seconds mrr_reconfig_delay{0.0};
+  Seconds oeo_delay{0.0};
+
+  /// Measured makespan: the sum of the observed step durations.
+  Seconds total_time{0.0};
+  /// Critical-path attribution; total() matches total_time (the identity).
+  BlameTotals categories;
+  std::vector<CriticalRound> critical_path;
+  /// Per-lane attribution, sorted by lane name.
+  std::vector<LaneBlame> lanes;
+
+  std::size_t steps = 0;
+  std::size_t rounds = 0;
+  std::size_t transfers = 0;
+
+  /// Sum of the category attributions (the identity's left-hand side).
+  [[nodiscard]] double attributed() const { return categories.total(); }
+
+  /// Human-readable category table with percentages.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Rebuilds the dependency DAG from the log, extracts the critical path
+/// and attributes the makespan. Throws InvalidArgument on a log with no
+/// steps.
+[[nodiscard]] BlameReport build_blame(const obs::TransferLog& log);
+
+/// Re-longest-paths the DAG with `category`'s cost removed from every
+/// round; the returned time is a lower bound on any real run that still
+/// serializes the remaining components, so total/what_if is a sound
+/// speedup upper bound.
+[[nodiscard]] Seconds what_if_zero(const obs::TransferLog& log,
+                                   BlameCategory category);
+
+/// Predicted makespan under net::ReconfigPolicy::kOnRetune: every round's
+/// charged reconfiguration is replaced by the full delay when the round
+/// retunes and zero when it does not — exactly the retune-aware pricing,
+/// so this matches an actual kOnRetune re-simulation of the same schedule.
+[[nodiscard]] Seconds what_if_on_retune(const obs::TransferLog& log);
+
+/// Exports the critical path into a Chrome trace: one "blame" track with a
+/// span per critical round and flow arrows chaining them, so the path
+/// renders as a connected arrow sequence in the viewer.
+void export_critical_path(const BlameReport& report,
+                          obs::ChromeTraceSink& sink);
+
+}  // namespace wrht::diag

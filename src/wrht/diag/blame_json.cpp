@@ -1,0 +1,316 @@
+#include "wrht/diag/blame_json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "wrht/common/error.hpp"
+
+namespace wrht::diag {
+
+namespace blame_detail {
+
+std::string num17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace blame_detail
+
+namespace {
+
+using blame_detail::num17;
+
+void write_categories(const BlameTotals& totals, const char* indent,
+                      std::ostream& out) {
+  bool first = true;
+  for (const BlameCategory category : all_blame_categories()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << indent << "\"" << to_string(category)
+        << "\": " << num17(totals[category]);
+  }
+  out << "\n";
+}
+
+/// Extracts the value of `"key": "..."` on `line`, empty when absent.
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return {};
+  return line.substr(begin, end - begin);
+}
+
+/// Extracts the numeric value of `"key": <number>` on `line`.
+bool extract_number(const std::string& line, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* begin = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  *out = v;
+  return true;
+}
+
+/// The `"name":` token starting a section, if this line opens one.
+std::string section_of(const std::string& line) {
+  if (line.find(": {") == std::string::npos &&
+      line.find(": [") == std::string::npos) {
+    return {};
+  }
+  const std::size_t open = line.find('"');
+  if (open == std::string::npos) return {};
+  const std::size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return line.substr(open + 1, close - open - 1);
+}
+
+void add_movers(const std::map<std::string, double>& base,
+                const std::map<std::string, double>& other,
+                double abs_threshold, std::vector<BlameMover>* out) {
+  std::map<std::string, BlameMover> merged;
+  for (const auto& [name, v] : base) {
+    merged[name].name = name;
+    merged[name].base = v;
+  }
+  for (const auto& [name, v] : other) {
+    merged[name].name = name;
+    merged[name].other = v;
+  }
+  for (const auto& [name, mover] : merged) {
+    if (std::abs(mover.delta()) > abs_threshold) out->push_back(mover);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const BlameMover& a, const BlameMover& b) {
+              if (std::abs(a.delta()) != std::abs(b.delta())) {
+                return std::abs(a.delta()) > std::abs(b.delta());
+              }
+              return a.name < b.name;
+            });
+}
+
+}  // namespace
+
+void write_blame_json(
+    const BlameReport& report,
+    const std::vector<std::pair<std::string, double>>& what_if,
+    std::ostream& out) {
+  out << "{\n";
+  out << "  \"schema\": \"" << kBlameSchema << "\",\n";
+  out << "  \"kind\": \"run\",\n";
+  out << "  \"backend\": \"" << report.backend << "\",\n";
+  out << "  \"reconfig_policy\": \"" << report.reconfig_policy << "\",\n";
+  out << "  \"mrr_reconfig_delay\": "
+      << num17(report.mrr_reconfig_delay.count()) << ",\n";
+  out << "  \"oeo_delay\": " << num17(report.oeo_delay.count()) << ",\n";
+  out << "  \"steps\": " << report.steps << ",\n";
+  out << "  \"rounds\": " << report.rounds << ",\n";
+  out << "  \"transfers\": " << report.transfers << ",\n";
+  out << "  \"total_time\": " << num17(report.total_time.count()) << ",\n";
+  out << "  \"attributed_time\": " << num17(report.attributed()) << ",\n";
+  out << "  \"categories\": {\n";
+  write_categories(report.categories, "    ", out);
+  out << "  },\n";
+  out << "  \"what_if\": {\n";
+  for (std::size_t i = 0; i < what_if.size(); ++i) {
+    out << "    \"" << what_if[i].first << "\": " << num17(what_if[i].second)
+        << (i + 1 < what_if.size() ? ",\n" : "\n");
+  }
+  out << "  },\n";
+  out << "  \"lanes\": [\n";
+  for (std::size_t i = 0; i < report.lanes.size(); ++i) {
+    const LaneBlame& lane = report.lanes[i];
+    out << "    {\"lane\": \"" << lane.lane
+        << "\", \"busy\": " << num17(lane.busy.count());
+    for (const BlameCategory category : all_blame_categories()) {
+      out << ", \"" << to_string(category)
+          << "\": " << num17(lane.totals[category]);
+    }
+    out << "}" << (i + 1 < report.lanes.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  out << "  \"critical_path\": [\n";
+  for (std::size_t i = 0; i < report.critical_path.size(); ++i) {
+    const CriticalRound& r = report.critical_path[i];
+    out << "    {\"step\": " << r.step << ", \"lane\": \"" << r.lane
+        << "\", \"round\": " << r.round
+        << ", \"start\": " << num17(r.start.count())
+        << ", \"duration\": " << num17(r.duration.count())
+        << ", \"reconfiguration\": " << num17(r.reconfig.count())
+        << ", \"conversion\": " << num17(r.conversion.count())
+        << ", \"transmission\": " << num17(r.serialization.count())
+        << ", \"processing\": " << num17(r.processing.count())
+        << ", \"retune\": " << (r.retune ? "true" : "false") << "}"
+        << (i + 1 < report.critical_path.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+void write_blame_file(
+    const BlameReport& report,
+    const std::vector<std::pair<std::string, double>>& what_if,
+    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_blame_file: cannot open '" + path + "'");
+  write_blame_json(report, what_if, out);
+}
+
+ParsedBlame read_blame_json(std::istream& in) {
+  ParsedBlame parsed;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_schema = false;
+  std::string section;  // "", "categories", "what_if", "lanes", ...
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    if (!section.empty()) {
+      // A section closes on its bare `}` / `]` terminator line.
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (line[first] == '}' || line[first] == ']') {
+        section.clear();
+        continue;
+      }
+      double value = 0.0;
+      if (section == "categories" || section == "what_if") {
+        const std::size_t open = line.find('"');
+        const std::size_t close =
+            open == std::string::npos ? std::string::npos
+                                      : line.find('"', open + 1);
+        if (close == std::string::npos) {
+          throw Error("wrht-blame-1: line " + std::to_string(line_number) +
+                      ": expected \"name\": value inside \"" + section +
+                      "\"");
+        }
+        const std::string name = line.substr(open + 1, close - open - 1);
+        if (!extract_number(line, name, &value)) {
+          throw Error("wrht-blame-1: line " + std::to_string(line_number) +
+                      ": no numeric value for \"" + name + "\"");
+        }
+        (section == "categories" ? parsed.categories
+                                 : parsed.what_if)[name] = value;
+      } else if (section == "lanes") {
+        const std::string name = extract_string(line, "lane");
+        if (name.empty() || !extract_number(line, "busy", &value)) {
+          throw Error("wrht-blame-1: line " + std::to_string(line_number) +
+                      ": malformed lane entry");
+        }
+        parsed.lanes[name] = value;
+      } else if (section == "tenants") {
+        double tenant = 0.0;
+        if (!extract_number(line, "tenant", &tenant) ||
+            !extract_number(line, "jct", &value)) {
+          throw Error("wrht-blame-1: line " + std::to_string(line_number) +
+                      ": malformed tenant entry");
+        }
+        parsed.tenants["tenant" +
+                       std::to_string(static_cast<long long>(tenant))] =
+            value;
+      }
+      // critical_path entries are not part of the diff surface; skipped.
+      continue;
+    }
+
+    const std::string opened = section_of(line);
+    if (!opened.empty()) {
+      section = opened;
+      continue;
+    }
+    if (line.find("\"schema\"") != std::string::npos) {
+      const std::string schema = extract_string(line, "schema");
+      if (schema != kBlameSchema) {
+        throw Error("wrht-blame-1: line " + std::to_string(line_number) +
+                    ": unsupported schema '" + schema + "'");
+      }
+      saw_schema = true;
+      continue;
+    }
+    if (const std::string kind = extract_string(line, "kind"); !kind.empty())
+      parsed.kind = kind;
+    if (const std::string b = extract_string(line, "backend"); !b.empty())
+      parsed.source = b;
+    if (const std::string p = extract_string(line, "policy");
+        !p.empty() && parsed.kind == "service") {
+      parsed.source = p;
+    }
+    double value = 0.0;
+    if (extract_number(line, "total_time", &value)) {
+      parsed.total_time = value;
+    }
+    if (extract_number(line, "attributed_time", &value)) {
+      parsed.attributed_time = value;
+    }
+  }
+  if (!saw_schema) {
+    throw Error("wrht-blame-1: no \"schema\": \"" + std::string(kBlameSchema) +
+                "\" marker found (read " + std::to_string(line_number) +
+                " lines)");
+  }
+  return parsed;
+}
+
+ParsedBlame read_blame_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("read_blame_file: cannot open '" + path + "'");
+  return read_blame_json(in);
+}
+
+BlameDiff diff_blame(const ParsedBlame& base, const ParsedBlame& other,
+                     double rel_threshold) {
+  BlameDiff diff;
+  diff.base_total = base.total_time;
+  diff.other_total = other.total_time;
+  const double scale = std::max(std::abs(base.total_time),
+                                std::abs(other.total_time));
+  const double abs_threshold = rel_threshold * scale;
+  add_movers(base.categories, other.categories, abs_threshold,
+             &diff.categories);
+  add_movers(base.lanes, other.lanes, abs_threshold, &diff.lanes);
+  add_movers(base.tenants, other.tenants, abs_threshold, &diff.tenants);
+  diff.regressed =
+      other.total_time > base.total_time + rel_threshold * scale;
+  return diff;
+}
+
+std::string BlameDiff::to_string() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "blame diff: %s (total %.6e -> %.6e, %+.2f%%)\n",
+                clean() ? "clean" : (regressed ? "REGRESSED" : "shifted"),
+                base_total, other_total,
+                base_total != 0.0
+                    ? 100.0 * (other_total - base_total) / base_total
+                    : 0.0);
+  out += line;
+  const auto table = [&](const char* title,
+                         const std::vector<BlameMover>& movers) {
+    if (movers.empty()) return;
+    out += std::string("  ") + title + ":\n";
+    for (const BlameMover& m : movers) {
+      std::snprintf(line, sizeof(line),
+                    "    %-20s %.6e -> %.6e (%+.6e s)\n", m.name.c_str(),
+                    m.base, m.other, m.delta());
+      out += line;
+    }
+  };
+  table("categories", categories);
+  table("lanes", lanes);
+  table("tenants", tenants);
+  return out;
+}
+
+}  // namespace wrht::diag

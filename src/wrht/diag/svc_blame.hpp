@@ -1,0 +1,66 @@
+// Per-tenant JCT blame for shared-fabric service runs.
+//
+// Each completed job's JCT decomposes exactly:
+//
+//   jct = queueing + fragmentation            (the wait on the queue)
+//       + reconfiguration + conversion + transmission   (the service time)
+//
+// The wait split replays the wavelength allocator over the run's
+// grant/release history: an interval of a job's wait counts as
+// *fragmentation* when the fabric had enough total free width but no
+// contiguous slice wide enough (the allocator's free_width/largest_free
+// signal), and as *queueing* otherwise (genuinely full fabric or
+// policy-ordered head-of-line blocking). The service split re-prices the
+// granted algorithm with the same wrht::plan closed forms the service
+// billed, so the identity holds by construction — and is still asserted
+// by verify::check_blame_identity, which gates accounting drift between
+// the service and this module.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wrht/diag/blame.hpp"
+#include "wrht/plan/schedule_planner.hpp"
+#include "wrht/svc/service.hpp"
+
+namespace wrht::diag {
+
+/// One tenant's aggregated JCT attribution.
+struct TenantBlame {
+  std::uint32_t tenant = 0;
+  std::uint64_t jobs = 0;
+  Seconds jct{0.0};  ///< summed JCT of the tenant's jobs
+  BlameTotals totals;
+};
+
+struct ServiceBlame {
+  std::string policy;  ///< admission policy name
+  std::uint32_t fabric_wavelengths = 0;
+  std::uint64_t jobs = 0;
+  /// Sum of all completed jobs' JCTs — the identity's right-hand side.
+  Seconds total_jct{0.0};
+  BlameTotals categories;
+  std::vector<TenantBlame> tenants;  ///< sorted by tenant id
+
+  [[nodiscard]] double attributed() const { return categories.total(); }
+  /// Human-readable per-tenant blame table.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Attributes every completed job's JCT. `planner` must be the cost model
+/// the service ran with (ServiceConfig::planner); the per-job granted
+/// width overrides its wavelength count, exactly as the service priced.
+[[nodiscard]] ServiceBlame build_service_blame(
+    const svc::ServiceReport& report, const plan::PlannerOptions& planner,
+    std::uint32_t fabric_wavelengths);
+
+/// Serializes as a "service"-kind wrht-blame-1 document (byte
+/// deterministic; diffable against any other blame report).
+void write_service_blame_json(const ServiceBlame& blame, std::ostream& out);
+void write_service_blame_file(const ServiceBlame& blame,
+                              const std::string& path);
+
+}  // namespace wrht::diag

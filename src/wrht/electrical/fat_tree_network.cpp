@@ -6,6 +6,7 @@
 #include "wrht/net/backend.hpp"
 #include "wrht/net/pattern_key.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/obs/transfer_log.hpp"
 
 namespace wrht::elec {
 
@@ -66,6 +67,11 @@ FatTreeNetwork::StepTiming FatTreeNetwork::evaluate_step(
     if (load[l] == 0) continue;
     timing.link_occ.push_back(LinkOcc{l, busy[l], chain[l], load[l]});
   }
+  timing.completion = res.completion;
+  timing.extra_latency.reserve(flows.size());
+  for (const FlowSpec& flow : flows) {
+    timing.extra_latency.push_back(flow.extra_latency);
+  }
   return timing;
 }
 
@@ -84,6 +90,13 @@ ElectricalRunResult FatTreeNetwork::execute(const coll::Schedule& schedule,
   result.steps = schedule.num_steps();
   result.step_times.reserve(schedule.num_steps());
 
+  const bool blame = probe.transfers != nullptr;
+  if (blame) {
+    obs::TransferLog::Context context;
+    context.backend = "electrical-flow";
+    context.reconfig_policy = "none";
+    probe.transfers->set_context(std::move(context));
+  }
   double now = 0.0;
   std::size_t step_index = 0;
   for (const auto& step : schedule.steps()) {
@@ -127,6 +140,55 @@ ElectricalRunResult FatTreeNetwork::execute(const coll::Schedule& schedule,
                            static_cast<double>(step.transfers.size()));
       probe.counter_sample("max link load", Seconds(now),
                            static_cast<double>(timing.max_link_load));
+    }
+    // Blame timeline: one single-round "fabric" lane per step; the step
+    // splits into the bounding flow's router processing and the rest as
+    // transmission (no reconfigurable optics, so retune is false and the
+    // reconfiguration component zero).
+    if (blame) {
+      const auto step_id = static_cast<std::uint32_t>(step_index);
+      obs::StepTrace step_trace;
+      step_trace.step = step_id;
+      step_trace.label = step.label.empty()
+                             ? "step " + std::to_string(step_index)
+                             : step.label;
+      step_trace.start = Seconds(now);
+      step_trace.duration = Seconds(timing.seconds);
+      probe.transfers->step(std::move(step_trace));
+
+      double processing = 0.0;
+      double bounding = -1.0;
+      for (std::size_t i = 0; i < timing.completion.size(); ++i) {
+        if (timing.completion[i] > bounding) {
+          bounding = timing.completion[i];
+          processing = timing.extra_latency[i];
+        }
+      }
+      obs::RoundTrace round;
+      round.step = step_id;
+      round.lane = "fabric";
+      round.round = 0;
+      round.start = Seconds(now);
+      round.processing = Seconds(processing);
+      round.serialization = Seconds(timing.seconds - processing);
+      round.duration = Seconds(timing.seconds);
+      round.retune = false;
+      probe.transfers->round(std::move(round));
+
+      for (std::size_t i = 0; i < step.transfers.size(); ++i) {
+        const coll::Transfer& t = step.transfers[i];
+        obs::TransferTrace trace;
+        trace.step = step_id;
+        trace.lane = "fabric";
+        trace.round = 0;
+        trace.src = t.src;
+        trace.dst = t.dst;
+        trace.elements = t.count;
+        trace.start = Seconds(now);
+        trace.duration = Seconds(
+            i < timing.completion.size() ? timing.completion[i] : 0.0);
+        probe.transfers->transfer(std::move(trace));
+      }
     }
     if (probe.occupancy != nullptr) {
       const auto step_id = static_cast<std::uint32_t>(step_index);

@@ -129,6 +129,10 @@ class FatTreeNetwork {
     /// Per-loaded-link occupancy, link-id order (pattern-cached with the
     /// rest of the timing; only links with traffic appear).
     std::vector<LinkOcc> link_occ;
+    /// Per-flow completion and router-latency share, transfer order, for
+    /// blame TransferTraces and the step's transmission/processing split.
+    std::vector<double> completion;
+    std::vector<double> extra_latency;
   };
   [[nodiscard]] StepTiming evaluate_step(const coll::Step& step) const;
 

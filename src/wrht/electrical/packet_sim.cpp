@@ -5,6 +5,7 @@
 #include "wrht/common/error.hpp"
 #include "wrht/net/backend.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/obs/transfer_log.hpp"
 #include "wrht/prof/prof.hpp"
 #include "wrht/sim/simulator.hpp"
 
@@ -35,7 +36,9 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
                                          std::uint64_t& events,
                                          const obs::Probe& probe,
                                          double step_start,
-                                         std::uint32_t step_index) const {
+                                         std::uint32_t step_index,
+                                         std::vector<double>* transfer_done)
+    const {
   sim::Simulator simulator;
   simulator.set_counters(probe.counters);
   std::vector<double> next_free(tree_.num_links(), 0.0);
@@ -89,8 +92,15 @@ double PacketLevelNetwork::simulate_step(const coll::Step& step,
                             [&arrive, pi] { arrive(pi); });
     } else {
       makespan = std::max(makespan, depart);
+      if (transfer_done != nullptr) {
+        (*transfer_done)[packet.route_index] =
+            std::max((*transfer_done)[packet.route_index], depart);
+      }
     }
   };
+  if (transfer_done != nullptr) {
+    transfer_done->assign(step.transfers.size(), 0.0);
+  }
 
   std::size_t estimated = 0;
   for (const auto& t : step.transfers) {
@@ -154,6 +164,14 @@ PacketRunResult PacketLevelNetwork::execute(const coll::Schedule& schedule,
   PacketRunResult result;
   result.steps = schedule.num_steps();
   result.step_times.reserve(schedule.num_steps());
+  const bool blame = probe.transfers != nullptr;
+  if (blame) {
+    obs::TransferLog::Context context;
+    context.backend = "electrical-packet";
+    context.reconfig_policy = "none";
+    probe.transfers->set_context(std::move(context));
+  }
+  std::vector<double> transfer_done;
   double total = 0.0;
   std::size_t step_index = 0;
   for (const auto& step : schedule.steps()) {
@@ -164,8 +182,47 @@ PacketRunResult PacketLevelNetwork::execute(const coll::Schedule& schedule,
             ? 0.0
             : simulate_step(step, result.total_packets, result.events_fired,
                             probe, total,
-                            static_cast<std::uint32_t>(step_index));
+                            static_cast<std::uint32_t>(step_index),
+                            blame ? &transfer_done : nullptr);
     probe.count("packet.packets", result.total_packets - packets_before);
+    // Blame timeline: one single-round "fabric" lane per step (the packet
+    // model has no reconfigurable optics; the whole step is transmission).
+    if (blame && !step.transfers.empty()) {
+      const auto step_id = static_cast<std::uint32_t>(step_index);
+      obs::StepTrace step_trace;
+      step_trace.step = step_id;
+      step_trace.label = step.label.empty()
+                             ? "step " + std::to_string(step_index)
+                             : step.label;
+      step_trace.start = Seconds(total);
+      step_trace.duration = Seconds(t);
+      probe.transfers->step(std::move(step_trace));
+
+      obs::RoundTrace round;
+      round.step = step_id;
+      round.lane = "fabric";
+      round.round = 0;
+      round.start = Seconds(total);
+      round.serialization = Seconds(t);
+      round.duration = Seconds(t);
+      round.retune = false;
+      probe.transfers->round(std::move(round));
+
+      for (std::size_t i = 0; i < step.transfers.size(); ++i) {
+        const coll::Transfer& tr = step.transfers[i];
+        obs::TransferTrace trace;
+        trace.step = step_id;
+        trace.lane = "fabric";
+        trace.round = 0;
+        trace.src = tr.src;
+        trace.dst = tr.dst;
+        trace.elements = tr.count;
+        trace.start = Seconds(total);
+        trace.duration =
+            Seconds(i < transfer_done.size() ? transfer_done[i] : 0.0);
+        probe.transfers->transfer(std::move(trace));
+      }
+    }
     if (probe.trace != nullptr && !step.transfers.empty()) {
       obs::TraceSpan span;
       span.name = step.label.empty() ? "step " + std::to_string(step_index)

@@ -50,12 +50,15 @@ class PacketLevelNetwork {
  private:
   /// `step_start`/`step_index` place this step's occupancy intervals on
   /// the run timeline (the internal event clock restarts at 0 per step).
+  /// `transfer_done` (when non-null) receives each transfer's last-packet
+  /// arrival time relative to the step start, for blame TransferTraces.
   [[nodiscard]] double simulate_step(const coll::Step& step,
                                      std::uint64_t& packets,
                                      std::uint64_t& events,
                                      const obs::Probe& probe,
                                      double step_start,
-                                     std::uint32_t step_index) const;
+                                     std::uint32_t step_index,
+                                     std::vector<double>* transfer_done) const;
 
   topo::FatTree tree_;
   ElectricalConfig config_;

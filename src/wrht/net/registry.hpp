@@ -73,21 +73,6 @@ struct BackendConfig {
     lease = v;
     return *this;
   }
-
-  // Deprecated bool surface of the pre-unification `reconfig_on_retune`
-  // member; kept for one release so existing call sites compile (with a
-  // warning). `true` maps to kOnRetune, `false` to kEveryRound — the
-  // overlapped policy is only reachable through `reconfig_policy`.
-  [[deprecated("use reconfig_policy")]] [[nodiscard]] bool reconfig_on_retune()
-      const {
-    return reconfig_policy == ReconfigPolicy::kOnRetune;
-  }
-  [[deprecated("use with_reconfig_policy")]] BackendConfig&
-  with_reconfig_on_retune(bool v) {
-    reconfig_policy =
-        v ? ReconfigPolicy::kOnRetune : ReconfigPolicy::kEveryRound;
-    return *this;
-  }
 };
 
 using BackendFactory =

@@ -192,29 +192,57 @@ EventLog EventLog::read_jsonl(std::istream& in) {
   EventLog log;
   std::string line;
   require(static_cast<bool>(std::getline(in, line)),
-          "EventLog: empty stream (missing header line)");
-  {
+          "EventLog: line 1: empty stream (missing header line)");
+  std::uint64_t declared = 0;
+  try {
     const LineParser header(line);
     require(header.raw("schema") == kSchema,
-            "EventLog: expected schema '" + std::string(kSchema) +
-                "', got: " + line);
+            "expected schema '" + std::string(kSchema) + "', got: " + line);
     log.context_.fabric_wavelengths =
         static_cast<std::uint32_t>(header.u64("fabric_wavelengths"));
     log.context_.policy = header.raw("policy");
     log.context_.seed = header.u64("seed");
+    declared = header.u64("events");
+  } catch (const Error& e) {
+    throw Error("EventLog: line 1: " + std::string(e.what()));
   }
+  std::size_t line_number = 1;
+  Seconds previous{0.0};
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
-    const LineParser p(line);
     ServiceEvent e;
-    e.kind = event_kind_from_string(p.raw("kind"));
-    e.time = Seconds{p.f64("t")};
-    e.job = p.u64("job");
-    e.tenant = static_cast<std::uint32_t>(p.u64("tenant"));
-    e.w_lo = static_cast<std::uint32_t>(p.u64("w_lo"));
-    e.w_hi = static_cast<std::uint32_t>(p.u64("w_hi"));
-    e.cause = p.raw("cause");
+    try {
+      const LineParser p(line);
+      e.kind = event_kind_from_string(p.raw("kind"));
+      e.time = Seconds{p.f64("t")};
+      e.job = p.u64("job");
+      e.tenant = static_cast<std::uint32_t>(p.u64("tenant"));
+      e.w_lo = static_cast<std::uint32_t>(p.u64("w_lo"));
+      e.w_hi = static_cast<std::uint32_t>(p.u64("w_hi"));
+      e.cause = p.raw("cause");
+    } catch (const Error& err) {
+      throw Error("EventLog: line " + std::to_string(line_number) + ": " +
+                  std::string(err.what()));
+    }
+    // The recorder appends in simulation order; a time reversal means the
+    // file was edited, interleaved, or corrupted — replaying it would
+    // silently misorder grants.
+    if (!log.events_.empty() && e.time < previous) {
+      throw Error("EventLog: line " + std::to_string(line_number) +
+                  ": out-of-order timestamp " + num17(e.time.count()) +
+                  " (previous event at " + num17(previous.count()) + ")");
+    }
+    previous = e.time;
     log.events_.push_back(std::move(e));
+  }
+  if (log.events_.size() != declared) {
+    throw Error("EventLog: line " + std::to_string(line_number) +
+                ": header declares " + std::to_string(declared) +
+                " events but the file holds " +
+                std::to_string(log.events_.size()) +
+                (log.events_.size() < declared ? " (truncated?)"
+                                               : " (extra lines?)"));
   }
   return log;
 }

@@ -20,6 +20,7 @@
 namespace wrht::obs {
 
 class OccupancySampler;  // obs/occupancy.hpp
+class TransferLog;       // obs/transfer_log.hpp
 
 /// One complete span on the run timeline. `track` separates concurrent
 /// timelines (e.g. several network executions in one trace file); spans on
@@ -91,8 +92,14 @@ struct Probe {
   /// the other members. Appended last so existing aggregate initializers
   /// (`Probe{&trace, &counters, 2}`) keep compiling unchanged.
   OccupancySampler* occupancy = nullptr;
+  /// Transfer-level timeline sink for causal blame attribution
+  /// (obs/transfer_log.hpp, consumed by wrht::diag); null by default and
+  /// appended after `occupancy` for the same aggregate-init compatibility.
+  TransferLog* transfers = nullptr;
 
-  [[nodiscard]] bool active() const { return trace || counters || occupancy; }
+  [[nodiscard]] bool active() const {
+    return trace || counters || occupancy || transfers;
+  }
 
   /// Emits `s` (stamped with this probe's track) if a sink is attached.
   void span(TraceSpan s) const {

@@ -116,6 +116,24 @@ void ChromeTraceSink::write(std::ostream& out) const {
         << format_us(c.time) << ",\"pid\":0,\"tid\":" << c.track
         << ",\"args\":{\"value\":" << format_value(c.value) << "}}";
   }
+
+  // Flow arrows last: each FlowArrow becomes an "s"/"f" pair sharing an
+  // id; the viewer binds each endpoint to the span enclosing its (ts, tid)
+  // and draws the connecting arrow. bp:"e" attaches the finish to the
+  // enclosing span rather than the next slice's start.
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowArrow& f = flows_[i];
+    sep();
+    out << "{\"name\":\"" << escape(f.name) << "\",\"cat\":\""
+        << escape(f.category) << "\",\"ph\":\"s\",\"id\":" << i
+        << ",\"ts\":" << format_us(f.start) << ",\"pid\":0,\"tid\":"
+        << f.start_track << "}";
+    sep();
+    out << "{\"name\":\"" << escape(f.name) << "\",\"cat\":\""
+        << escape(f.category) << "\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << i
+        << ",\"ts\":" << format_us(f.finish) << ",\"pid\":0,\"tid\":"
+        << f.finish_track << "}";
+  }
   out << "\n]}\n";
 }
 

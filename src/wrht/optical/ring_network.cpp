@@ -9,6 +9,7 @@
 #include "wrht/common/error.hpp"
 #include "wrht/net/pattern_key.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/obs/transfer_log.hpp"
 #include "wrht/prof/prof.hpp"
 #include "wrht/sim/simulator.hpp"
 
@@ -136,9 +137,23 @@ RingNetwork::PatternCost RingNetwork::price_rounds(
     out.cost.duration += round_time(max_elements);
     out.round_serialization.push_back(serialization_time(max_elements));
     if (config_.validate_node_capacity ||
-        config_.reconfig_policy == net::ReconfigPolicy::kOnRetune) {
+        config_.reconfig_policy == net::ReconfigPolicy::kOnRetune ||
+        enrich_blame_) {
       out.round_tunings.push_back(TuningState::from_lightpaths(
           round_paths[r], config_.node_hardware));
+    }
+    if (enrich_blame_) {
+      out.round_transfers.emplace_back();
+      out.round_transfers.back().reserve(round_paths[r].size());
+      for (std::size_t j = 0; j < round_paths[r].size(); ++j) {
+        const Lightpath& path = round_paths[r][j];
+        TransferRoute route;
+        route.index = static_cast<std::uint32_t>(round_members[r][j]);
+        route.direction = static_cast<std::uint8_t>(
+            path.direction == topo::Direction::kClockwise ? 0 : 1);
+        route.wavelength = path.wavelength;
+        out.round_transfers.back().push_back(route);
+      }
     }
   }
   return out;
@@ -190,6 +205,16 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   require(schedule.num_nodes() <= ring_.size(),
           "RingNetwork: schedule spans more nodes than the ring");
   schedule.validate();
+  const bool blame = probe.transfers != nullptr;
+  enrich_blame_ = blame;
+  if (blame) {
+    obs::TransferLog::Context context;
+    context.backend = "optical-ring";
+    context.reconfig_policy = net::to_string(config_.reconfig_policy);
+    context.mrr_reconfig_delay = config_.mrr_reconfig_delay;
+    context.oeo_delay = config_.oeo_delay;
+    probe.transfers->set_context(std::move(context));
+  }
   warm_pattern_cache(schedule);
 
   OpticalRunResult result;
@@ -203,6 +228,10 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
   std::size_t next_step = 0;
   const net::ReconfigPolicy policy = config_.reconfig_policy;
   TuningState previous_tuning;  // kOnRetune: last round's MRR state
+  // Blame retune walk: replicates the kOnRetune previous-tuning carry
+  // (including across steps) under ANY policy, so every RoundTrace can say
+  // whether a retune-aware control plane would have charged it.
+  TuningState blame_tuning;
   // kOverlapped: the window the next round's retune can hide inside — the
   // previous round's O/E/O + transmission time (zero before round 0, which
   // has nothing to overlap with).
@@ -225,6 +254,14 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
           cacheable ? pattern_cache_.find(sig) : pattern_cache_.end();
       if (it != pattern_cache_.end()) {
         pattern = it->second;
+        if (blame && pattern.round_transfers.size() != pattern.cost.rounds) {
+          // The cached entry was priced before blame observation was on and
+          // lacks the enriched routing/tuning detail. First-fit RWA is
+          // deterministic, so re-evaluating prices identically; replace the
+          // lean entry with the enriched one.
+          pattern = evaluate_step(step, rng);
+          pattern_cache_[sig] = pattern;
+        }
       } else {
         pattern = evaluate_step(step, rng);
         if (cacheable) pattern_cache_.emplace(sig, pattern);
@@ -285,7 +322,7 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
     } else {
       result.reconfigurations += pattern.cost.rounds;
       probe.count("optical.reconfig_charges", pattern.cost.rounds);
-      if (probe.trace != nullptr || probe.occupancy != nullptr) {
+      if (probe.trace != nullptr || probe.occupancy != nullptr || blame) {
         for (const Seconds ser : pattern.round_serialization) {
           round_durations.push_back(config_.mrr_reconfig_delay +
                                     config_.oeo_delay + ser);
@@ -383,6 +420,61 @@ OpticalRunResult RingNetwork::execute(const coll::Schedule& schedule,
                                   obs::OccCategory::kStragglerWait);
         }
         cursor = round_end;
+      }
+    }
+
+    // Blame timeline: one StepTrace, one RoundTrace per round with the
+    // exact charged decomposition, one TransferTrace per routed transfer.
+    if (blame && !step.transfers.empty()) {
+      obs::StepTrace step_trace;
+      step_trace.step = static_cast<std::uint32_t>(step_index);
+      step_trace.label = step.label.empty()
+                             ? "step " + std::to_string(step_index)
+                             : step.label;
+      step_trace.start = pattern.cost.start;
+      step_trace.duration = pattern.cost.duration;
+      probe.transfers->step(std::move(step_trace));
+
+      Seconds cursor = pattern.cost.start;
+      for (std::size_t r = 0; r < round_durations.size(); ++r) {
+        bool retune = true;
+        if (r < pattern.round_tunings.size()) {
+          retune = blame_tuning.retune_count(pattern.round_tunings[r]) > 0;
+          blame_tuning = pattern.round_tunings[r];
+        }
+        obs::RoundTrace round;
+        round.step = static_cast<std::uint32_t>(step_index);
+        round.lane = "ring";
+        round.round = static_cast<std::uint32_t>(r);
+        round.start = cursor;
+        round.reconfig = round_reconfig[r];
+        round.full_reconfig = config_.mrr_reconfig_delay;
+        round.conversion = config_.oeo_delay;
+        round.serialization = pattern.round_serialization[r];
+        round.duration = round_durations[r];
+        round.retune = retune;
+        probe.transfers->round(std::move(round));
+
+        const Seconds payload_start =
+            cursor + round_reconfig[r] + config_.oeo_delay;
+        if (r < pattern.round_transfers.size()) {
+          for (const TransferRoute& route : pattern.round_transfers[r]) {
+            const coll::Transfer& t = step.transfers[route.index];
+            obs::TransferTrace trace;
+            trace.step = static_cast<std::uint32_t>(step_index);
+            trace.lane = "ring";
+            trace.round = static_cast<std::uint32_t>(r);
+            trace.src = t.src;
+            trace.dst = t.dst;
+            trace.elements = t.count;
+            trace.wavelength = route.wavelength;
+            trace.direction = route.direction;
+            trace.start = payload_start;
+            trace.duration = serialization_time(t.count);
+            probe.transfers->transfer(std::move(trace));
+          }
+        }
+        cursor += round_durations[r];
       }
     }
     simulator.schedule_in(pattern.cost.duration, launch);

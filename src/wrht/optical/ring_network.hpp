@@ -257,6 +257,16 @@ class RingNetwork {
     std::uint32_t concurrency = 0;  ///< lightpaths sharing the channel
   };
 
+  /// One transfer's routing assignment within a round, for the blame
+  /// TransferLog. `index` points into the step's transfers (the pattern
+  /// cache is keyed by the full transfer list, so indices stay valid
+  /// across cache hits).
+  struct TransferRoute {
+    std::uint32_t index = 0;
+    std::uint8_t direction = 0;
+    std::uint32_t wavelength = 0;
+  };
+
   struct PatternCost {
     StepCost cost;
     std::uint32_t longest_hops = 0;
@@ -268,6 +278,9 @@ class RingNetwork {
     /// Per-round channel uses (sorted by direction/fiber/wavelength), for
     /// occupancy sampling and the wavelengths-in-use counter track.
     std::vector<std::vector<RoundUse>> round_uses;
+    /// Per-round transfer routes; filled only for blame-observed runs
+    /// (probe.transfers attached), empty otherwise.
+    std::vector<std::vector<TransferRoute>> round_transfers;
   };
 
   [[nodiscard]] PatternCost evaluate_step(const coll::Step& step,
@@ -290,6 +303,12 @@ class RingNetwork {
   topo::Ring ring_;
   OpticalConfig config_;
   mutable std::unordered_map<std::uint64_t, PatternCost> pattern_cache_;
+  /// Set while a blame-observed execute() runs: price_rounds then also
+  /// fills round_tunings (for the retune-flag walk under any policy) and
+  /// round_transfers. Cache entries priced without enrichment are
+  /// re-evaluated on hit — first-fit RWA is deterministic, so the enriched
+  /// entry prices identically and simply replaces the lean one.
+  mutable bool enrich_blame_ = false;
 };
 
 }  // namespace wrht::optics

@@ -8,6 +8,7 @@
 
 #include "wrht/common/error.hpp"
 #include "wrht/obs/occupancy.hpp"
+#include "wrht/obs/transfer_log.hpp"
 #include "wrht/optical/rwa.hpp"
 
 namespace wrht::optics {
@@ -75,6 +76,15 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
 
   const bool overlapped =
       config_.reconfig_policy == net::ReconfigPolicy::kOverlapped;
+  const bool blame = probe.transfers != nullptr;
+  if (blame) {
+    obs::TransferLog::Context context;
+    context.backend = "optical-torus";
+    context.reconfig_policy = net::to_string(config_.reconfig_policy);
+    context.mrr_reconfig_delay = config_.mrr_reconfig_delay;
+    context.oeo_delay = config_.oeo_delay;
+    probe.transfers->set_context(std::move(context));
+  }
   double now = 0.0;
   std::size_t step_index = 0;
   // kOverlapped: window the first round of a step can hide its retune in.
@@ -87,17 +97,23 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     // remapping node ids to ring-local positions.
     // Key: (true, row index) for rows, (false, column index) for columns.
     std::map<std::pair<bool, std::uint32_t>, RingShare> shares;
-    for (const coll::Transfer& t : step.transfers) {
+    for (std::size_t t_index = 0; t_index < step.transfers.size();
+         ++t_index) {
+      const coll::Transfer& t = step.transfers[t_index];
       coll::Transfer local = t;
       local.direction = std::nullopt;  // hints are flat-ring specific
       if (torus_.row_of(t.src) == torus_.row_of(t.dst)) {
         local.src = torus_.col_of(t.src);
         local.dst = torus_.col_of(t.dst);
-        shares[{true, torus_.row_of(t.src)}].transfers.push_back(local);
+        RingShare& share = shares[{true, torus_.row_of(t.src)}];
+        share.transfers.push_back(local);
+        share.source.push_back(t_index);
       } else if (torus_.col_of(t.src) == torus_.col_of(t.dst)) {
         local.src = torus_.row_of(t.src);
         local.dst = torus_.row_of(t.dst);
-        shares[{false, torus_.col_of(t.src)}].transfers.push_back(local);
+        RingShare& share = shares[{false, torus_.col_of(t.src)}];
+        share.transfers.push_back(local);
+        share.source.push_back(t_index);
       } else {
         throw InfeasibleSchedule(
             "TorusNetwork: transfer " + std::to_string(t.src) + "->" +
@@ -139,10 +155,11 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     for (const auto& [key, share] : shares) {
       const RoundsResult& rounds = ring_rounds[share_index++];
       RingTimeline timeline;
-      if (probe.occupancy != nullptr) {
-        timeline.prefix = (key.first ? "row" : "col") +
-                          std::to_string(key.second);
+      std::string lane;
+      if (probe.occupancy != nullptr || blame) {
+        lane = (key.first ? "row" : "col") + std::to_string(key.second);
       }
+      if (probe.occupancy != nullptr) timeline.prefix = lane;
       double ring_time = 0.0;
       double ring_time_serial = 0.0;
       double window = step_window;  // per-ring overlap window (kOverlapped)
@@ -163,6 +180,51 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
         const double round_time = reconfig + busy;
         if (reconfig > 0.0) ++paid_rounds;
         window = busy;
+        if (blame) {
+          const Seconds round_start = cost.start + Seconds(ring_time);
+          const double ser_max = static_cast<double>(max_elements) *
+                                 config_.bytes_per_element /
+                                 config_.bytes_per_second();
+          obs::RoundTrace round;
+          round.step = static_cast<std::uint32_t>(step_index);
+          round.lane = lane;
+          round.round = static_cast<std::uint32_t>(r);
+          round.start = round_start;
+          round.reconfig = Seconds(reconfig);
+          round.full_reconfig = config_.mrr_reconfig_delay;
+          round.conversion = config_.oeo_delay;
+          round.serialization = Seconds(ser_max);
+          round.duration = Seconds(round_time);
+          // The torus control plane retunes every round (it prices
+          // kOnRetune like kEveryRound), so every round reports retune.
+          round.retune = true;
+          probe.transfers->round(std::move(round));
+
+          const Seconds payload_start =
+              round_start + Seconds(reconfig) + config_.oeo_delay;
+          for (std::size_t j = 0; j < rounds.paths[r].size(); ++j) {
+            const Lightpath& p = rounds.paths[r][j];
+            const std::size_t local_idx = rounds.rounds[r][j];
+            const coll::Transfer& original =
+                step.transfers[share.source[local_idx]];
+            obs::TransferTrace trace;
+            trace.step = static_cast<std::uint32_t>(step_index);
+            trace.lane = lane;
+            trace.round = static_cast<std::uint32_t>(r);
+            trace.src = original.src;
+            trace.dst = original.dst;
+            trace.elements = original.count;
+            trace.wavelength = p.wavelength;
+            trace.direction = static_cast<std::uint8_t>(
+                p.direction == topo::Direction::kClockwise ? 0 : 1);
+            trace.start = payload_start;
+            trace.duration =
+                Seconds(static_cast<double>(original.count) *
+                        config_.bytes_per_element /
+                        config_.bytes_per_second());
+            probe.transfers->transfer(std::move(trace));
+          }
+        }
         ring_time += round_time;
         ring_time_serial += full + busy;
         cost.max_transfer_elements =
@@ -263,6 +325,16 @@ OpticalRunResult TorusNetwork::execute(const coll::Schedule& schedule,
     cost.label = step.label;
     cost.rounds = max_rounds;
     cost.duration = Seconds(slowest);
+    if (blame && !step.transfers.empty()) {
+      obs::StepTrace step_trace;
+      step_trace.step = static_cast<std::uint32_t>(step_index);
+      step_trace.label = step.label.empty()
+                             ? "step " + std::to_string(step_index)
+                             : step.label;
+      step_trace.start = cost.start;
+      step_trace.duration = cost.duration;
+      probe.transfers->step(std::move(step_trace));
+    }
     result.total_rounds += max_rounds;
     // Critical-path reconfiguration charges: under kOverlapped only rounds
     // whose residual survived the overlap window count, and the hidden

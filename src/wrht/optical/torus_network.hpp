@@ -43,6 +43,9 @@ class TorusNetwork {
   struct RingShare {
     /// Transfers remapped to ring-local node positions.
     std::vector<coll::Transfer> transfers;
+    /// Index of each remapped transfer in the step's original transfer
+    /// list, so blame TransferTraces can report global node ids.
+    std::vector<std::size_t> source;
   };
 
   topo::Torus torus_;

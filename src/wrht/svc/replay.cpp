@@ -82,7 +82,14 @@ ReplaySummary replay_events(const obs::EventLog& log) {
   Seconds last{0.0};
   bool any = false;
 
+  std::size_t index = 0;  // 0-based event index; JSONL line = index + 2
   for (const obs::ServiceEvent& e : log.events()) {
+    ++index;
+    // Names the offending JSONL line (header is line 1) so a corrupted
+    // log points at itself instead of at the replay.
+    const std::string at =
+        " (event " + std::to_string(index) + ", line " +
+        std::to_string(index + 1) + ")";
     if (!any) first = e.time;
     last = e.time;
     any = true;
@@ -98,8 +105,9 @@ ReplaySummary replay_events(const obs::EventLog& log) {
       case obs::ServiceEvent::Kind::kAdmit: {
         require(pending.count(e.job) != 0,
                 "replay_events: admit of job " + std::to_string(e.job) +
-                    " without a submit");
-        require(depth > 0, "replay_events: admit from an empty queue");
+                    " without a submit" + at);
+        require(depth > 0,
+                "replay_events: admit from an empty queue" + at);
         --depth;
         break;
       }
@@ -111,7 +119,7 @@ ReplaySummary replay_events(const obs::EventLog& log) {
         const auto it = pending.find(e.job);
         require(it != pending.end(),
                 "replay_events: grant of job " + std::to_string(e.job) +
-                    " without a submit");
+                    " without a submit" + at);
         it->second.grant = e.time;
         it->second.w_lo = e.w_lo;
         it->second.w_hi = e.w_hi;
@@ -126,7 +134,7 @@ ReplaySummary replay_events(const obs::EventLog& log) {
         const auto it = pending.find(e.job);
         require(it != pending.end() && it->second.granted,
                 "replay_events: complete of job " + std::to_string(e.job) +
-                    " without a grant");
+                    " without a grant" + at);
         const Pending& p = it->second;
         JobRecord record;
         record.job.id = e.job;
@@ -138,7 +146,7 @@ ReplaySummary replay_events(const obs::EventLog& log) {
         record.completion = e.time;
         records.push_back(std::move(record));
         require(in_use >= p.w_hi - p.w_lo,
-                "replay_events: release exceeds wavelengths in use");
+                "replay_events: release exceeds wavelengths in use" + at);
         in_use -= p.w_hi - p.w_lo;
         pending.erase(it);
         break;

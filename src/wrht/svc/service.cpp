@@ -430,6 +430,10 @@ void FabricService::build_trace() const {
 
   std::uint64_t depth = 0;
   std::uint32_t in_use = 0;
+  // A grant recorded at the same instant as a preceding completion was
+  // caused by it (the completion's release re-ran admission); a flow
+  // arrow makes that head-of-line dependency visible in the trace.
+  const obs::ServiceEvent* last_complete = nullptr;
   for (const obs::ServiceEvent& e : t.events.events()) {
     switch (e.kind) {
       case obs::ServiceEvent::Kind::kSubmit: {
@@ -458,6 +462,16 @@ void FabricService::build_trace() const {
             "wavelengths in use", e.time, static_cast<double>(in_use), 0});
         t.trace.counter(
             obs::CounterSample{"fragmentation", e.time, fragmentation(), 0});
+        if (last_complete != nullptr && last_complete->time == e.time) {
+          obs::FlowArrow arrow;
+          arrow.name = "release->grant";
+          arrow.category = "svc-causal";
+          arrow.start = last_complete->time;
+          arrow.start_track = last_complete->tenant + 1;
+          arrow.finish = e.time;
+          arrow.finish_track = e.tenant + 1;
+          t.trace.add_flow(std::move(arrow));
+        }
         break;
       }
       case obs::ServiceEvent::Kind::kStart:
@@ -488,6 +502,7 @@ void FabricService::build_trace() const {
         t.trace.counter(
             obs::CounterSample{"fragmentation", e.time, fragmentation(), 0});
         open.erase(it);
+        last_complete = &e;
         break;
       }
     }

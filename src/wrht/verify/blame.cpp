@@ -1,0 +1,80 @@
+#include "wrht/verify/blame.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace wrht::verify {
+
+namespace {
+
+/// fp-summation slack only: the attribution is exact by construction.
+bool identity_holds(double attributed, double total) {
+  const double tolerance = std::max(1e-12, 1e-9 * std::abs(total));
+  return std::abs(attributed - total) <= tolerance;
+}
+
+void check_totals(const diag::BlameTotals& totals, double total,
+                  const std::string& scope, CheckResult* result) {
+  if (!identity_holds(totals.total(), total)) {
+    result->add("blame_identity",
+                scope + ": attributed " + std::to_string(totals.total()) +
+                    " s != total " + std::to_string(total) + " s");
+  }
+  for (const diag::BlameCategory category : diag::all_blame_categories()) {
+    if (totals[category] < -1e-12) {
+      result->add("blame_nonnegative",
+                  scope + ": category '" + diag::to_string(category) +
+                      "' is negative (" + std::to_string(totals[category]) +
+                      " s)");
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_blame_identity(const diag::BlameReport& report) {
+  CheckResult result;
+  check_totals(report.categories, report.total_time.count(),
+               "run[" + report.backend + "]", &result);
+  if (report.total_time.count() > 0.0 && report.critical_path.empty()) {
+    result.add("blame_critical_path",
+               "run[" + report.backend +
+                   "]: nonzero makespan but empty critical path");
+  }
+  for (const diag::LaneBlame& lane : report.lanes) {
+    // Each lane's attribution covers the full run span it participated
+    // in (busy + straggler wait); checked against the per-step maxima it
+    // was measured under, i.e. the lane totals must also balance.
+    const double lane_total =
+        lane.totals.total() - lane.totals[diag::BlameCategory::kQueueing] -
+        lane.totals[diag::BlameCategory::kFragmentation];
+    if (lane_total < -1e-12) {
+      result.add("blame_lane",
+                 "lane '" + lane.lane + "': negative attribution (" +
+                     std::to_string(lane_total) + " s)");
+    }
+  }
+  return result;
+}
+
+CheckResult check_blame_identity(const diag::ServiceBlame& blame) {
+  CheckResult result;
+  check_totals(blame.categories, blame.total_jct.count(),
+               "service[" + blame.policy + "]", &result);
+  double tenant_jct = 0.0;
+  for (const diag::TenantBlame& tenant : blame.tenants) {
+    check_totals(tenant.totals, tenant.jct.count(),
+                 "tenant " + std::to_string(tenant.tenant), &result);
+    tenant_jct += tenant.jct.count();
+  }
+  if (!blame.tenants.empty() &&
+      !identity_holds(tenant_jct, blame.total_jct.count())) {
+    result.add("blame_tenant_partition",
+               "service[" + blame.policy + "]: per-tenant JCTs sum to " +
+                   std::to_string(tenant_jct) + " s, not the total " +
+                   std::to_string(blame.total_jct.count()) + " s");
+  }
+  return result;
+}
+
+}  // namespace wrht::verify

@@ -1,0 +1,25 @@
+// Blame-accounting invariants: every diag report must attribute exactly
+// the time it claims to explain. The identity
+//
+//   sum over categories == total_time   (run makespan or summed JCT)
+//
+// is the contract that makes blame percentages trustworthy; a report that
+// leaks or double-counts time is worse than no report. Checked to the
+// repo-wide 1e-9 relative tolerance (fp summation order, nothing else).
+#pragma once
+
+#include "wrht/diag/blame.hpp"
+#include "wrht/diag/svc_blame.hpp"
+#include "wrht/verify/report.hpp"
+
+namespace wrht::verify {
+
+/// Run-level report: Σ categories == total_time, no materially negative
+/// category, and a non-empty critical path whenever time was observed.
+[[nodiscard]] CheckResult check_blame_identity(const diag::BlameReport& report);
+
+/// Service-level report: the global identity plus per-tenant identities
+/// (each tenant's categories must sum to that tenant's JCT).
+[[nodiscard]] CheckResult check_blame_identity(const diag::ServiceBlame& blame);
+
+}  // namespace wrht::verify

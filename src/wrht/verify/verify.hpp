@@ -3,9 +3,11 @@
 //                        collective it claims (numeric + exact provenance);
 //   * invariants.hpp   — structural, RWA and WRHT closed-form invariants;
 //   * differential.hpp — event-driven simulator vs Eq. (6) pricing;
-//   * fuzz.hpp         — seeded random sweeps with failure shrinking.
+//   * fuzz.hpp         — seeded random sweeps with failure shrinking;
+//   * blame.hpp        — blame-accounting identity checks (wrht::diag).
 #pragma once
 
+#include "wrht/verify/blame.hpp"
 #include "wrht/verify/differential.hpp"
 #include "wrht/verify/fuzz.hpp"
 #include "wrht/verify/invariants.hpp"

@@ -97,6 +97,82 @@ TEST(EventLog, RejectsForeignOrMalformedStreams) {
   }
 }
 
+// Every malformed-input diagnostic must name the offending line and the
+// reader must never crash or silently mis-replay a damaged log.
+TEST(EventLog, TruncatedStreamNamesTheLastLine) {
+  // Drop the final event: the header still declares 4, so the count check
+  // has to flag the file as truncated.
+  std::string jsonl = sample_log().to_jsonl();
+  jsonl.erase(jsonl.rfind("{\"kind\": \"complete\""));
+  std::istringstream in(jsonl);
+  try {
+    (void)EventLog::read_jsonl(in);
+    FAIL() << "truncated stream accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventLog, MalformedEventNamesItsLine) {
+  std::istringstream in(
+      "{\"schema\": \"svc-events-1\", \"fabric_wavelengths\": 4, "
+      "\"policy\": \"fifo\", \"seed\": 1, \"events\": 2}\n"
+      "{\"kind\": \"submit\", \"t\": 0, \"job\": 1, \"tenant\": 0, "
+      "\"w_lo\": 0, \"w_hi\": 0, \"cause\": \"arrival\"}\n"
+      "{\"kind\": \"grant\", \"t\": 0.5}\n");
+  try {
+    (void)EventLog::read_jsonl(in);
+    FAIL() << "malformed event accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventLog, WrongSchemaVersionNamesLineOne) {
+  std::istringstream in(
+      "{\"schema\": \"svc-events-2\", \"fabric_wavelengths\": 4, "
+      "\"policy\": \"fifo\", \"seed\": 1, \"events\": 0}\n");
+  try {
+    (void)EventLog::read_jsonl(in);
+    FAIL() << "wrong schema accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventLog, OutOfOrderTimestampsAreRejected) {
+  std::istringstream in(
+      "{\"schema\": \"svc-events-1\", \"fabric_wavelengths\": 4, "
+      "\"policy\": \"fifo\", \"seed\": 1, \"events\": 2}\n"
+      "{\"kind\": \"submit\", \"t\": 1.5, \"job\": 1, \"tenant\": 0, "
+      "\"w_lo\": 0, \"w_hi\": 0, \"cause\": \"arrival\"}\n"
+      "{\"kind\": \"submit\", \"t\": 0.5, \"job\": 2, \"tenant\": 0, "
+      "\"w_lo\": 0, \"w_hi\": 0, \"cause\": \"arrival\"}\n");
+  try {
+    (void)EventLog::read_jsonl(in);
+    FAIL() << "time-reversed stream accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("out-of-order"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventLog, ExtraEventsBeyondHeaderCountAreRejected) {
+  std::string jsonl = sample_log().to_jsonl();  // header declares 4
+  jsonl +=
+      "{\"kind\": \"retune\", \"t\": 2.0, \"job\": 9, \"tenant\": 0, "
+      "\"w_lo\": 0, \"w_hi\": 0, \"cause\": \"stray\"}\n";
+  std::istringstream in(jsonl);
+  EXPECT_THROW((void)EventLog::read_jsonl(in), Error);
+}
+
 TEST(EventLog, ClearDropsEventsButKeepsContext) {
   EventLog log = sample_log();
   EXPECT_FALSE(log.empty());
